@@ -1,0 +1,52 @@
+"""Fig 5: 2D stencil on HiSilicon Kunpeng 916 (Hi1616).
+
+The paper's two signature results for this machine: up to 80 %
+improvement from explicit vectorization, and sudden performance drops
+when a NUMA domain is only partially saturated (the 32->40-core dip).
+"""
+
+import numpy as np
+import pytest
+
+from repro.exhibits import fig_2d_stencil, render_fig_2d
+from repro.hardware import machine
+from repro.perf import stencil2d_glups
+
+MACHINE = "kunpeng916"
+
+
+def test_fig5_exhibit(benchmark, save_exhibit):
+    series = benchmark(fig_2d_stencil, MACHINE)
+    assert len(series) == 8  # 4 variants + 4 peak lines
+    save_exhibit("fig5_2d_kunpeng", render_fig_2d(MACHINE))
+
+
+def test_fig5_numa_dips(benchmark):
+    """The sawtooth: dips at 40 and 56 cores, recovery at 48 and 64."""
+    m = machine(MACHINE)
+    glups = benchmark(
+        lambda: {c: stencil2d_glups(m, np.float32, "simd", c) for c in range(8, 65, 8)}
+    )
+    assert glups[40] < glups[32]
+    assert glups[48] > glups[40]
+    assert glups[56] < glups[48]
+    assert glups[64] > glups[56]
+
+
+def test_fig5_vectorization_gain_up_to_80_percent():
+    m = machine(MACHINE)
+    gains = [
+        stencil2d_glups(m, np.float32, "simd", c)
+        / stencil2d_glups(m, np.float32, "auto", c)
+        - 1
+        for c in (1, 8, 16, 32, 64)
+    ]
+    assert max(gains) >= 0.6  # "up to 80% improvements"
+    assert max(gains) <= 0.85
+
+
+def test_fig5_low_per_core_performance():
+    """Single NEON pipe + weak memory path: the slowest per-core machine."""
+    slowest = stencil2d_glups(machine(MACHINE), np.float32, "auto", 1)
+    for other in ("xeon-e5-2660v3", "thunderx2", "a64fx"):
+        assert slowest < stencil2d_glups(machine(other), np.float32, "auto", 1)

@@ -1,0 +1,51 @@
+"""Fig 7: 2D stencil on A64FX with the enlarged 8192x196608 grid.
+
+The paper grew the grid 1.5x to test whether HPX was starved for
+parallelism; it was not -- "there are no performance benefits in
+increasing grid size".  The harness checks rate-invariance and the HBM
+capacity argument (two grids of the large size still fit in 32 GB).
+"""
+
+import numpy as np
+import pytest
+
+from repro.exhibits import render_fig_2d
+from repro.hardware import machine
+from repro.perf.cost import PAPER_GRID_2D, PAPER_GRID_2D_LARGE, stencil2d_time
+
+MACHINE = "a64fx"
+
+
+def test_fig7_exhibit(benchmark, save_exhibit):
+    text = benchmark(render_fig_2d, MACHINE, PAPER_GRID_2D_LARGE)
+    assert "196608" in text
+    save_exhibit("fig7_2d_a64fx_large", text)
+
+
+def test_fig7_no_benefit_from_larger_grid(benchmark):
+    """GLUP/s rate identical across grid sizes -> time scales with LUPs."""
+    m = machine(MACHINE)
+
+    def rates():
+        out = {}
+        for grid in (PAPER_GRID_2D, PAPER_GRID_2D_LARGE):
+            ny, nx = grid
+            lups = (ny - 2) * (nx - 2) * 100
+            out[grid] = lups / stencil2d_time(m, np.float32, "simd", 48, grid=grid)
+        return out
+
+    result = benchmark(rates)
+    small, large = result[PAPER_GRID_2D], result[PAPER_GRID_2D_LARGE]
+    assert large == pytest.approx(small, rel=1e-9)
+
+
+def test_fig7_hbm_capacity_argument():
+    """Sec. VII-B: the 131072 grid needs ~9 GB per buffer (doubles, two
+    buffers = 18 GB), capping the largest testable size at ~1.5x."""
+    ny, nx = PAPER_GRID_2D
+    buffer_gb = ny * nx * 8 / 2**30
+    assert buffer_gb == pytest.approx(8.0, rel=0.01)  # "9GB worth of DRAM"
+    ny_l, nx_l = PAPER_GRID_2D_LARGE
+    two_large_buffers_gb = 2 * ny_l * nx_l * 8 / 2**30
+    assert two_large_buffers_gb < 32.0  # still fits HBM
+    assert 2 * (ny_l * 1.5) * nx_l * 8 / 2**30 > 32.0  # another 1.5x would not

@@ -1,0 +1,58 @@
+"""Real host-silicon kernel benchmarks (wall clock, NumPy).
+
+The honesty layer: the same stencil kernels whose *modelled* performance
+regenerates Figs 4-8 are also run for real on the host, reporting actual
+GLUP/s.  Grid sizes are scaled down from the paper's 8192x131072 to stay
+CI-friendly; pass ``--paper-scale`` logic lives in the examples instead.
+"""
+
+import numpy as np
+import pytest
+
+from repro.simd.isa import AVX2
+from repro.stencil import Jacobi2D, Heat1DParams, Heat1DPartitioned, analytic_heat_profile
+
+NY, NX, STEPS = 256, 1026, 10
+
+
+@pytest.mark.parametrize("dtype", [np.float32, np.float64], ids=["f32", "f64"])
+def test_host_jacobi_auto_kernel(benchmark, dtype):
+    solver = Jacobi2D(NY, NX, dtype, mode="auto")
+    solver.initialize()
+
+    def run():
+        solver.run(STEPS)
+        return solver.lattice_site_updates
+
+    lups = benchmark(run)
+    assert lups > 0
+
+
+@pytest.mark.parametrize("dtype", [np.float32, np.float64], ids=["f32", "f64"])
+def test_host_jacobi_vns_kernel(benchmark, dtype):
+    solver = Jacobi2D(NY, NX, dtype, mode="simd", isa=AVX2)
+    solver.initialize()
+    benchmark(solver.run, STEPS)
+
+
+def test_host_jacobi_glups_report(save_exhibit):
+    """One-shot GLUP/s report for the host (wall clock)."""
+    import time
+
+    lines = ["Host 2D-stencil kernel rates (grid 256x1026, wall clock):"]
+    for label, mode, isa in (("auto", "auto", None), ("vns/avx2", "simd", AVX2)):
+        solver = Jacobi2D(NY, NX, np.float32, mode=mode, isa=isa)
+        solver.initialize()
+        start = time.perf_counter()
+        solver.run(50)
+        elapsed = time.perf_counter() - start
+        glups = solver.lattice_site_updates / elapsed / 1e9
+        lines.append(f"  {label}: {glups:.3f} GLUP/s")
+    save_exhibit("host_jacobi_rates", "\n".join(lines))
+
+
+def test_host_heat1d_kernel(benchmark):
+    params = Heat1DParams()
+    solver = Heat1DPartitioned(1 << 16, 8, params)
+    solver.initialize(analytic_heat_profile(1 << 16))
+    benchmark(solver.run, 5)

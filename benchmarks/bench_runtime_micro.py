@@ -1,0 +1,124 @@
+"""Microbenchmarks of the runtime itself (real wall-clock numbers).
+
+These measure the Python runtime's own overheads -- task spawn/execute
+throughput, future round-trips, channel hand-offs, parcel round-trips --
+the analogues of HPX's ``future_overhead`` benchmark suite.
+"""
+
+from repro.runtime import Channel, Runtime, async_, dataflow, when_all
+from repro.runtime.threads.pool import ThreadPool
+
+
+def test_task_spawn_throughput(benchmark):
+    """Submit + drain 1000 empty tasks on a bare pool."""
+
+    def run():
+        pool = ThreadPool(4)
+        for _ in range(1000):
+            pool.submit(lambda: None)
+        pool.run_all()
+        return pool.tasks_executed
+
+    assert benchmark(run) == 1000
+
+
+def test_future_roundtrip_overhead(benchmark):
+    with Runtime(workers_per_locality=2) as rt:
+
+        def main():
+            total = 0
+            for _ in range(200):
+                total += async_(lambda: 1).get()
+            return total
+
+        assert benchmark(rt.run, main) == 200
+
+
+def test_dataflow_chain_overhead(benchmark):
+    with Runtime(workers_per_locality=2) as rt:
+
+        def main():
+            future = dataflow(lambda: 0)
+            for _ in range(300):
+                future = dataflow(lambda x: x + 1, future)
+            return future.get()
+
+        assert benchmark(rt.run, main) == 300
+
+
+def test_channel_handoff_throughput(benchmark):
+    with Runtime(workers_per_locality=2) as rt:
+
+        def main():
+            channel = Channel()
+            n = 500
+
+            def producer():
+                for i in range(n):
+                    channel.set(i)
+
+            async_(producer)
+            total = 0
+            for _ in range(n):
+                total += channel.get_sync()
+            return total
+
+        assert benchmark(rt.run, main) == sum(range(500))
+
+
+def test_parcel_roundtrip_overhead(benchmark):
+    """Cross-locality action invocation incl. serialization both ways."""
+    with Runtime(machine="xeon-e5-2660v3", n_localities=2, workers_per_locality=2) as rt:
+
+        def main():
+            futures = [rt.async_at(1, abs, -i) for i in range(100)]
+            return sum(f.get() for f in when_all(futures).get())
+
+        assert benchmark(rt.run, main) == sum(range(100))
+
+
+def _locality_id():
+    from repro.runtime import context as ctx
+
+    return ctx.here().locality_id
+
+
+def test_collectives_all_reduce(benchmark):
+    """Job-wide reduction over four localities (broadcast + fold)."""
+    import operator
+
+    from repro.runtime import collectives
+
+    locality_id = _locality_id
+
+    with Runtime(machine="a64fx", n_localities=4, workers_per_locality=2) as rt:
+
+        def main():
+            return collectives.all_reduce(rt, locality_id, operator.add)
+
+        assert benchmark(rt.run, main) == 0 + 1 + 2 + 3
+
+
+def test_remote_channel_roundtrip(benchmark):
+    """Location-transparent channel hosted on another locality."""
+    from repro.runtime.lco import RemoteChannel
+
+    with Runtime(machine="a64fx", n_localities=2, workers_per_locality=2) as rt:
+        channel = RemoteChannel.create(rt, locality_id=1)
+
+        def main():
+            channel.set(41).get()
+            return channel.get_sync() + 1
+
+        assert benchmark(rt.run, main) == 42
+
+
+def test_fan_out_fan_in(benchmark):
+    """The classic fork-join: 500-way fan-out, when_all fan-in."""
+    with Runtime(workers_per_locality=4) as rt:
+
+        def main():
+            futures = [async_(lambda i=i: i * i) for i in range(500)]
+            return sum(f.get() for f in when_all(futures).get())
+
+        assert benchmark(rt.run, main) == sum(i * i for i in range(500))

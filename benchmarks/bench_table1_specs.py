@@ -1,0 +1,26 @@
+"""Table I: node specifications.
+
+Regenerates the spec table from the machine registry (peaks are computed
+from clock x FLOP/cycle x cores, not transcribed) and benchmarks a full
+registry rebuild.
+"""
+
+from repro.exhibits import render_table1, table1
+from repro.hardware.registry import _BUILDERS  # rebuild, bypassing the cache
+
+
+def test_table1_exhibit(benchmark, save_exhibit):
+    headers, rows = benchmark(table1)
+    assert len(headers) == 5  # label column + 4 machines
+    assert len(rows) == 7  # the seven spec rows of Table I
+    save_exhibit("table1_specs", render_table1())
+
+
+def test_registry_build_cost(benchmark):
+    """Cost of constructing all four machine models from scratch."""
+
+    def build_all():
+        return [builder() for builder in _BUILDERS.values()]
+
+    models = benchmark(build_all)
+    assert len(models) == 4

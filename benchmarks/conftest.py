@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harnesses.
+
+Every benchmark regenerates one paper exhibit.  Besides timing the
+regeneration with pytest-benchmark, each harness writes the rendered
+exhibit to ``benchmarks/out/<name>.txt`` so EXPERIMENTS.md can reference
+concrete artifacts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def exhibit_dir() -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture
+def save_exhibit(exhibit_dir):
+    """Write an exhibit's rendered text to the artifact directory."""
+
+    def save(name: str, text: str) -> None:
+        (exhibit_dir / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return save

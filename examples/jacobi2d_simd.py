@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""The paper's 2D Jacobi study (Listing 2 / Figs 4-8), at laptop scale.
+
+Demonstrates the generic-kernel design: the *same* solver runs with a
+scalar (auto-vectorizable) container layout and with explicit SIMD packs
+in the Virtual Node Scheme layout, for three ISAs including frozen-width
+SVE.  Verifies that all variants agree bit-for-bit, measures real host
+rates, and then projects the paper's full-scale runs with the calibrated
+models (the Fig 4/6 curves).
+
+Run:  python examples/jacobi2d_simd.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.hardware import machine
+from repro.perf import stencil2d_glups, stencil2d_time
+from repro.reporting import format_table
+from repro.simd import AVX2, NEON, sve
+from repro.stencil import Jacobi2D, max_error
+
+NY, NX, STEPS = 128, 1026, 20
+
+
+def host_rates() -> list[list[str]]:
+    """Run every kernel variant for real; verify and time them."""
+    reference = None
+    rows = []
+    variants = [
+        ("auto (scalar layout)", "auto", None),
+        ("simd / NEON (4 x f32)", "simd", NEON),
+        ("simd / AVX2 (8 x f32)", "simd", AVX2),
+        ("simd / SVE-512 (16 x f32)", "simd", sve(512)),
+    ]
+    for label, mode, isa in variants:
+        solver = Jacobi2D(NY, NX, np.float32, mode=mode, isa=isa)
+        solver.initialize()
+        start = time.perf_counter()
+        solver.run(STEPS)
+        elapsed = time.perf_counter() - start
+        result = solver.solution()
+        if reference is None:
+            reference = result
+            error = 0.0
+        else:
+            error = max_error(result, reference)
+        assert error == 0.0, f"{label} diverged from the scalar kernel"
+        glups = solver.lattice_site_updates / elapsed / 1e9
+        rows.append([label, f"{glups:.3f}", f"{error:.0e}"])
+    return rows
+
+
+def paper_projection() -> list[list[str]]:
+    """Project the paper's full-scale runs (8192x131072, 100 steps)."""
+    rows = []
+    for name in ("xeon-e5-2660v3", "kunpeng916", "thunderx2", "a64fx"):
+        m = machine(name)
+        n = m.spec.cores_per_node
+        rows.append(
+            [
+                m.spec.name,
+                f"{stencil2d_glups(m, np.float32, 'auto', n):.1f}",
+                f"{stencil2d_glups(m, np.float32, 'simd', n):.1f}",
+                f"{stencil2d_glups(m, np.float64, 'simd', n):.1f}",
+                f"{stencil2d_time(m, np.float32, 'simd', n):.2f}s",
+                f"{stencil2d_time(m, np.float64, 'simd', n):.2f}s",
+            ]
+        )
+    return rows
+
+
+def main() -> None:
+    print(f"Host kernel rates (grid {NY}x{NX}, {STEPS} steps, float32):")
+    print(format_table(["variant", "GLUP/s (host)", "max err vs auto"], host_rates()))
+    print("\nEvery explicitly vectorized variant reproduces the scalar "
+          "kernel exactly -- the VNS halo shuffle is correct.\n")
+
+    print("Paper-scale projection (full node, 8192x131072, 100 steps):")
+    print(
+        format_table(
+            [
+                "machine",
+                "float auto",
+                "float simd",
+                "double simd (GLUP/s)",
+                "t(float)",
+                "t(double)",
+            ],
+            paper_projection(),
+        )
+    )
+    print(
+        "\nCompare the A64FX row with Sec. VII-B: floats under 2 s, "
+        "doubles about 3.5 s on 48 compute cores."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper in one run.
+
+Prints Table I, Fig 2 (STREAM), Fig 3 (1D scaling), Figs 4-8 (2D stencil
+per machine, including the enlarged A64FX grid of Fig 7), and Tables
+III-VI (hardware counters) from the calibrated models.
+
+Run:  python examples/paper_exhibits.py
+"""
+
+from repro.exhibits import (
+    render_counter_table,
+    render_table2,
+    render_fig2,
+    render_fig3,
+    render_fig_2d,
+    render_table1,
+)
+from repro.perf.cost import PAPER_GRID_2D_LARGE
+
+
+def main() -> None:
+    sections = [
+        render_table1(),
+        render_table2(),
+        render_fig2(),
+        render_fig3(),
+        render_fig_2d("xeon-e5-2660v3"),
+        render_fig_2d("kunpeng916"),
+        render_fig_2d("a64fx"),
+        render_fig_2d("a64fx", PAPER_GRID_2D_LARGE),
+        render_fig_2d("thunderx2"),
+        render_counter_table("xeon-e5-2660v3"),
+        render_counter_table("kunpeng916"),
+        render_counter_table("a64fx"),
+        render_counter_table("thunderx2"),
+    ]
+    print(("\n\n" + "=" * 78 + "\n\n").join(sections))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Roofline analysis of the 2D stencil on all four machines (Sec. III-C).
+
+Walks through the paper's performance argument quantitatively:
+
+1. derive the stencil's arithmetic intensity from cache behaviour
+   (simulated, not assumed),
+2. build each machine's roofline ``min(CP, AI x BW)`` in LUP terms,
+3. locate every machine's operating point and say *why* it sits there
+   (memory-bound everywhere -- exactly the paper's premise).
+
+Run:  python examples/roofline_analysis.py
+"""
+
+import numpy as np
+
+from repro.hardware import machine, machine_names
+from repro.hardware.cachesim import CacheSim, jacobi_row_traffic
+from repro.perf import attainable_performance, stencil2d_glups
+from repro.perf.cost import transfers_per_update
+from repro.reporting import format_table
+
+
+def derive_ai() -> None:
+    print("Step 1 -- derive bytes/LUP from a cache simulation "
+          "(32 KiB, 8-way, LRU):")
+    rows = []
+    for label, nx, elem in (("float32", 1024, 4), ("float64", 512, 8)):
+        cache = CacheSim(32 * 1024, 64, 8)
+        bytes_per_lup = jacobi_row_traffic(cache, 32, nx, elem_bytes=elem, sweeps=2)
+        rows.append([label, f"{bytes_per_lup:.1f}", f"{1 / bytes_per_lup:.4f}"])
+    print(format_table(["dtype", "bytes/LUP (simulated)", "AI (LUP/byte)"], rows))
+    print("Matches Sec. V-B: 12 B/LUP -> AI 1/12 (floats), 24 B/LUP -> 1/24 "
+          "(doubles).\n")
+
+
+def rooflines() -> None:
+    print("Step 2 -- rooflines, full node, floats "
+          "(CP in GLUP/s = peak GFLOP/s / 4 FLOP per LUP):")
+    rows = []
+    for name in machine_names():
+        m = machine(name)
+        n = m.spec.cores_per_node
+        compute_peak = m.spec.peak_gflops / 4.0  # 4 FLOPs per 5-point update
+        transfers = transfers_per_update(m, np.float32, n)
+        ai = 1.0 / (transfers * 4)
+        bandwidth = m.memory.lockstep_bandwidth(n)
+        roof = attainable_performance(compute_peak, ai, bandwidth)
+        achieved = stencil2d_glups(m, np.float32, "simd", n)
+        bound = "memory" if ai * bandwidth < compute_peak else "compute"
+        rows.append(
+            [
+                m.spec.name,
+                f"{compute_peak:.0f}",
+                f"{bandwidth:.0f}",
+                f"1/{int(1 / ai)}",
+                f"{roof:.1f}",
+                f"{achieved:.1f}",
+                f"{achieved / roof:.0%}",
+                bound,
+            ]
+        )
+    print(
+        format_table(
+            [
+                "machine",
+                "CP (GLUP/s)",
+                "BW (GB/s)",
+                "AI",
+                "roofline",
+                "model achieved",
+                "of roof",
+                "bound by",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nEvery machine is memory-bound -- 'the low arithmetic intensity "
+        "makes the application memory bound for a broad class of "
+        "processors' (Sec. V-B).  A64FX and ThunderX2 run at AI 1/8 "
+        "(implicit cache blocking); the x86 and Kunpeng stay at 1/12."
+    )
+
+
+def main() -> None:
+    derive_ai()
+    rooflines()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy shim: environments without the `wheel` package cannot do
+PEP-517 editable installs; `pip install -e . --no-use-pep517` uses this."""
+from setuptools import setup
+
+setup()

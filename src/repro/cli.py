@@ -1,0 +1,223 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the evaluation workflow:
+
+* ``machines``                    -- list the calibrated machine models
+* ``exhibits [NAME ...]``         -- render paper exhibits (default: all)
+* ``stream --machine M``          -- STREAM COPY curve for one machine
+* ``stencil1d --machine M``       -- Fig 3 rows for one machine
+* ``stencil2d --machine M``       -- Fig 4-8 curve for one machine
+* ``counters --machine M``        -- the machine's counter table
+* ``trace``                       -- run the distributed demo and print a
+                                     virtual-time Gantt chart (latency
+                                     hiding, visibly)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from . import exhibits
+from .hardware.registry import machine, machine_names
+from .perf.cost import stencil1d_time, stencil2d_glups
+from .perf.stream import stream_model
+from .reporting import Series, format_figure, format_table
+
+__all__ = ["main", "build_parser"]
+
+_EXHIBIT_RENDERERS = {
+    "table1": exhibits.render_table1,
+    "table2": exhibits.render_table2,
+    "fig2": exhibits.render_fig2,
+    "fig3": exhibits.render_fig3,
+    "fig4": lambda: exhibits.render_fig_2d("xeon-e5-2660v3"),
+    "fig5": lambda: exhibits.render_fig_2d("kunpeng916"),
+    "fig6": lambda: exhibits.render_fig_2d("a64fx"),
+    "fig7": lambda: exhibits.render_fig_2d(
+        "a64fx", __import__("repro.perf.cost", fromlist=["x"]).PAPER_GRID_2D_LARGE
+    ),
+    "fig8": lambda: exhibits.render_fig_2d("thunderx2"),
+    "table3": lambda: exhibits.render_counter_table("xeon-e5-2660v3"),
+    "table4": lambda: exhibits.render_counter_table("kunpeng916"),
+    "table5": lambda: exhibits.render_counter_table("a64fx"),
+    "table6": lambda: exhibits.render_counter_table("thunderx2"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Performance Evaluation of ParalleX "
+        "Execution model on Arm-based Platforms' (CLUSTER 2020).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("machines", help="list the calibrated machine models")
+
+    p_ex = sub.add_parser("exhibits", help="render paper exhibits")
+    p_ex.add_argument(
+        "names",
+        nargs="*",
+        choices=[[], *sorted(_EXHIBIT_RENDERERS)],  # empty means all
+        help="which exhibits (default: all)",
+    )
+
+    def machine_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--machine",
+            required=True,
+            choices=machine_names(),
+            help="machine model name",
+        )
+
+    p_stream = sub.add_parser("stream", help="STREAM COPY curve")
+    machine_arg(p_stream)
+    p_stream.add_argument("--pinning", default="compact", choices=("compact", "scatter"))
+
+    p_1d = sub.add_parser("stencil1d", help="1D distributed stencil times")
+    machine_arg(p_1d)
+    p_1d.add_argument("--nodes", type=int, nargs="+", default=[1, 2, 4, 8])
+    p_1d.add_argument("--weak", action="store_true", help="weak scaling")
+
+    p_2d = sub.add_parser("stencil2d", help="2D stencil GLUP/s curve")
+    machine_arg(p_2d)
+    p_2d.add_argument("--dtype", default="float32", choices=("float32", "float64"))
+    p_2d.add_argument("--mode", default="simd", choices=("auto", "simd"))
+
+    p_cnt = sub.add_parser("counters", help="hardware-counter table")
+    machine_arg(p_cnt)
+
+    p_trace = sub.add_parser(
+        "trace", help="run the distributed demo and print a Gantt chart"
+    )
+    p_trace.add_argument("--nodes", type=int, default=2)
+    p_trace.add_argument("--steps", type=int, default=6)
+
+    return parser
+
+
+def _cmd_machines() -> str:
+    rows = []
+    for name in machine_names():
+        m = machine(name)
+        rows.append(
+            [
+                name,
+                m.spec.name,
+                m.spec.cores_per_node,
+                m.spec.numa_domains,
+                f"{m.spec.peak_gflops:.0f}",
+                f"{m.memory.aggregate_bandwidth(m.spec.cores_per_node):.0f}",
+            ]
+        )
+    return format_table(
+        ["id", "model", "cores", "NUMA", "GFLOP/s", "STREAM GB/s"], rows
+    )
+
+
+def _cmd_exhibits(names: Sequence[str]) -> str:
+    selected = list(names) or sorted(_EXHIBIT_RENDERERS)
+    parts = [_EXHIBIT_RENDERERS[name]() for name in selected]
+    return ("\n\n" + "=" * 78 + "\n\n").join(parts)
+
+
+def _cmd_stream(machine_name: str, pinning: str) -> str:
+    m = machine(machine_name)
+    series = Series(m.spec.name)
+    for cores in range(1, m.spec.cores_per_node + 1):
+        series.add(cores, stream_model(m, cores, pinning=pinning).bandwidth_gbs)
+    return format_figure(
+        f"STREAM COPY, {m.spec.name} ({pinning} pinning)",
+        [series],
+        xlabel="cores",
+        ylabel="GB/s",
+        y_format="{:.1f}",
+    )
+
+
+def _cmd_stencil1d(machine_name: str, nodes: Sequence[int], weak: bool) -> str:
+    m = machine(machine_name)
+    series = Series(m.spec.name)
+    for n in nodes:
+        if weak:
+            series.add(n, stencil1d_time(m, n, points_per_node=480_000_000))
+        else:
+            series.add(n, stencil1d_time(m, n))
+    label = "weak (480e6 pts/node)" if weak else "strong (1.2e9 pts)"
+    return format_figure(
+        f"1D stencil {label}, {m.spec.name}",
+        [series],
+        xlabel="nodes",
+        ylabel="seconds",
+        y_format="{:.2f}",
+    )
+
+
+def _cmd_stencil2d(machine_name: str, dtype: str, mode: str) -> str:
+    m = machine(machine_name)
+    np_dtype = np.float32 if dtype == "float32" else np.float64
+    series = Series(f"{dtype}/{mode}")
+    cores_grid = [1] + list(range(8, m.spec.cores_per_node + 1, 8))
+    if cores_grid[-1] != m.spec.cores_per_node:
+        cores_grid.append(m.spec.cores_per_node)
+    for cores in cores_grid:
+        series.add(cores, stencil2d_glups(m, np_dtype, mode, cores))
+    return format_figure(
+        f"2D stencil, {m.spec.name}",
+        [series],
+        xlabel="cores",
+        ylabel="GLUP/s",
+        y_format="{:.2f}",
+    )
+
+
+def _cmd_trace(n_nodes: int, steps: int) -> str:
+    from .runtime import Runtime
+    from .runtime.trace import Tracer
+    from .stencil import DistributedHeat1D, Heat1DParams, analytic_heat_profile
+
+    tracer = Tracer()
+    with Runtime(
+        machine="xeon-e5-2660v3", n_localities=n_nodes, workers_per_locality=2
+    ) as rt:
+        solver = DistributedHeat1D(
+            rt, 64 * n_nodes, Heat1DParams(), cost_per_step=1.0
+        )
+        solver.initialize(analytic_heat_profile(64 * n_nodes))
+        with tracer.attach(rt):
+            rt.run(lambda: solver.run(steps))
+    header = (
+        f"Distributed 1D stencil, {n_nodes} localities x 2 workers, "
+        f"{steps} steps of 1 (virtual) second each.\n"
+        "Solid lanes: halo exchange is fully hidden under compute.\n"
+    )
+    return header + tracer.render_gantt(min_duration=0.5, exclude="hpx_main")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "machines":
+        print(_cmd_machines())
+    elif args.command == "exhibits":
+        print(_cmd_exhibits(args.names))
+    elif args.command == "stream":
+        print(_cmd_stream(args.machine, args.pinning))
+    elif args.command == "stencil1d":
+        print(_cmd_stencil1d(args.machine, args.nodes, args.weak))
+    elif args.command == "stencil2d":
+        print(_cmd_stencil2d(args.machine, args.dtype, args.mode))
+    elif args.command == "counters":
+        print(exhibits.render_counter_table(args.machine))
+    elif args.command == "trace":
+        print(_cmd_trace(args.nodes, args.steps))
+    else:  # pragma: no cover - argparse guards
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,132 @@
+"""Runtime configuration, modelled after HPX's ``--hpx:ini`` key/value store.
+
+A :class:`Config` is an immutable-ish mapping of dotted keys
+(``"threads.scheduler"``, ``"parcel.latency_us"``) with typed accessors and
+validation.  The defaults reproduce the configuration used in the paper:
+one worker per physical core, first-touch NUMA placement, work-stealing
+scheduling, and network-overlap enabled.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping
+
+from .errors import ConfigError
+
+__all__ = ["Config", "default_config"]
+
+#: Default configuration values. Keys are dotted, grouped by subsystem.
+_DEFAULTS: dict[str, Any] = {
+    # Thread subsystem (HPX thread-manager analogue).
+    "threads.scheduler": "work-stealing",  # work-stealing | static | fifo
+    "threads.per_core": 1,  # paper pins one worker per physical core
+    "threads.steal_attempts": 4,  # victims probed before idling
+    "threads.pin": True,  # hwloc-bind analogue
+    # AGAS.
+    "agas.refcount": True,
+    "agas.migration": True,
+    # Parcel subsystem.
+    "parcel.serialize": True,  # serialize args even in-process (catches bugs)
+    "parcel.overlap": True,  # hide network latency under compute
+    # Parallel algorithms.
+    "algorithms.chunker": "auto",  # auto | static
+    "algorithms.min_chunk": 1,
+    # NUMA placement.
+    "numa.first_touch": True,  # block allocator, OpenMP schedule(static)-like
+    # Determinism.
+    "seed": 0,
+}
+
+_VALID_SCHEDULERS = ("work-stealing", "static", "fifo")
+_VALID_CHUNKERS = ("auto", "static")
+
+
+class Config(Mapping[str, Any]):
+    """Typed, validated key/value configuration store.
+
+    Unknown keys are rejected eagerly so a typo in a benchmark script fails
+    at construction rather than silently using a default.
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self, **overrides: Any) -> None:
+        values = dict(_DEFAULTS)
+        for key, value in overrides.items():
+            dotted = key.replace("__", ".")
+            if dotted not in values:
+                raise ConfigError(f"unknown configuration key: {dotted!r}")
+            values[dotted] = value
+        self._values = values
+        self._validate()
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any]) -> "Config":
+        """Build a config from a mapping with dotted keys."""
+        cfg = cls()
+        for key, value in mapping.items():
+            if key not in cfg._values:
+                raise ConfigError(f"unknown configuration key: {key!r}")
+            cfg._values[key] = value
+        cfg._validate()
+        return cfg
+
+    def _validate(self) -> None:
+        sched = self._values["threads.scheduler"]
+        if sched not in _VALID_SCHEDULERS:
+            raise ConfigError(
+                f"threads.scheduler must be one of {_VALID_SCHEDULERS}, got {sched!r}"
+            )
+        chunker = self._values["algorithms.chunker"]
+        if chunker not in _VALID_CHUNKERS:
+            raise ConfigError(
+                f"algorithms.chunker must be one of {_VALID_CHUNKERS}, got {chunker!r}"
+            )
+        if int(self._values["threads.per_core"]) < 1:
+            raise ConfigError("threads.per_core must be >= 1")
+        if int(self._values["threads.steal_attempts"]) < 0:
+            raise ConfigError("threads.steal_attempts must be >= 0")
+        if int(self._values["algorithms.min_chunk"]) < 1:
+            raise ConfigError("algorithms.min_chunk must be >= 1")
+
+    def replace(self, **overrides: Any) -> "Config":
+        """Return a new config with ``overrides`` applied."""
+        merged = dict(self._values)
+        for key, value in overrides.items():
+            dotted = key.replace("__", ".")
+            if dotted not in merged:
+                raise ConfigError(f"unknown configuration key: {dotted!r}")
+            merged[dotted] = value
+        return Config.from_mapping(merged)
+
+    # Mapping protocol -----------------------------------------------------
+    def __getitem__(self, key: str) -> Any:
+        try:
+            return self._values[key]
+        except KeyError:
+            raise ConfigError(f"unknown configuration key: {key!r}") from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    # Typed accessors ------------------------------------------------------
+    def get_bool(self, key: str) -> bool:
+        return bool(self[key])
+
+    def get_int(self, key: str) -> int:
+        return int(self[key])
+
+    def get_str(self, key: str) -> str:
+        return str(self[key])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        changed = {k: v for k, v in self._values.items() if v != _DEFAULTS[k]}
+        return f"Config({changed!r})"
+
+
+def default_config() -> Config:
+    """The configuration used by the paper's benchmark runs."""
+    return Config()

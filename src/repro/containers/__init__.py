@@ -1,0 +1,11 @@
+"""Distributed data structures built on AGAS components.
+
+HPX ships ``hpx::partitioned_vector`` -- a vector whose segments live on
+different localities and are addressed through AGAS -- as the substrate
+for its distributed algorithms.  :class:`PartitionedVector` reproduces
+it, and the distributed stencil drivers show the pattern it abstracts.
+"""
+
+from .partitioned_vector import PartitionedVector
+
+__all__ = ["PartitionedVector"]

@@ -1,0 +1,126 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Mirrors (loosely) the HPX error-code taxonomy: every error raised by the
+runtime, the hardware models, or the SIMD layer derives from
+:class:`ReproError` so callers can catch library failures without masking
+programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "RuntimeStateError",
+    "FutureError",
+    "FutureAlreadySetError",
+    "FutureNotReadyError",
+    "BrokenPromiseError",
+    "ChannelClosedError",
+    "DeadlockError",
+    "AgasError",
+    "UnknownGidError",
+    "MigrationError",
+    "ParcelError",
+    "SerializationError",
+    "TopologyError",
+    "PinningError",
+    "SimdError",
+    "LaneMismatchError",
+    "LayoutError",
+    "SimulationError",
+    "ConfigError",
+    "ValidationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class RuntimeStateError(ReproError):
+    """The runtime was used in a state where the operation is invalid.
+
+    Examples: scheduling work before :meth:`Runtime.start`, resolving an
+    executor after shutdown, or double-starting a locality.
+    """
+
+
+class FutureError(ReproError):
+    """Base class for future/promise protocol violations."""
+
+
+class FutureAlreadySetError(FutureError):
+    """A promise or future was given a value (or exception) twice."""
+
+
+class FutureNotReadyError(FutureError):
+    """A non-blocking ``get`` was attempted on a future with no value yet."""
+
+
+class BrokenPromiseError(FutureError):
+    """The producing task died without ever setting its promise."""
+
+
+class ChannelClosedError(ReproError):
+    """A ``set``/``get`` was attempted on a closed channel."""
+
+
+class DeadlockError(ReproError):
+    """The cooperative scheduler ran out of runnable work while tasks wait.
+
+    Raised by the scheduler when every remaining task is suspended on an LCO
+    that no runnable task can trigger -- the cooperative analogue of a hung
+    ``pthread_join``.
+    """
+
+
+class AgasError(ReproError):
+    """Base class for Active Global Address Space failures."""
+
+
+class UnknownGidError(AgasError):
+    """A GID could not be resolved to a live object."""
+
+
+class MigrationError(AgasError):
+    """An object migration could not be performed (e.g. pinned object)."""
+
+
+class ParcelError(ReproError):
+    """A parcel could not be delivered or decoded."""
+
+
+class SerializationError(ParcelError):
+    """An argument could not be serialized for remote dispatch."""
+
+
+class TopologyError(ReproError):
+    """A hardware-topology query or construction was invalid."""
+
+
+class PinningError(TopologyError):
+    """A worker could not be bound to the requested processing unit."""
+
+
+class SimdError(ReproError):
+    """Base class for SIMD layer errors."""
+
+
+class LaneMismatchError(SimdError):
+    """Binary pack operation with differing lane counts."""
+
+
+class LayoutError(SimdError):
+    """Virtual-node-scheme layout transform got an incompatible shape."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine was driven incorrectly."""
+
+
+class ConfigError(ReproError):
+    """Invalid runtime configuration value."""
+
+
+class ValidationError(ReproError):
+    """A numerical validation check failed (stencil verification)."""

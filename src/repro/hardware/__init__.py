@@ -1,0 +1,60 @@
+"""Simulated hardware substrate.
+
+The paper's numbers come from four physical nodes (Intel Xeon E5-2660 v3,
+HiSilicon Kunpeng 916, Marvell ThunderX2, Fujitsu A64FX) that we do not
+have.  This package models the pieces of those machines that the paper's
+analysis actually depends on:
+
+* :mod:`~repro.hardware.spec` -- the Table I datasheet numbers,
+* :mod:`~repro.hardware.topology` -- sockets / NUMA domains / cores / PUs
+  (an hwloc-like tree) plus thread-pinning,
+* :mod:`~repro.hardware.caches` -- cache hierarchy and cache-line effects
+  (the 256 B A64FX line drives the paper's "implicit cache blocking"),
+* :mod:`~repro.hardware.memory` -- per-NUMA-domain bandwidth saturation
+  (drives Fig 2 and the Kunpeng NUMA dips in Fig 5),
+* :mod:`~repro.hardware.interconnect` -- the network model (drives the
+  Kunpeng scaling failure in Fig 3),
+* :mod:`~repro.hardware.counters` -- PAPI-like counter registers,
+* :mod:`~repro.hardware.registry` -- the four calibrated machines.
+"""
+
+from .spec import ProcessorSpec
+from .topology import Machine, Socket, NumaDomain, Core, ProcessingUnit, CpuSet
+from .caches import CacheLevel, CacheHierarchy
+from .memory import MemorySystem, DomainBandwidthModel
+from .interconnect import Interconnect
+from .counters import CounterSet, PAPI_TOT_INS, PAPI_L2_TCM, STALL_FRONTEND, STALL_BACKEND
+from .registry import (
+    machine,
+    machine_names,
+    XEON_E5_2660V3,
+    KUNPENG_916,
+    THUNDERX2,
+    A64FX,
+)
+
+__all__ = [
+    "ProcessorSpec",
+    "Machine",
+    "Socket",
+    "NumaDomain",
+    "Core",
+    "ProcessingUnit",
+    "CpuSet",
+    "CacheLevel",
+    "CacheHierarchy",
+    "MemorySystem",
+    "DomainBandwidthModel",
+    "Interconnect",
+    "CounterSet",
+    "PAPI_TOT_INS",
+    "PAPI_L2_TCM",
+    "STALL_FRONTEND",
+    "STALL_BACKEND",
+    "machine",
+    "machine_names",
+    "XEON_E5_2660V3",
+    "KUNPENG_916",
+    "THUNDERX2",
+    "A64FX",
+]

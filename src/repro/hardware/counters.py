@@ -1,0 +1,120 @@
+"""PAPI-like hardware counter registers.
+
+The paper reads Linux ``perf``/PAPI counters to explain performance
+differences (Tables III-VI).  :class:`CounterSet` is the register file:
+kernels and models increment named counters; readers snapshot them.  The
+*prediction* of counter values for the four machines lives in
+:mod:`repro.perf.counters`; this module is only the mechanism.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from ..errors import ReproError
+
+__all__ = [
+    "CounterSet",
+    "PAPI_TOT_INS",
+    "PAPI_TOT_CYC",
+    "PAPI_L1_TCM",
+    "PAPI_L2_TCM",
+    "PAPI_L3_TCM",
+    "STALL_FRONTEND",
+    "STALL_BACKEND",
+    "MEM_BYTES_READ",
+    "MEM_BYTES_WRITTEN",
+]
+
+# Canonical counter names (PAPI preset names where they exist).
+PAPI_TOT_INS = "PAPI_TOT_INS"  # total instructions retired
+PAPI_TOT_CYC = "PAPI_TOT_CYC"  # total cycles
+PAPI_L1_TCM = "PAPI_L1_TCM"  # L1 total cache misses
+PAPI_L2_TCM = "PAPI_L2_TCM"  # L2 total cache misses
+PAPI_L3_TCM = "PAPI_L3_TCM"  # last-level cache misses
+STALL_FRONTEND = "STALL_FRONTEND"  # perf stalled-cycles-frontend
+STALL_BACKEND = "STALL_BACKEND"  # perf stalled-cycles-backend
+MEM_BYTES_READ = "MEM_BYTES_READ"
+MEM_BYTES_WRITTEN = "MEM_BYTES_WRITTEN"
+
+_KNOWN = {
+    PAPI_TOT_INS,
+    PAPI_TOT_CYC,
+    PAPI_L1_TCM,
+    PAPI_L2_TCM,
+    PAPI_L3_TCM,
+    STALL_FRONTEND,
+    STALL_BACKEND,
+    MEM_BYTES_READ,
+    MEM_BYTES_WRITTEN,
+}
+
+
+class CounterSet(Mapping[str, int]):
+    """A mutable register file of named 64-bit-style event counters."""
+
+    __slots__ = ("_values", "_frozen")
+
+    def __init__(self, initial: Mapping[str, int] | None = None) -> None:
+        self._values: dict[str, int] = {}
+        self._frozen = False
+        if initial:
+            for name, value in initial.items():
+                self.add(name, value)
+
+    @staticmethod
+    def _check_name(name: str) -> None:
+        if name not in _KNOWN:
+            raise ReproError(
+                f"unknown hardware counter {name!r}; known: {sorted(_KNOWN)}"
+            )
+
+    def add(self, name: str, count: int | float) -> None:
+        """Increment ``name`` by ``count`` (must be non-negative)."""
+        self._check_name(name)
+        if self._frozen:
+            raise ReproError("counter set is frozen (snapshot); cannot modify")
+        if count < 0:
+            raise ReproError(f"counter increment must be non-negative, got {count}")
+        self._values[name] = self._values.get(name, 0) + int(round(count))
+
+    def read(self, name: str) -> int:
+        """Read a counter (0 if never incremented)."""
+        self._check_name(name)
+        return self._values.get(name, 0)
+
+    def snapshot(self) -> "CounterSet":
+        """An immutable copy, like reading out the PMU at a sample point."""
+        copy = CounterSet(dict(self._values))
+        copy._frozen = True
+        return copy
+
+    def diff(self, earlier: "CounterSet") -> "CounterSet":
+        """Counter deltas since an ``earlier`` snapshot."""
+        result = CounterSet()
+        for name in set(self._values) | set(earlier._values):
+            delta = self.read(name) - earlier.read(name)
+            if delta < 0:
+                raise ReproError(f"counter {name} went backwards")
+            if delta:
+                result.add(name, delta)
+        return result
+
+    def reset(self) -> None:
+        if self._frozen:
+            raise ReproError("counter set is frozen (snapshot); cannot reset")
+        self._values.clear()
+
+    # Mapping protocol -------------------------------------------------------
+    def __getitem__(self, name: str) -> int:
+        return self.read(name)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        body = ", ".join(f"{k}={v:.3e}" for k, v in sorted(self._values.items()))
+        return f"CounterSet({body})"

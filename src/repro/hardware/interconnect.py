@@ -1,0 +1,72 @@
+"""Inter-node network model.
+
+The 1D-stencil scaling behaviour (Fig 3) is a story about whether halo
+exchange can be hidden under compute.  The model is a classic
+latency/bandwidth (Hockney) channel with two quality knobs calibrated per
+platform:
+
+* ``injection_efficiency`` -- how much of the link a node can actually
+  drive.  The paper found the Kunpeng 916 "not able to exploit the
+  capabilities of the InfiniBand network"; its efficiency is far below 1.
+* ``congestion_per_node`` -- extra cost per participating node, modelling
+  the rising weak-scaling times the paper observed on Kunpeng.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import TopologyError
+
+__all__ = ["Interconnect"]
+
+
+@dataclass(frozen=True)
+class Interconnect:
+    """Point-to-point network channel between localities."""
+
+    name: str
+    #: Base one-way small-message latency in seconds.
+    latency_s: float
+    #: Peak link bandwidth in GB/s.
+    bandwidth_gbs: float
+    #: Fraction of the link this platform's NIC/PCIe path can drive.
+    injection_efficiency: float = 1.0
+    #: Additional per-message overhead *per participating node*, seconds.
+    #: Models fabric contention that grows with job size (Kunpeng).
+    congestion_per_node_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise TopologyError("latency must be non-negative")
+        if self.bandwidth_gbs <= 0:
+            raise TopologyError("bandwidth must be positive")
+        if not 0 < self.injection_efficiency <= 1.0:
+            raise TopologyError("injection_efficiency must be in (0, 1]")
+        if self.congestion_per_node_s < 0:
+            raise TopologyError("congestion must be non-negative")
+
+    @property
+    def effective_bandwidth_gbs(self) -> float:
+        return self.bandwidth_gbs * self.injection_efficiency
+
+    def transfer_time(self, n_bytes: int, n_nodes: int = 2) -> float:
+        """One-way time in seconds to move ``n_bytes`` between two nodes,
+        inside a job of ``n_nodes`` localities."""
+        if n_bytes < 0:
+            raise TopologyError("byte count must be non-negative")
+        if n_nodes < 1:
+            raise TopologyError("node count must be >= 1")
+        serialisation = n_bytes / (self.effective_bandwidth_gbs * 1e9)
+        return self.latency_s + serialisation + self.congestion_per_node_s * n_nodes
+
+    def halo_exchange_time(self, halo_bytes: int, n_nodes: int) -> float:
+        """Per-step halo-exchange time for a 1D decomposition.
+
+        Each interior locality exchanges one halo with each neighbour; the
+        two directions overlap on a full-duplex link, so the step cost is a
+        single :meth:`transfer_time`.
+        """
+        if n_nodes <= 1:
+            return 0.0
+        return self.transfer_time(halo_bytes, n_nodes)

@@ -1,0 +1,70 @@
+"""``hwloc-ls``-style topology rendering.
+
+The paper pins workers with ``hwloc-bind``; being able to *see* the tree
+it binds against (sockets, NUMA domains, shared caches, cores, PUs) is
+half the battle when explaining the NUMA results.  :func:`render_machine`
+prints the same nested view ``hwloc-ls`` would, from our machine models.
+"""
+
+from __future__ import annotations
+
+from .registry import MachineModel
+from .topology import CpuSet
+
+__all__ = ["render_machine", "render_pinning"]
+
+
+def _fmt_bytes(n: int) -> str:
+    for unit, size in (("GB", 1 << 30), ("MB", 1 << 20), ("KB", 1 << 10)):
+        if n >= size and n % size == 0:
+            return f"{n // size}{unit}"
+    return f"{n}B"
+
+
+def render_machine(model: MachineModel, show_pus: bool = True) -> str:
+    """An hwloc-ls-like tree for one machine model."""
+    spec = model.spec
+    lines = [f"Machine: {spec.name} ({spec.peak_gflops:.0f} GFLOP/s peak)"]
+    shared_levels = [lvl for lvl in model.caches.levels if lvl.shared_by_cores > 1]
+    private_levels = [lvl for lvl in model.caches.levels if lvl.shared_by_cores == 1]
+    for socket in model.topology.sockets:
+        lines.append(f"  Package P#{socket.socket_id}")
+        for domain in socket.domains:
+            peak = model.memory.domain_model.bandwidth(domain.n_cores)
+            lines.append(
+                f"    NUMANode N#{domain.domain_id} "
+                f"({domain.n_cores} cores, {peak:.0f} GB/s)"
+            )
+            for level in shared_levels:
+                lines.append(
+                    f"      {level.name} ({_fmt_bytes(level.size_bytes)}, "
+                    f"shared by {level.shared_by_cores} cores, "
+                    f"{level.line_bytes}B lines)"
+                )
+            for core in domain.cores:
+                caches = " + ".join(
+                    f"{lvl.name} {_fmt_bytes(lvl.size_bytes)}"
+                    for lvl in private_levels
+                )
+                line = f"      Core C#{core.core_id}"
+                if caches:
+                    line += f" ({caches})"
+                if show_pus:
+                    pus = " ".join(f"PU#{pu.pu_id}" for pu in core.pus)
+                    line += f"  {pus}"
+                lines.append(line)
+    return "\n".join(lines)
+
+
+def render_pinning(model: MachineModel, cpuset: CpuSet) -> str:
+    """Show which cores/domains a pinning selects (``hwloc-bind`` view)."""
+    counts = model.topology.cores_per_domain_for(cpuset)
+    lines = [
+        f"{model.spec.name}: {len(cpuset)} worker(s) pinned "
+        f"across {len(counts)} NUMA domain(s)"
+    ]
+    for domain in model.topology.domains:
+        used = counts.get(domain.domain_id, 0)
+        bar = "#" * used + "." * (domain.n_cores - used)
+        lines.append(f"  N#{domain.domain_id} [{bar}] {used}/{domain.n_cores}")
+    return "\n".join(lines)

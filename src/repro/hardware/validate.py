@@ -1,0 +1,98 @@
+"""Calibration self-checks.
+
+Every machine model carries calibration constants; a typo in one number
+would silently bend every downstream exhibit.  :func:`validate_machine`
+checks the internal-consistency invariants that must hold for *any*
+sane calibration, and :func:`validate_all` sweeps the registry.  The
+test suite runs these, and downstream users who add machine models
+should too.
+"""
+
+from __future__ import annotations
+
+from ..errors import ValidationError
+from .registry import MachineModel, machine, machine_names
+
+__all__ = ["validate_machine", "validate_all"]
+
+
+def validate_machine(model: MachineModel) -> list[str]:
+    """Return a list of violated invariants (empty = valid)."""
+    problems: list[str] = []
+    spec = model.spec
+    cal = model.calibration
+
+    # Topology consistency.
+    if model.topology.n_cores != spec.cores_per_node:
+        problems.append("topology core count != spec cores_per_node")
+    if len(model.topology.domains) != spec.numa_domains:
+        problems.append("topology domain count != spec numa_domains")
+
+    # Memory model sanity.
+    dm = model.memory.domain_model
+    if dm.per_core_gbs > dm.peak_gbs:
+        problems.append("per-core bandwidth exceeds domain peak")
+    if dm.per_core_gbs * spec.cores_per_domain < dm.peak_gbs:
+        problems.append(
+            "domain peak unreachable: full domain delivers less than peak"
+        )
+
+    # Calibration ranges.
+    for fraction_name in ("stencil2d_efficiency", "stencil1d_efficiency"):
+        value = getattr(cal, fraction_name)
+        if not 0.0 < value <= 1.0:
+            problems.append(f"{fraction_name} outside (0, 1]: {value}")
+    if cal.per_step_overhead_s < 0:
+        problems.append("negative per-step overhead")
+
+    # Single-core rates: all four variants present, positive, simd >= auto,
+    # and none above the single-core memory ceiling by more than the
+    # documented headroom (rates may exceed the ceiling -- the roofline
+    # caps them -- but a 10x excess would be a typo).
+    for dtype in ("float32", "float64"):
+        for mode in ("auto", "simd"):
+            key = (dtype, mode)
+            if key not in cal.single_core_glups:
+                problems.append(f"missing single-core rate for {key}")
+                continue
+            if cal.single_core_glups[key] <= 0:
+                problems.append(f"non-positive rate for {key}")
+        if (dtype, "simd") in cal.single_core_glups and (
+            dtype,
+            "auto",
+        ) in cal.single_core_glups:
+            if cal.single_core_glups[(dtype, "simd")] < cal.single_core_glups[
+                (dtype, "auto")
+            ]:
+                problems.append(f"simd rate below auto rate for {dtype}")
+            elem = 4 if dtype == "float32" else 8
+            ceiling = dm.per_core_gbs / (2 * elem)  # best case: 2 transfers
+            if cal.single_core_glups[(dtype, "simd")] > 10 * ceiling:
+                problems.append(
+                    f"{dtype} simd rate {cal.single_core_glups[(dtype, 'simd')]} "
+                    f"wildly above the bandwidth ceiling {ceiling:.2f}"
+                )
+
+    # Blocking flags consistent with the switch threshold.
+    if cal.blocking_doubles_from_cores and not cal.blocking_doubles:
+        problems.append("blocking_doubles_from_cores set but blocking_doubles off")
+    if cal.blocking_doubles_from_cores > spec.cores_per_node:
+        problems.append("blocking switch beyond the node's core count")
+
+    # Interconnect sanity.
+    if model.interconnect.effective_bandwidth_gbs <= 0:
+        problems.append("non-positive effective network bandwidth")
+
+    return problems
+
+
+def validate_all() -> None:
+    """Raise :class:`ValidationError` if any registered machine is
+    inconsistent."""
+    failures = {}
+    for name in machine_names():
+        problems = validate_machine(machine(name))
+        if problems:
+            failures[name] = problems
+    if failures:
+        raise ValidationError(f"calibration inconsistencies: {failures!r}")

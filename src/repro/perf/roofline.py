@@ -1,0 +1,55 @@
+"""The Roofline model (paper Sec. III-C).
+
+``Attainable Performance = min(CP, AI x BW)`` -- Eq. (1).  For the 2D
+stencil the paper derives AI = 1/12 LUP/Byte (float) and 1/24 (double)
+from three memory transfers per lattice-site update under the
+three-rows-in-cache assumption; two transfers (implicit cache blocking
+on large-cache-line CPUs) give 1/8 and 1/16.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ValidationError
+
+__all__ = [
+    "arithmetic_intensity",
+    "stencil2d_arithmetic_intensity",
+    "attainable_performance",
+]
+
+
+def arithmetic_intensity(work_per_site: float, bytes_per_site: float) -> float:
+    """Operations (or LUPs) per byte of main-memory traffic."""
+    if work_per_site <= 0 or bytes_per_site <= 0:
+        raise ValidationError("work and traffic must be positive")
+    return work_per_site / bytes_per_site
+
+
+def stencil2d_arithmetic_intensity(dtype, transfers_per_update: float = 3.0) -> float:
+    """AI in LUP/Byte for the 2D stencil (Sec. V-B).
+
+    ``transfers_per_update`` is 3 under the paper's baseline assumption
+    and 2 in the cache-blocked regime.  Floats: 1/12; doubles: 1/24.
+    """
+    dt = np.dtype(dtype)
+    if dt.kind != "f" or dt.itemsize not in (4, 8):
+        raise ValidationError(f"unsupported element type {dt}")
+    elem = dt.itemsize
+    if transfers_per_update <= 0:
+        raise ValidationError("transfers_per_update must be positive")
+    return arithmetic_intensity(1.0, transfers_per_update * elem)
+
+
+def attainable_performance(
+    computational_peak: float, intensity: float, bandwidth: float
+) -> float:
+    """Eq. (1): ``min(CP, AI x BW)``.
+
+    Units are the caller's: pass GFLOP/s + FLOP/B + GB/s for the classic
+    roofline, or GLUP/s + LUP/B + GB/s for the paper's stencil variant.
+    """
+    if computational_peak <= 0 or intensity <= 0 or bandwidth <= 0:
+        raise ValidationError("roofline inputs must be positive")
+    return min(computational_peak, intensity * bandwidth)

@@ -1,0 +1,103 @@
+"""STREAM memory-bandwidth benchmark (paper Fig 2).
+
+Two forms:
+
+* :func:`stream_model` -- the four machines' COPY bandwidth per core
+  count from the calibrated memory model.  This regenerates Fig 2's
+  curves (the paper runs ten times and keeps the best; the model is
+  deterministic, so one evaluation is the best).
+* :func:`stream_host` -- a real NumPy STREAM kernel timed on the host.
+  It keeps the reproduction honest: the same harness that reads the
+  model can read actual silicon.
+
+Kernel definitions follow McCalpin: COPY ``c = a``, SCALE ``b = s*c``,
+ADD ``c = a + b``, TRIAD ``a = b + s*c``; bytes counted as in the
+reference implementation (2, 2, 3 and 3 array touches respectively).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..hardware.registry import MachineModel
+
+__all__ = ["StreamResult", "stream_model", "stream_host", "STREAM_KERNELS"]
+
+#: Array touches per element for each kernel (McCalpin's byte counting).
+STREAM_KERNELS: dict[str, int] = {"copy": 2, "scale": 2, "add": 3, "triad": 3}
+
+#: Fig 2's array size: 128 million elements.
+PAPER_ARRAY_ELEMENTS = 128_000_000
+
+
+@dataclass(frozen=True)
+class StreamResult:
+    """Best bandwidth for one (kernel, core count) cell."""
+
+    kernel: str
+    n_cores: int
+    bandwidth_gbs: float
+    array_elements: int
+
+
+def stream_model(
+    machine: MachineModel,
+    n_cores: int,
+    kernel: str = "copy",
+    pinning: str = "compact",
+    array_elements: int = PAPER_ARRAY_ELEMENTS,
+) -> StreamResult:
+    """Modelled STREAM bandwidth for ``n_cores`` on ``machine``.
+
+    STREAM is embarrassingly parallel with first-touch-local data, so
+    the aggregate (per-domain-sum) bandwidth applies -- the paper makes
+    its STREAM runs NUMA-aware for exactly this reason (footnote 2).
+    """
+    if kernel not in STREAM_KERNELS:
+        raise ValidationError(f"unknown STREAM kernel {kernel!r}")
+    if array_elements <= 0:
+        raise ValidationError("array size must be positive")
+    bandwidth = machine.memory.aggregate_bandwidth(n_cores, pinning)
+    return StreamResult(kernel, n_cores, bandwidth, array_elements)
+
+
+def stream_host(
+    array_elements: int = 10_000_000,
+    kernel: str = "copy",
+    repeats: int = 10,
+    dtype=np.float64,
+) -> StreamResult:
+    """Run a real STREAM kernel on the host; best of ``repeats``.
+
+    The default array is sized for CI speed; pass
+    ``PAPER_ARRAY_ELEMENTS`` to match the paper's configuration.
+    """
+    if kernel not in STREAM_KERNELS:
+        raise ValidationError(f"unknown STREAM kernel {kernel!r}")
+    if array_elements <= 0 or repeats < 1:
+        raise ValidationError("array size and repeats must be positive")
+    elem = np.dtype(dtype).itemsize
+    a = np.zeros(array_elements, dtype=dtype)
+    b = np.full(array_elements, 2.0, dtype=dtype)
+    c = np.full(array_elements, 0.5, dtype=dtype)
+    scalar = 3.0
+    best = 0.0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        if kernel == "copy":
+            c[:] = a
+        elif kernel == "scale":
+            b[:] = scalar * c
+        elif kernel == "add":
+            c[:] = a + b
+        else:  # triad
+            a[:] = b + scalar * c
+        elapsed = time.perf_counter() - start
+        touched = STREAM_KERNELS[kernel] * array_elements * elem
+        if elapsed > 0:
+            best = max(best, touched / elapsed / 1e9)
+    return StreamResult(kernel, 1, best, array_elements)

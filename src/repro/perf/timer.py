@@ -1,0 +1,40 @@
+"""High-resolution timer (``hpx::util::high_resolution_timer``).
+
+Measures *wall* time by default; given a thread pool it measures
+*virtual* time instead, so the same timing code brackets both real
+kernels and simulated runs (Listing 2 lines 22/31).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.threads.pool import ThreadPool
+
+__all__ = ["HighResolutionTimer"]
+
+
+class HighResolutionTimer:
+    """Started on construction; ``elapsed()`` reads, ``restart()`` rearms."""
+
+    def __init__(self, pool: "Optional[ThreadPool]" = None) -> None:
+        self._pool = pool
+        self._start = self._now()
+
+    def _now(self) -> float:
+        if self._pool is not None:
+            return self._pool.makespan
+        return time.perf_counter()
+
+    def elapsed(self) -> float:
+        """Seconds since construction or the last restart."""
+        return self._now() - self._start
+
+    def restart(self) -> float:
+        """Re-arm the timer; returns the elapsed time that was on it."""
+        now = self._now()
+        elapsed = now - self._start
+        self._start = now
+        return elapsed

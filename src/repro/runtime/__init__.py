@@ -1,0 +1,96 @@
+"""The ParalleX execution-model runtime (HPX analogue).
+
+ParalleX attacks the SLOW factors -- Starvation, Latencies, Overheads,
+Waiting (contention) -- with lightweight threads, message-driven
+computation, constraint-based synchronisation (LCOs) and a global address
+space.  This package implements each subsystem of Fig 1 of the paper:
+
+* **Threading** (:mod:`~repro.runtime.threads`): HPX-threads scheduled
+  cooperatively on a pool of virtual cores; FIFO / static / work-stealing
+  schedulers; NUMA-aware block executors.
+* **LCOs** (:mod:`~repro.runtime.lco` and
+  :mod:`~repro.runtime.futures`): futures, promises, latches, barriers,
+  channels, semaphores, and-gates and ``dataflow``.
+* **AGAS** (:mod:`~repro.runtime.agas`): global IDs, resolution,
+  reference counting and object migration.
+* **Parcel transport** (:mod:`~repro.runtime.parcel`): active messages
+  between localities with serialization and a modelled network.
+* **Parallel algorithms** (:mod:`~repro.runtime.algorithms`):
+  ``for_each``/``for_loop``/``transform``/``reduce``/``scan`` with
+  ``seq``/``par``/``simd`` execution policies, mirroring the HPX calls in
+  Listings 1 and 2.
+
+Execution is *functionally real* (Python callables run and produce real
+values) while *time is virtual*: worker cores advance a simulated clock,
+parcels arrive after modelled network delays, and task costs are
+attributed via :func:`~repro.runtime.context.add_cost`.  This is the
+substitution that lets a laptop reproduce cluster-scale scheduling
+behaviour deterministically.
+"""
+
+from .futures import (
+    Future,
+    Promise,
+    make_ready_future,
+    when_all,
+    when_any,
+    when_each,
+    unwrap,
+)
+from .lco import Latch, Barrier, Channel, CountingSemaphore, AndGate, dataflow
+from .threads.pool import ThreadPool
+from .threads.executor import PoolExecutor, BlockExecutor
+from .actions import action, async_, apply, sync, async_after, sleep_for
+from .locality import Locality
+from .runtime import Runtime
+from . import perfcounters
+from . import collectives
+from .algorithms import (
+    seq,
+    par,
+    simd,
+    par_simd,
+    for_each,
+    for_loop,
+    transform,
+    reduce_,
+    inclusive_scan,
+)
+
+__all__ = [
+    "Future",
+    "Promise",
+    "make_ready_future",
+    "when_all",
+    "when_any",
+    "when_each",
+    "unwrap",
+    "Latch",
+    "Barrier",
+    "Channel",
+    "CountingSemaphore",
+    "AndGate",
+    "dataflow",
+    "ThreadPool",
+    "PoolExecutor",
+    "BlockExecutor",
+    "action",
+    "async_",
+    "apply",
+    "sync",
+    "async_after",
+    "sleep_for",
+    "perfcounters",
+    "collectives",
+    "Locality",
+    "Runtime",
+    "seq",
+    "par",
+    "simd",
+    "par_simd",
+    "for_each",
+    "for_loop",
+    "transform",
+    "reduce_",
+    "inclusive_scan",
+]

@@ -1,0 +1,108 @@
+"""Actions: named, remotely-invokable functions, plus the async API.
+
+``@action`` registers a module-level function under a stable name so
+parcels can reference it textually (the HPX action registry).  The
+local-async trio mirrors HPX:
+
+* :func:`async_` -- run on the current pool, get a future;
+* :func:`apply`  -- fire-and-forget;
+* :func:`sync`   -- run asynchronously but wait for the result.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..errors import RuntimeStateError
+from . import context as ctx
+from .futures import Future
+
+__all__ = ["action", "get_action", "async_", "apply", "sync", "async_after", "sleep_for"]
+
+_REGISTRY: dict[str, Callable[..., Any]] = {}
+
+
+def action(fn: Callable[..., Any] | None = None, *, name: str | None = None):
+    """Register ``fn`` as a named action (decorator).
+
+    ``@action`` uses the function's qualified name; ``@action(name=...)``
+    overrides it.  Re-registering a different function under the same
+    name is an error (actions must be stable across localities).
+    """
+
+    def register(func: Callable[..., Any]) -> Callable[..., Any]:
+        key = name or f"{func.__module__}.{func.__qualname__}"
+        existing = _REGISTRY.get(key)
+        if existing is not None and existing is not func:
+            raise RuntimeStateError(f"action name {key!r} already registered")
+        _REGISTRY[key] = func
+        func.action_name = key  # type: ignore[attr-defined]
+        return func
+
+    if fn is not None:
+        return register(fn)
+    return register
+
+
+def get_action(name: str) -> Callable[..., Any]:
+    """Resolve a registered action by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise RuntimeStateError(f"unknown action {name!r}") from None
+
+
+def _current_pool():
+    frame = ctx.current()
+    if frame.pool is None:
+        raise RuntimeStateError("no thread pool in the current context")
+    return frame.pool
+
+
+def async_(fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Future:
+    """Spawn ``fn(*args, **kwargs)`` as an HPX-thread; returns its future."""
+    return _current_pool().submit(fn, *args, kwargs=kwargs or None)
+
+
+def apply(fn: Callable[..., Any], *args: Any, **kwargs: Any) -> None:
+    """Fire-and-forget spawn (HPX ``hpx::post``/``apply``)."""
+    _current_pool().submit(fn, *args, kwargs=kwargs or None)
+
+
+def sync(fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
+    """Spawn and wait: ``async_(fn, ...).get()``."""
+    return async_(fn, *args, **kwargs).get()
+
+
+def async_after(delay: float, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Future:
+    """Spawn ``fn`` no earlier than ``delay`` virtual seconds from now.
+
+    The cooperative analogue of HPX's timed execution
+    (``hpx::async(hpx::launch::async, deadline, f)``): the task's ready
+    time is pushed into the virtual future, so workers fill the gap with
+    other work.
+    """
+    if delay < 0:
+        raise RuntimeStateError(f"delay must be non-negative, got {delay!r}")
+    pool = _current_pool()
+    return pool.submit(
+        fn,
+        *args,
+        kwargs=kwargs or None,
+        ready_time=pool.now + delay,
+        description=f"timed:{getattr(fn, '__name__', 'fn')}",
+    )
+
+
+def sleep_for(seconds: float) -> None:
+    """Advance the calling task's virtual clock (``this_thread::sleep_for``).
+
+    In virtual time, sleeping and computing are both occupancy of the
+    worker; the distinction the paper's timing cares about is *when the
+    task finishes*, which both advance identically.
+    """
+    from . import context as ctx
+
+    if seconds < 0:
+        raise RuntimeStateError(f"sleep must be non-negative, got {seconds!r}")
+    ctx.add_cost(seconds)

@@ -1,0 +1,15 @@
+"""Active Global Address Space (AGAS).
+
+AGAS gives every distributed object a :class:`~repro.runtime.agas.gid.Gid`
+that stays valid for the object's whole life -- even across migration to
+another locality.  Work is therefore addressed to *objects*, not nodes;
+the parcel layer resolves the GID at send time and ships the function to
+wherever the object currently lives (the paper's "message-driven
+computation" + "load balancing through object migration").
+"""
+
+from .gid import Gid
+from .service import AgasService
+from .component import Component
+
+__all__ = ["Gid", "AgasService", "Component"]

@@ -1,0 +1,66 @@
+"""Components: AGAS-addressable objects with remotely invokable methods.
+
+An HPX component is an object living in the global address space whose
+methods are *component actions*: callers hold only the GID and invoke
+methods through the runtime, which resolves the current home and ships a
+parcel there if it is remote.  Subclass :class:`Component` and invoke
+methods with ``Runtime.invoke`` / ``Runtime.invoke_async``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ...errors import AgasError
+from .gid import Gid
+
+__all__ = ["Component"]
+
+
+class Component:
+    """Base class for globally addressable objects.
+
+    Instances are created *unregistered*; :meth:`bind` attaches the GID
+    the runtime assigned.  ``on_migrated`` is called after AGAS moves the
+    object so subclasses can adjust locality-dependent state.
+    """
+
+    def __init__(self) -> None:
+        self._gid: Gid | None = None
+        self._home: int | None = None
+
+    # Registration plumbing (called by the runtime) ------------------------------
+    def bind(self, gid: Gid, home: int) -> None:
+        if self._gid is not None:
+            raise AgasError(f"component already bound to {self._gid!r}")
+        self._gid = gid
+        self._home = home
+
+    @property
+    def gid(self) -> Gid:
+        if self._gid is None:
+            raise AgasError("component is not registered with AGAS")
+        return self._gid
+
+    @property
+    def home(self) -> int:
+        """Locality this component currently believes it lives on."""
+        if self._home is None:
+            raise AgasError("component is not registered with AGAS")
+        return self._home
+
+    def on_migrated(self, to_locality: int) -> None:
+        """AGAS moved this object; update the cached home."""
+        self._home = to_locality
+
+    # Remote-callable surface ------------------------------------------------------
+    def act(self, method: str, *args: Any, **kwargs: Any) -> Any:
+        """Run a public method by name (the parcel layer's entry point)."""
+        if method.startswith("_"):
+            raise AgasError(f"action {method!r} is not public")
+        fn = getattr(self, method, None)
+        if fn is None or not callable(fn):
+            raise AgasError(
+                f"{type(self).__name__} has no action {method!r}"
+            )
+        return fn(*args, **kwargs)

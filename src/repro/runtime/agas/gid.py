@@ -1,0 +1,47 @@
+"""Global identifiers.
+
+An HPX GID is a 128-bit value whose MSB half encodes the locality that
+*allocated* the id plus flags, and whose LSB half is a per-locality
+counter.  The allocating locality is only a hint -- resolution must go
+through AGAS because objects migrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...errors import AgasError
+
+__all__ = ["Gid"]
+
+
+@dataclass(frozen=True, order=True)
+class Gid:
+    """An immutable global object identifier."""
+
+    #: Locality that allocated this GID (a hint, not the current home).
+    msb_locality: int
+    #: Per-locality allocation counter.
+    lsb: int
+
+    def __post_init__(self) -> None:
+        if self.msb_locality < 0:
+            raise AgasError(f"negative locality id {self.msb_locality}")
+        if self.lsb <= 0:
+            raise AgasError(f"GID lsb must be positive, got {self.lsb}")
+
+    def pack(self) -> int:
+        """The 128-bit integer form (64-bit halves)."""
+        if self.lsb >= 1 << 64 or self.msb_locality >= 1 << 32:
+            raise AgasError("GID fields overflow packed representation")
+        return (self.msb_locality << 64) | self.lsb
+
+    @classmethod
+    def unpack(cls, packed: int) -> "Gid":
+        """Invert :meth:`pack`."""
+        if packed < 0:
+            raise AgasError("packed GID must be non-negative")
+        return cls(msb_locality=packed >> 64, lsb=packed & ((1 << 64) - 1))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Gid({{{self.msb_locality:08x}, {self.lsb:016x}}})"

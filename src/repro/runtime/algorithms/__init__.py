@@ -1,0 +1,36 @@
+"""Parallel algorithms with execution policies (HPX ``hpx::parallel``).
+
+Listing 1 and Listing 2 both drive their stencils through
+``hpx::parallel::for_each(policy, begin, end, lambda)``; this package
+provides that call surface:
+
+* policies: :data:`seq`, :data:`par`, :data:`simd`, :data:`par_simd`,
+  refined with ``.on(executor)`` and ``.with_chunk_size(n)``;
+* algorithms: :func:`for_each`, :func:`for_loop`, :func:`transform`,
+  :func:`reduce_`, :func:`inclusive_scan`.
+"""
+
+from .execution_policy import (
+    ExecutionPolicy,
+    seq,
+    par,
+    simd,
+    par_simd,
+)
+from .partitioner import auto_chunk_size, partition
+from .algorithms import for_each, for_loop, transform, reduce_, inclusive_scan
+
+__all__ = [
+    "ExecutionPolicy",
+    "seq",
+    "par",
+    "simd",
+    "par_simd",
+    "auto_chunk_size",
+    "partition",
+    "for_each",
+    "for_loop",
+    "transform",
+    "reduce_",
+    "inclusive_scan",
+]

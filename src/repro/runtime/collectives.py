@@ -1,0 +1,93 @@
+"""Distributed collectives over localities.
+
+HPX ships ``hpx::collectives`` (broadcast, gather, all_reduce, barrier)
+built on plain actions and LCOs; distributed applications use them for
+global decisions (convergence tests, load statistics).  These
+implementations ride entirely on the public runtime surface --
+``async_at`` parcels plus ``when_all`` -- so collective *costs* are
+modelled by the same interconnect as everything else.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, TypeVar
+
+from ..errors import RuntimeStateError
+from .futures import Future, when_all
+from .runtime import Runtime
+
+__all__ = ["broadcast", "gather", "all_reduce", "global_barrier", "scatter"]
+
+T = TypeVar("T")
+
+
+def _all_locality_ids(runtime: Runtime) -> list[int]:
+    return [loc.locality_id for loc in runtime.localities]
+
+
+def broadcast(runtime: Runtime, fn: Callable[..., Any] | str, *args: Any) -> list[Any]:
+    """Run ``fn(*args)`` on every locality; returns results by locality id.
+
+    (HPX ``broadcast`` ships a value; shipping the producing action is
+    the more general parcel-native form -- pass ``lambda: value`` via a
+    registered action to ship a constant.)
+    """
+    futures = [
+        runtime.async_at(loc_id, fn, *args) for loc_id in _all_locality_ids(runtime)
+    ]
+    return [f.get() for f in when_all(futures).get()]
+
+
+def scatter(
+    runtime: Runtime, fn: Callable[..., Any] | str, per_locality_args: list[tuple]
+) -> list[Any]:
+    """Run ``fn(*per_locality_args[i])`` on locality ``i``."""
+    if len(per_locality_args) != runtime.n_localities:
+        raise RuntimeStateError(
+            f"scatter needs {runtime.n_localities} argument tuples, "
+            f"got {len(per_locality_args)}"
+        )
+    futures = [
+        runtime.async_at(loc_id, fn, *per_locality_args[loc_id])
+        for loc_id in _all_locality_ids(runtime)
+    ]
+    return [f.get() for f in when_all(futures).get()]
+
+
+def gather(runtime: Runtime, fn: Callable[..., Any] | str, *args: Any) -> list[Any]:
+    """Alias of :func:`broadcast` that reads local state back to the
+    caller -- the name states intent at call sites."""
+    return broadcast(runtime, fn, *args)
+
+
+def all_reduce(
+    runtime: Runtime,
+    fn: Callable[..., T] | str,
+    op: Callable[[T, T], T],
+    *args: Any,
+) -> T:
+    """Evaluate ``fn`` on every locality and fold the results with ``op``.
+
+    ``op`` must be associative; results combine in locality order, so
+    non-commutative (but associative) reductions are deterministic.
+    """
+    values = broadcast(runtime, fn, *args)
+    if not values:
+        raise RuntimeStateError("all_reduce over zero localities")
+    result = values[0]
+    for value in values[1:]:
+        result = op(result, value)
+    return result
+
+
+def _noop() -> None:
+    return None
+
+
+def global_barrier(runtime: Runtime) -> None:
+    """Block until every locality has processed a barrier parcel.
+
+    The round trip guarantees all previously *sent* work to each
+    locality has been enqueued behind the barrier handler.
+    """
+    broadcast(runtime, _noop)

@@ -1,0 +1,349 @@
+"""Futures and promises -- the foundational LCO.
+
+Semantics follow HPX/C++ ``std::future``/``promise``:
+
+* a :class:`Promise` is the write end, single-assignment (value *or*
+  exception);
+* a :class:`Future` is the read end; ``get()`` blocks (cooperatively:
+  the calling HPX-thread helps the scheduler drain other work until the
+  value arrives), re-raises stored exceptions, and is idempotent
+  (shared-future semantics -- the paper's codes pass futures around
+  freely);
+* ``then`` attaches a continuation that runs as a new HPX-thread when
+  the future becomes ready;
+* :func:`when_all` / :func:`when_any` compose futures.
+
+Virtual time: a promise records the virtual time at which it was
+fulfilled; a task that reads the future inherits that as a dependency,
+so makespans respect data flow.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+from ..errors import (
+    BrokenPromiseError,
+    FutureAlreadySetError,
+    FutureNotReadyError,
+)
+from . import context as ctx
+
+__all__ = [
+    "Future",
+    "Promise",
+    "make_ready_future",
+    "make_exceptional_future",
+    "when_all",
+    "when_any",
+    "when_each",
+    "unwrap",
+]
+
+
+class _SharedState:
+    """State shared between one promise and any number of futures."""
+
+    __slots__ = ("value", "exception", "ready", "ready_time", "callbacks", "broken")
+
+    def __init__(self) -> None:
+        self.value: Any = None
+        self.exception: BaseException | None = None
+        self.ready = False
+        self.broken = False
+        self.ready_time = 0.0
+        self.callbacks: list[Callable[["Future"], None]] = []
+
+
+class Future:
+    """Read end of an asynchronous value (shared-future semantics)."""
+
+    __slots__ = ("_state",)
+
+    def __init__(self, state: _SharedState) -> None:
+        self._state = state
+
+    # Introspection ---------------------------------------------------------
+    def is_ready(self) -> bool:
+        """True once a value or exception has been stored."""
+        return self._state.ready
+
+    def has_exception(self) -> bool:
+        return self._state.ready and self._state.exception is not None
+
+    @property
+    def ready_time(self) -> float:
+        """Virtual time at which the future became ready (0 if pending)."""
+        return self._state.ready_time
+
+    # Reading ----------------------------------------------------------------
+    def get(self) -> Any:
+        """Obtain the value, cooperatively waiting if necessary.
+
+        Inside a runtime the calling task *helps the scheduler*: other
+        runnable HPX-threads execute until this future is ready (HPX
+        suspends the thread; helping is the cooperative equivalent).  The
+        waiting task also inherits the producer's virtual finish time as
+        a dependency.
+        """
+        state = self._state
+        if not state.ready:
+            self._help_until_ready()
+            if not state.ready:
+                raise FutureNotReadyError(
+                    "future is not ready and no runnable work can make it so"
+                )
+        task = ctx.current_task()
+        if task is not None:
+            task.note_dependency(state.ready_time)
+        if state.exception is not None:
+            raise state.exception
+        return state.value
+
+    def get_nowait(self) -> Any:
+        """Non-blocking get; raises :class:`FutureNotReadyError` if pending."""
+        state = self._state
+        if not state.ready:
+            raise FutureNotReadyError("future is not ready")
+        task = ctx.current_task()
+        if task is not None:
+            task.note_dependency(state.ready_time)
+        if state.exception is not None:
+            raise state.exception
+        return state.value
+
+    def _help_until_ready(self) -> None:
+        """Drive the scheduler (job-wide when a runtime is active) until
+        this future is ready."""
+        frame = ctx.current_or_none()
+        if frame is None:
+            return
+        if frame.runtime is not None:
+            frame.runtime.progress_until(self.is_ready)
+        elif frame.pool is not None:
+            frame.pool.run_until(self.is_ready)
+
+    def wait(self) -> None:
+        """Wait for readiness without consuming the value."""
+        if not self.is_ready():
+            self._help_until_ready()
+        if not self.is_ready():
+            raise FutureNotReadyError(
+                "future is not ready and no runnable work can make it so"
+            )
+
+    # Composition ------------------------------------------------------------
+    def then(self, fn: Callable[["Future"], Any]) -> "Future":
+        """Attach a continuation; returns the continuation's future.
+
+        ``fn`` receives *this* (ready) future, mirroring HPX's
+        ``future::then``.  The continuation runs as a new HPX-thread on
+        the current pool (or inline when no runtime is active).
+        """
+        promise = Promise()
+
+        def run_continuation(_: "Future") -> None:
+            frame = ctx.current_or_none()
+
+            def body() -> None:
+                try:
+                    promise.set_value(fn(self))
+                except BaseException as exc:  # noqa: BLE001 - forwarded
+                    promise.set_exception(exc)
+
+            if frame is not None and frame.pool is not None:
+                frame.pool.submit(body, description="continuation")
+            else:
+                body()
+
+        self._on_ready(run_continuation)
+        return promise.get_future()
+
+    def _on_ready(self, callback: Callable[["Future"], None]) -> None:
+        state = self._state
+        if state.ready:
+            callback(self)
+        else:
+            state.callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        if not self._state.ready:
+            return "Future(<pending>)"
+        if self._state.exception is not None:
+            return f"Future(<exception {type(self._state.exception).__name__}>)"
+        return f"Future({self._state.value!r})"
+
+
+class Promise:
+    """Write end: single-assignment container fulfilling its futures."""
+
+    __slots__ = ("_state", "_future_taken")
+
+    def __init__(self) -> None:
+        self._state = _SharedState()
+        self._future_taken = False
+
+    def get_future(self) -> Future:
+        """Obtain a future for this promise (any number of times)."""
+        return Future(self._state)
+
+    def _fulfil(self) -> None:
+        state = self._state
+        state.ready = True
+        frame = ctx.current_or_none()
+        if frame is not None and frame.pool is not None:
+            state.ready_time = frame.pool.now
+        callbacks, state.callbacks = state.callbacks, []
+        future = Future(state)
+        for callback in callbacks:
+            callback(future)
+
+    def set_value(self, value: Any = None) -> None:
+        """Store the value and wake all continuations."""
+        if self._state.ready:
+            raise FutureAlreadySetError("promise already satisfied")
+        self._state.value = value
+        self._fulfil()
+
+    def set_exception(self, exc: BaseException) -> None:
+        """Store an exception; readers of the future will re-raise it."""
+        if self._state.ready:
+            raise FutureAlreadySetError("promise already satisfied")
+        if not isinstance(exc, BaseException):
+            raise TypeError(f"set_exception needs an exception, got {exc!r}")
+        self._state.exception = exc
+        self._fulfil()
+
+    def is_ready(self) -> bool:
+        return self._state.ready
+
+    def break_promise(self) -> None:
+        """Mark the promise broken (producer died); readers get
+        :class:`BrokenPromiseError`."""
+        if not self._state.ready:
+            self._state.broken = True
+            self._state.exception = BrokenPromiseError(
+                "the producing task terminated without setting a value"
+            )
+            self._fulfil()
+
+
+def make_ready_future(value: Any = None) -> Future:
+    """A future that is ready immediately (HPX ``make_ready_future``)."""
+    promise = Promise()
+    promise.set_value(value)
+    return promise.get_future()
+
+
+def make_exceptional_future(exc: BaseException) -> Future:
+    """A ready future holding an exception."""
+    promise = Promise()
+    promise.set_exception(exc)
+    return promise.get_future()
+
+
+def when_all(futures: Iterable[Future]) -> Future:
+    """A future of the list of input futures, ready when all are.
+
+    Mirrors HPX ``when_all``: the result value is the sequence of (ready)
+    futures, so exceptions surface when the caller ``get``s the elements.
+    """
+    futs: Sequence[Future] = list(futures)
+    promise = Promise()
+    remaining = len(futs)
+    if remaining == 0:
+        promise.set_value([])
+        return promise.get_future()
+    counter = {"n": remaining}
+
+    def one_ready(_: Future) -> None:
+        counter["n"] -= 1
+        if counter["n"] == 0:
+            promise.set_value(list(futs))
+
+    for fut in futs:
+        fut._on_ready(one_ready)
+    return promise.get_future()
+
+
+def when_each(
+    futures: Iterable[Future], callback: Callable[[int, Future], None]
+) -> Future:
+    """Invoke ``callback(index, future)`` as each input becomes ready.
+
+    Mirrors HPX ``when_each``: results are processed in *completion*
+    order, not submission order.  The returned future becomes ready
+    (value ``None``) after the last callback ran.
+    """
+    futs = list(futures)
+    promise = Promise()
+    if not futs:
+        promise.set_value(None)
+        return promise.get_future()
+    remaining = {"n": len(futs)}
+
+    def make_handler(index: int) -> Callable[[Future], None]:
+        def handler(future: Future) -> None:
+            try:
+                callback(index, future)
+            finally:
+                remaining["n"] -= 1
+                if remaining["n"] == 0:
+                    promise.set_value(None)
+
+        return handler
+
+    for i, fut in enumerate(futs):
+        fut._on_ready(make_handler(i))
+    return promise.get_future()
+
+
+def unwrap(future: Future) -> Future:
+    """Flatten a ``Future[Future[T]]`` into a ``Future[T]``.
+
+    HPX futures unwrap implicitly on ``.then``; Python needs it spelled
+    out.  Exceptions at either level propagate to the result.
+    """
+    promise = Promise()
+
+    def outer_ready(outer: Future) -> None:
+        try:
+            inner = outer.get_nowait()
+        except BaseException as exc:  # noqa: BLE001 - forwarded
+            promise.set_exception(exc)
+            return
+        if not isinstance(inner, Future):
+            promise.set_value(inner)  # already flat: pass through
+            return
+
+        def inner_ready(resolved: Future) -> None:
+            try:
+                promise.set_value(resolved.get_nowait())
+            except BaseException as exc:  # noqa: BLE001 - forwarded
+                promise.set_exception(exc)
+
+        inner._on_ready(inner_ready)
+
+    future._on_ready(outer_ready)
+    return promise.get_future()
+
+
+def when_any(futures: Iterable[Future]) -> Future:
+    """Ready when the first input is; value is ``(index, futures)``."""
+    futs = list(futures)
+    if not futs:
+        raise ValueError("when_any needs at least one future")
+    promise = Promise()
+    done = {"fired": False}
+
+    def make_callback(index: int) -> Callable[[Future], None]:
+        def fired(_: Future) -> None:
+            if not done["fired"]:
+                done["fired"] = True
+                promise.set_value((index, futs))
+
+        return fired
+
+    for i, fut in enumerate(futs):
+        fut._on_ready(make_callback(i))
+    return promise.get_future()

@@ -1,0 +1,52 @@
+"""And-gate LCO (HPX ``base_and_gate``): fires when all slots are set.
+
+The and-gate is the LCO HPX uses to assemble scattered contributions
+(e.g. partial results arriving as parcels) into one synchronisation
+event.  Each participant owns one slot; the gate's future becomes ready
+-- carrying the slot values in order -- when every slot has been set.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ...errors import RuntimeStateError
+from ..futures import Future, Promise
+
+__all__ = ["AndGate"]
+
+
+class AndGate:
+    """``n_slots`` single-assignment slots; ready when all are filled."""
+
+    def __init__(self, n_slots: int) -> None:
+        if n_slots < 1:
+            raise RuntimeStateError(f"and-gate needs >= 1 slots, got {n_slots}")
+        self.n_slots = n_slots
+        self._values: list[Any] = [None] * n_slots
+        self._filled = [False] * n_slots
+        self._remaining = n_slots
+        self._promise = Promise()
+
+    @property
+    def remaining(self) -> int:
+        return self._remaining
+
+    def set(self, slot: int, value: Any = None) -> None:
+        """Fill ``slot`` with ``value``; double-fill raises."""
+        if not 0 <= slot < self.n_slots:
+            raise RuntimeStateError(f"slot {slot} out of range [0, {self.n_slots})")
+        if self._filled[slot]:
+            raise RuntimeStateError(f"and-gate slot {slot} set twice")
+        self._filled[slot] = True
+        self._values[slot] = value
+        self._remaining -= 1
+        if self._remaining == 0:
+            self._promise.set_value(list(self._values))
+
+    def get_future(self) -> Future:
+        """Future of the ordered slot values, ready when all are set."""
+        return self._promise.get_future()
+
+    def is_ready(self) -> bool:
+        return self._remaining == 0

@@ -1,0 +1,58 @@
+"""Cyclic barrier LCO (HPX ``hpx::barrier``): reusable across generations."""
+
+from __future__ import annotations
+
+from ...errors import RuntimeStateError
+from ..futures import Future, Promise
+
+__all__ = ["Barrier"]
+
+
+class Barrier:
+    """``n_parties`` tasks synchronise; the barrier then resets itself.
+
+    Each generation has its own promise, so a future obtained in
+    generation ``g`` fires exactly when generation ``g`` completes --
+    late arrivals for generation ``g+1`` cannot leak backwards.
+    """
+
+    def __init__(self, n_parties: int) -> None:
+        if n_parties < 1:
+            raise RuntimeStateError(f"barrier needs >= 1 parties, got {n_parties}")
+        self.n_parties = n_parties
+        self._arrived = 0
+        self._generation = 0
+        self._promise = Promise()
+
+    @property
+    def generation(self) -> int:
+        """Completed-generation counter."""
+        return self._generation
+
+    @property
+    def waiting(self) -> int:
+        """Parties that have arrived in the current generation."""
+        return self._arrived
+
+    def arrive(self) -> Future:
+        """Register arrival; returns a future for this generation's release.
+
+        The value of the future is the generation number that completed.
+        """
+        promise = self._promise
+        generation = self._generation
+        self._arrived += 1
+        if self._arrived > self.n_parties:  # pragma: no cover - guarded below
+            raise RuntimeStateError("barrier arrival overflow")
+        future = promise.get_future()
+        if self._arrived == self.n_parties:
+            # Reset *before* firing: released tasks may immediately re-arrive.
+            self._arrived = 0
+            self._generation += 1
+            self._promise = Promise()
+            promise.set_value(generation)
+        return future
+
+    def arrive_and_wait(self) -> int:
+        """Arrive and cooperatively wait for the generation to complete."""
+        return self.arrive().get()

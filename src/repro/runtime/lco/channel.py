@@ -1,0 +1,89 @@
+"""Channel LCO (HPX ``hpx::lcos::channel``): an asynchronous FIFO pipe.
+
+Channels are how the paper's distributed 1D stencil exchanges halos: the
+producer ``set``s boundary values tagged by time step, the consumer
+``get``s a future for them -- in either order.  The unmatched side is
+buffered, so communication and computation overlap naturally.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from ...errors import ChannelClosedError
+from ..futures import Future, Promise
+
+__all__ = ["Channel"]
+
+
+class Channel:
+    """Unbounded FIFO of values with future-returning ``get``.
+
+    ``set`` before ``get`` buffers the value; ``get`` before ``set``
+    buffers the promise.  ``close`` fails all pending and future ``get``s
+    with :class:`ChannelClosedError`.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._values: deque[Any] = deque()
+        self._waiters: deque[Promise] = deque()
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def set(self, value: Any) -> None:
+        """Send one value into the channel."""
+        if self._closed:
+            raise ChannelClosedError(f"channel {self.name!r} is closed")
+        if self._waiters:
+            self._waiters.popleft().set_value(value)
+        else:
+            self._values.append(value)
+
+    def get(self) -> Future:
+        """A future for the next value (FIFO order among getters)."""
+        promise = Promise()
+        if self._values:
+            promise.set_value(self._values.popleft())
+        elif self._closed:
+            promise.set_exception(
+                ChannelClosedError(f"channel {self.name!r} is closed and drained")
+            )
+        else:
+            self._waiters.append(promise)
+        return promise.get_future()
+
+    def get_sync(self) -> Any:
+        """Cooperatively blocking receive."""
+        return self.get().get()
+
+    def close(self) -> int:
+        """Close the channel; returns the number of waiters that failed.
+
+        Matching HPX semantics: values already buffered remain
+        retrievable after close; only *unmatched* ``get``s (pending now
+        or issued later, once the buffer is drained) fail with
+        :class:`ChannelClosedError`.
+        """
+        self._closed = True
+        failed = len(self._waiters)
+        while self._waiters:
+            self._waiters.popleft().set_exception(
+                ChannelClosedError(f"channel {self.name!r} closed while waiting")
+            )
+        return failed
+
+    def __len__(self) -> int:
+        """Number of buffered (sent, unreceived) values."""
+        return len(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "closed" if self._closed else "open"
+        return (
+            f"Channel({self.name!r}, {state}, buffered={len(self._values)}, "
+            f"waiters={len(self._waiters)})"
+        )

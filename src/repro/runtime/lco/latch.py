@@ -1,0 +1,52 @@
+"""Latch LCO: a single-use countdown (HPX ``hpx::latch``)."""
+
+from __future__ import annotations
+
+from ...errors import RuntimeStateError
+from ..futures import Future, Promise
+
+__all__ = ["Latch"]
+
+
+class Latch:
+    """Counts down from ``count``; waiters release when it hits zero."""
+
+    def __init__(self, count: int) -> None:
+        if count < 0:
+            raise RuntimeStateError(f"latch count must be >= 0, got {count}")
+        self._count = count
+        self._promise = Promise()
+        if count == 0:
+            self._promise.set_value(None)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def count_down(self, n: int = 1) -> None:
+        """Decrement by ``n``; fires waiters at zero. Over-release raises."""
+        if n < 1:
+            raise RuntimeStateError(f"count_down needs n >= 1, got {n}")
+        if n > self._count:
+            raise RuntimeStateError(
+                f"latch over-released: count={self._count}, count_down({n})"
+            )
+        self._count -= n
+        if self._count == 0:
+            self._promise.set_value(None)
+
+    def is_ready(self) -> bool:
+        return self._count == 0
+
+    def wait_future(self) -> Future:
+        """A future that becomes ready when the latch reaches zero."""
+        return self._promise.get_future()
+
+    def wait(self) -> None:
+        """Cooperatively block until the latch opens."""
+        self.wait_future().get()
+
+    def arrive_and_wait(self) -> None:
+        """Count down once, then wait for the remaining parties."""
+        self.count_down()
+        self.wait()

@@ -1,0 +1,100 @@
+"""Remote channels: the channel LCO as an AGAS component.
+
+HPX's ``hpx::lcos::channel`` is itself a component, so two localities
+can rendezvous through a pipe neither of them hosts.  This wraps the
+local :class:`~repro.runtime.lco.channel.Channel` in a component and
+gives callers a location-transparent handle: ``set``/``get`` work the
+same whether the channel lives here or three network hops away (the
+difference shows up only in virtual time).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ...errors import ChannelClosedError
+from ..agas.component import Component
+from ..futures import Future
+from ..runtime import Runtime
+from .channel import Channel
+
+__all__ = ["ChannelComponent", "RemoteChannel"]
+
+
+class ChannelComponent(Component):
+    """The hosted end: a channel plus its remote-invokable surface."""
+
+    def __init__(self, name: str = "") -> None:
+        super().__init__()
+        self._channel = Channel(name)
+
+    def ch_set(self, value: Any) -> None:
+        self._channel.set(value)
+
+    def ch_get(self) -> Any:
+        """Blocking receive, executed *at the channel's home*.
+
+        The handler task suspends cooperatively until a value arrives --
+        other parcels (including the matching ``ch_set``) keep flowing.
+        """
+        return self._channel.get().get()
+
+    def ch_try_get(self) -> tuple[bool, Any]:
+        """Non-blocking receive: ``(True, value)`` or ``(False, None)``."""
+        if len(self._channel):
+            return True, self._channel.get().get()
+        return False, None
+
+    def ch_close(self) -> int:
+        return self._channel.close()
+
+    def ch_len(self) -> int:
+        return len(self._channel)
+
+
+class RemoteChannel:
+    """Location-transparent handle to a channel component."""
+
+    def __init__(self, runtime: Runtime, gid) -> None:
+        self.runtime = runtime
+        self.gid = gid
+
+    @classmethod
+    def create(cls, runtime: Runtime, locality_id: int = 0, name: str = "") -> "RemoteChannel":
+        """Create a channel hosted on ``locality_id``."""
+        component = ChannelComponent(name)
+        gid = runtime.new_component(component, locality_id=locality_id)
+        return cls(runtime, gid)
+
+    @property
+    def home(self) -> int:
+        """Locality currently hosting the channel (follows migration)."""
+        return self.runtime.agas.home_of(self.gid)
+
+    # Channel surface -------------------------------------------------------------
+    def set(self, value: Any) -> Future:
+        """Send a value; the returned future confirms delivery."""
+        return self.runtime.invoke_async(self.gid, "ch_set", value)
+
+    def get(self) -> Future:
+        """Future for the next value (resolved at the channel's home)."""
+        return self.runtime.invoke_async(self.gid, "ch_get")
+
+    def get_sync(self) -> Any:
+        return self.get().get()
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking receive across the network."""
+        return self.runtime.invoke(self.gid, "ch_try_get")
+
+    def close(self) -> int:
+        """Close the hosted channel; pending remote getters fail with
+        :class:`ChannelClosedError` just like local ones."""
+        return self.runtime.invoke(self.gid, "ch_close")
+
+    def __len__(self) -> int:
+        return int(self.runtime.invoke(self.gid, "ch_len"))
+
+
+# Re-export for the error contract's visibility at this import site.
+_ = ChannelClosedError

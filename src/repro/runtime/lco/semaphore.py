@@ -1,0 +1,71 @@
+"""Counting semaphore LCO (HPX ``counting_semaphore``), future-based."""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ...errors import RuntimeStateError
+from ..futures import Future, Promise
+
+__all__ = ["CountingSemaphore"]
+
+
+class CountingSemaphore:
+    """A counting semaphore whose ``acquire`` returns a future.
+
+    Used by throttling patterns (bounding in-flight tasks).  FIFO
+    fairness: releases wake acquirers in arrival order.
+    """
+
+    def __init__(self, initial: int = 0, max_count: int | None = None) -> None:
+        if initial < 0:
+            raise RuntimeStateError(f"initial count must be >= 0, got {initial}")
+        if max_count is not None and max_count < initial:
+            raise RuntimeStateError("max_count must be >= initial count")
+        self._count = initial
+        self._max = max_count
+        self._waiters: deque[Promise] = deque()
+
+    @property
+    def count(self) -> int:
+        """Currently available permits."""
+        return self._count
+
+    @property
+    def waiting(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self) -> Future:
+        """A future that becomes ready when a permit is granted."""
+        promise = Promise()
+        if self._count > 0:
+            self._count -= 1
+            promise.set_value(None)
+        else:
+            self._waiters.append(promise)
+        return promise.get_future()
+
+    def acquire_sync(self) -> None:
+        """Cooperatively blocking acquire."""
+        self.acquire().get()
+
+    def try_acquire(self) -> bool:
+        """Non-blocking acquire; True on success."""
+        if self._count > 0:
+            self._count -= 1
+            return True
+        return False
+
+    def release(self, n: int = 1) -> None:
+        """Return ``n`` permits, waking waiters FIFO."""
+        if n < 1:
+            raise RuntimeStateError(f"release needs n >= 1, got {n}")
+        for _ in range(n):
+            if self._waiters:
+                self._waiters.popleft().set_value(None)
+            else:
+                if self._max is not None and self._count >= self._max:
+                    raise RuntimeStateError(
+                        f"semaphore over-released beyond max_count={self._max}"
+                    )
+                self._count += 1

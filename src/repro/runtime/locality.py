@@ -1,0 +1,47 @@
+"""A locality: one (virtual) node of the distributed machine."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..errors import RuntimeStateError
+from .threads.pool import ThreadPool
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .runtime import Runtime
+
+__all__ = ["Locality"]
+
+
+class Locality:
+    """One node: an id, a thread pool over its cores, and runtime backrefs.
+
+    In HPX a locality is "a synchronous domain of execution" -- typically
+    one cluster node.  The paper's distributed runs use one locality per
+    node with one worker per physical core.
+    """
+
+    def __init__(self, locality_id: int, pool: ThreadPool, runtime: "Runtime") -> None:
+        if locality_id < 0:
+            raise RuntimeStateError("locality id must be non-negative")
+        self.locality_id = locality_id
+        self.pool = pool
+        self.runtime = runtime
+        # Backrefs so tasks executing on this pool see the right frame.
+        pool.locality = self  # type: ignore[attr-defined]
+        pool.runtime = runtime  # type: ignore[attr-defined]
+
+    @property
+    def n_workers(self) -> int:
+        return self.pool.n_workers
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Locality):
+            return NotImplemented
+        return other.locality_id == self.locality_id and other.runtime is self.runtime
+
+    def __hash__(self) -> int:
+        return hash((id(self.runtime), self.locality_id))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Locality({self.locality_id}, workers={self.n_workers})"

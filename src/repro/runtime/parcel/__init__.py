@@ -1,0 +1,23 @@
+"""Parcel transport: active messages between localities.
+
+A parcel carries *work to data*: destination GID (or locality), the
+action to run there, serialized arguments, and an optional continuation
+that routes the result back.  The parcelport delivers parcels with a
+modelled network delay taken from the machine's
+:class:`~repro.hardware.interconnect.Interconnect` -- this is where the
+Kunpeng 916's weak fabric enters the 1D-stencil simulation.
+"""
+
+from .serialization import serialize, deserialize, serialized_size
+from .parcel import Parcel
+from .parcelport import Parcelport, LoopbackParcelport, NetworkParcelport
+
+__all__ = [
+    "serialize",
+    "deserialize",
+    "serialized_size",
+    "Parcel",
+    "Parcelport",
+    "LoopbackParcelport",
+    "NetworkParcelport",
+]

@@ -1,0 +1,49 @@
+"""The parcel: ParalleX's active message."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ...errors import ParcelError
+from ..agas.gid import Gid
+
+__all__ = ["Parcel"]
+
+_ids = itertools.count(1)
+
+
+@dataclass
+class Parcel:
+    """Work shipped to data.
+
+    Exactly one of ``target_gid`` (component action: AGAS resolves the
+    current home) or ``target_locality`` (plain action on a node) is set.
+    ``payload`` holds the *serialized* ``(action, args, kwargs)`` tuple;
+    the destination deserializes it -- see
+    :mod:`repro.runtime.parcel.serialization`.
+    """
+
+    source_locality: int
+    payload: bytes
+    target_gid: Optional[Gid] = None
+    target_locality: Optional[int] = None
+    #: Virtual send time at the source.
+    send_time: float = 0.0
+    parcel_id: int = field(default_factory=lambda: next(_ids))
+
+    def __post_init__(self) -> None:
+        if (self.target_gid is None) == (self.target_locality is None):
+            raise ParcelError(
+                "parcel needs exactly one of target_gid or target_locality"
+            )
+        if self.source_locality < 0:
+            raise ParcelError("negative source locality")
+        if not isinstance(self.payload, (bytes, bytearray)):
+            raise ParcelError("payload must be serialized bytes")
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size (payload plus a modelled 64-byte header)."""
+        return len(self.payload) + 64

@@ -1,0 +1,99 @@
+"""Parcelports: how parcels reach the destination locality.
+
+The port computes the *arrival time* of each parcel and hands it to a
+router callback installed by the runtime (which decodes the payload and
+spawns the handler task at that virtual time).  Two ports exist:
+
+* :class:`LoopbackParcelport` -- zero-delay, for single-node runs;
+* :class:`NetworkParcelport` -- delays from the machine's
+  :class:`~repro.hardware.interconnect.Interconnect`.  When the platform
+  cannot progress communication in the background (``overlap=False`` --
+  the Kunpeng 916 case), the *sending task* is charged the transfer
+  time, so communication eats into compute exactly as the paper
+  describes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ...errors import ParcelError
+from ...hardware.interconnect import Interconnect
+from .. import context as ctx
+from .parcel import Parcel
+
+__all__ = ["Parcelport", "LoopbackParcelport", "NetworkParcelport"]
+
+#: Router signature: (parcel, arrival_time) -> None.
+Router = Callable[[Parcel, float], None]
+
+
+class Parcelport:
+    """Base parcelport: statistics plus the router hookup."""
+
+    def __init__(self) -> None:
+        self._router: Router | None = None
+        self.parcels_sent = 0
+        self.bytes_sent = 0
+
+    def install_router(self, router: Router) -> None:
+        """The runtime installs its decode-and-dispatch callback here."""
+        self._router = router
+
+    def send(self, parcel: Parcel) -> float:
+        """Ship a parcel; returns its arrival time."""
+        if self._router is None:
+            raise ParcelError("parcelport has no router installed (runtime not booted)")
+        arrival = self._arrival_time(parcel)
+        self.parcels_sent += 1
+        self.bytes_sent += parcel.size_bytes
+        self._router(parcel, arrival)
+        return arrival
+
+    def _arrival_time(self, parcel: Parcel) -> float:
+        raise NotImplementedError
+
+
+class LoopbackParcelport(Parcelport):
+    """In-process delivery with no modelled delay."""
+
+    def _arrival_time(self, parcel: Parcel) -> float:
+        return parcel.send_time
+
+
+class NetworkParcelport(Parcelport):
+    """Delivery over a modelled interconnect.
+
+    ``resolve_destination`` maps a parcel to its destination locality
+    (installed by the runtime, since GID-addressed parcels need AGAS).
+    """
+
+    def __init__(
+        self,
+        interconnect: Interconnect,
+        n_localities: int,
+        overlap: bool = True,
+    ) -> None:
+        super().__init__()
+        if n_localities < 1:
+            raise ParcelError("need at least one locality")
+        self.interconnect = interconnect
+        self.n_localities = n_localities
+        self.overlap = overlap
+        self._resolve: Callable[[Parcel], int] | None = None
+
+    def install_resolver(self, resolve: Callable[[Parcel], int]) -> None:
+        self._resolve = resolve
+
+    def _arrival_time(self, parcel: Parcel) -> float:
+        if self._resolve is None:
+            raise ParcelError("parcelport has no destination resolver installed")
+        destination = self._resolve(parcel)
+        if destination == parcel.source_locality:
+            return parcel.send_time
+        delay = self.interconnect.transfer_time(parcel.size_bytes, self.n_localities)
+        if not self.overlap:
+            # The platform cannot hide the transfer: the sending task pays
+            # for it on its own core (Sec. VII-A, Kunpeng 916).
+            ctx.add_cost(delay)
+        return parcel.send_time + delay

@@ -1,0 +1,125 @@
+"""HPX-style runtime performance counters.
+
+HPX exposes introspection counters under paths like
+``/threads{locality#0/total}/count/cumulative``; tools (and the papers
+evaluating HPX) read them to explain scheduling behaviour.  This module
+provides the same facility for our runtime: :func:`query` resolves a
+counter path against a :class:`~repro.runtime.runtime.Runtime` and
+:func:`discover` lists what is available.
+
+Supported counter types::
+
+    /threads/count/cumulative      tasks executed
+    /threads/count/stolen          successful steals (work-stealing only)
+    /threads/queue/length          tasks currently queued
+    /threads/time/average          average attributed cost per task (s)
+    /threads/idle-rate             idle fraction of the pool's makespan
+    /parcels/count/sent            parcels sent (job-wide counter only)
+    /parcels/data/sent             bytes sent   (job-wide counter only)
+    /runtime/uptime                virtual makespan (s)
+
+Instance syntax: ``{locality#N/total}`` selects one locality,
+``{total}`` (or no braces) aggregates over the job.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import TYPE_CHECKING
+
+from ..errors import RuntimeStateError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .runtime import Runtime
+    from .threads.pool import ThreadPool
+
+__all__ = ["query", "discover"]
+
+_PATH = re.compile(
+    r"^/(?P<object>[a-z]+)"
+    r"(?:\{(?P<instance>[^}]*)\})?"
+    r"/(?P<counter>[a-z/-]+)$"
+)
+
+_LOCALITY = re.compile(r"^locality#(?P<id>\d+)/total$")
+
+
+def _pool_counter(pool: "ThreadPool", counter: str) -> float:
+    if counter == "count/cumulative":
+        return float(pool.tasks_executed)
+    if counter == "count/stolen":
+        return float(pool.steals)
+    if counter == "queue/length":
+        return float(pool.pending())
+    if counter == "time/average":
+        if pool.tasks_executed == 0:
+            return 0.0
+        busy = sum(w.busy_time for w in pool.workers)
+        return busy / pool.tasks_executed
+    if counter == "idle-rate":
+        makespan = pool.makespan
+        if makespan == 0.0:
+            return 0.0
+        busy = sum(w.busy_time for w in pool.workers)
+        capacity = makespan * pool.n_workers
+        return max(0.0, 1.0 - busy / capacity)
+    raise RuntimeStateError(f"unknown threads counter {counter!r}")
+
+
+def query(runtime: "Runtime", path: str) -> float:
+    """Evaluate one counter path against a runtime."""
+    match = _PATH.match(path)
+    if not match:
+        raise RuntimeStateError(f"malformed counter path {path!r}")
+    obj = match.group("object")
+    instance = match.group("instance")
+    counter = match.group("counter")
+
+    if obj == "threads":
+        pools = [loc.pool for loc in runtime.localities]
+        if instance and instance != "total":
+            loc_match = _LOCALITY.match(instance)
+            if not loc_match:
+                raise RuntimeStateError(f"malformed instance {instance!r}")
+            loc_id = int(loc_match.group("id"))
+            pools = [runtime.locality(loc_id).pool]
+        values = [_pool_counter(pool, counter) for pool in pools]
+        if counter in ("time/average", "idle-rate"):
+            return sum(values) / len(values)
+        return float(sum(values))
+
+    if obj == "parcels":
+        if instance not in (None, "total"):
+            raise RuntimeStateError("parcel counters are job-wide; use {total}")
+        if counter == "count/sent":
+            return float(runtime.parcelport.parcels_sent)
+        if counter == "data/sent":
+            return float(runtime.parcelport.bytes_sent)
+        raise RuntimeStateError(f"unknown parcels counter {counter!r}")
+
+    if obj == "runtime":
+        if counter == "uptime":
+            return runtime.makespan
+        raise RuntimeStateError(f"unknown runtime counter {counter!r}")
+
+    raise RuntimeStateError(f"unknown counter object {obj!r}")
+
+
+def discover(runtime: "Runtime") -> list[str]:
+    """All concrete counter paths available on this runtime."""
+    paths = []
+    thread_counters = (
+        "count/cumulative",
+        "count/stolen",
+        "queue/length",
+        "time/average",
+        "idle-rate",
+    )
+    for counter in thread_counters:
+        paths.append(f"/threads{{total}}/{counter}")
+        for loc in runtime.localities:
+            paths.append(f"/threads{{locality#{loc.locality_id}/total}}/{counter}")
+    paths.append("/parcels{total}/count/sent")
+    paths.append("/parcels{total}/data/sent")
+    paths.append("/runtime/uptime")
+    return paths

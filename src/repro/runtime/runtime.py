@@ -1,0 +1,393 @@
+"""The runtime: boots localities, routes parcels, drives progress.
+
+A :class:`Runtime` stands for one job: ``n_localities`` virtual nodes,
+each with a thread pool of one worker per (modelled) physical core, a
+shared AGAS instance, and a parcelport whose delays come from the
+machine model's interconnect.  Use it as a context manager::
+
+    with Runtime(machine="xeon-e5-2660v3", n_localities=4) as rt:
+        result = rt.run(main)
+
+``rt.run`` executes ``main`` as the first HPX-thread on locality 0 and
+cooperatively drives *all* localities until the result is ready --
+including parcels that bounce work between nodes.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Callable, Optional
+
+from ..config import Config, default_config
+from ..errors import DeadlockError, ParcelError, RuntimeStateError
+from ..hardware.registry import MachineModel, machine as machine_lookup
+from . import context as ctx
+from .actions import get_action
+from .agas.component import Component
+from .agas.gid import Gid
+from .agas.service import AgasService
+from .futures import Future, Promise
+from .locality import Locality
+from .parcel.parcel import Parcel
+from .parcel.parcelport import LoopbackParcelport, NetworkParcelport, Parcelport
+from .parcel.serialization import deserialize, serialize
+from .threads.pool import ThreadPool
+
+__all__ = ["Runtime"]
+
+
+class Runtime:
+    """One ParalleX job over one or more virtual localities."""
+
+    def __init__(
+        self,
+        machine: str | MachineModel | None = None,
+        n_localities: int = 1,
+        workers_per_locality: int | None = None,
+        config: Config | None = None,
+    ) -> None:
+        if n_localities < 1:
+            raise RuntimeStateError("need at least one locality")
+        self.config = config or default_config()
+        if isinstance(machine, str):
+            machine = machine_lookup(machine)
+        self.machine: Optional[MachineModel] = machine
+        if workers_per_locality is None:
+            workers_per_locality = (
+                machine.spec.cores_per_node if machine is not None else 4
+            )
+        if workers_per_locality < 1:
+            raise RuntimeStateError("need at least one worker per locality")
+        self.n_localities = n_localities
+        self.workers_per_locality = workers_per_locality
+        self.agas = AgasService(n_localities)
+
+        scheduler = self.config.get_str("threads.scheduler")
+        steal_attempts = self.config.get_int("threads.steal_attempts")
+        self.localities: list[Locality] = []
+        for i in range(n_localities):
+            core_ids = None
+            if machine is not None and self.config.get_bool("threads.pin"):
+                cpuset = machine.topology.pin_compact(
+                    min(workers_per_locality, machine.spec.cores_per_node)
+                )
+                core_ids = list(cpuset)[:workers_per_locality]
+                if len(core_ids) < workers_per_locality:
+                    raise RuntimeStateError(
+                        f"{machine.name} has only {len(core_ids)} physical cores; "
+                        f"cannot pin {workers_per_locality} workers"
+                    )
+            pool = ThreadPool(
+                workers_per_locality,
+                scheduler=scheduler,
+                core_ids=core_ids,
+                name=f"locality-{i}",
+                steal_attempts=steal_attempts,
+            )
+            self.localities.append(Locality(i, pool, self))
+
+        # Parcel transport: a modelled network when we have a machine and
+        # more than one node, otherwise loopback.
+        self.parcelport: Parcelport
+        if machine is not None and n_localities > 1:
+            port = NetworkParcelport(
+                machine.interconnect,
+                n_localities,
+                overlap=(
+                    machine.calibration.network_overlap
+                    and self.config.get_bool("parcel.overlap")
+                ),
+            )
+            port.install_resolver(self._destination_of)
+            self.parcelport = port
+        else:
+            self.parcelport = LoopbackParcelport()
+        self.parcelport.install_router(self._route_parcel)
+        self._started = False
+
+    # Lifecycle --------------------------------------------------------------
+    def start(self) -> "Runtime":
+        """Boot: push the base execution context (locality 0)."""
+        if self._started:
+            raise RuntimeStateError("runtime already started")
+        # Futurized chains recurse through cooperative helping; give them
+        # headroom.
+        if sys.getrecursionlimit() < 20000:
+            sys.setrecursionlimit(20000)
+        ctx.push(
+            ctx.ExecutionContext(
+                runtime=self,
+                locality=self.localities[0],
+                pool=self.localities[0].pool,
+            )
+        )
+        self._started = True
+        return self
+
+    def stop(self) -> None:
+        """Shut down: drain remaining work and pop the base context."""
+        if not self._started:
+            raise RuntimeStateError("runtime is not started")
+        self.progress_all()
+        ctx.pop()
+        self._started = False
+
+    def __enter__(self) -> "Runtime":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._started:
+            if exc_type is None:
+                self.stop()
+            else:  # do not mask the user's exception with drain errors
+                ctx.pop()
+                self._started = False
+
+    # Queries ------------------------------------------------------------------
+    def here(self) -> Locality:
+        """The locality of the calling context."""
+        return ctx.here()
+
+    def find_all_localities(self) -> list[Locality]:
+        return list(self.localities)
+
+    def locality(self, locality_id: int) -> Locality:
+        if not 0 <= locality_id < self.n_localities:
+            raise RuntimeStateError(
+                f"locality {locality_id} out of range [0, {self.n_localities})"
+            )
+        return self.localities[locality_id]
+
+    @property
+    def makespan(self) -> float:
+        """Virtual completion time across all localities."""
+        return max(loc.pool.makespan for loc in self.localities)
+
+    # Progress engine -------------------------------------------------------------
+    def progress_until(self, predicate: Callable[[], bool]) -> None:
+        """Run queued tasks anywhere in the job until ``predicate()``.
+
+        Pools are stepped in earliest-virtual-start order, which keeps
+        cross-locality timing approximately causal.
+        """
+        while not predicate():
+            best: ThreadPool | None = None
+            best_hint = float("inf")
+            for loc in self.localities:
+                pool = loc.pool
+                if pool.pending():
+                    hint = pool.next_start_hint()
+                    if hint < best_hint:
+                        best_hint = hint
+                        best = pool
+            if best is None:
+                raise DeadlockError(
+                    "no runnable work on any locality while the awaited "
+                    "condition is unsatisfied"
+                )
+            best.step_one()
+
+    def progress_all(self) -> float:
+        """Drain every pool; returns the job makespan."""
+
+        def quiescent() -> bool:
+            return all(not loc.pool.pending() for loc in self.localities)
+
+        if not quiescent():
+            self.progress_until(quiescent)
+        return self.makespan
+
+    def run(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
+        """Run ``fn`` as the main HPX-thread on locality 0 and wait."""
+        if not self._started:
+            raise RuntimeStateError("runtime is not started; use 'with Runtime(...)'")
+        future = self.localities[0].pool.submit(
+            fn, *args, kwargs=kwargs or None, description="hpx_main"
+        )
+        self.progress_until(future.is_ready)
+        return future.get()
+
+    # Components -------------------------------------------------------------------
+    def new_component(self, component: Component, locality_id: int = 0) -> Gid:
+        """Register a component on a locality; returns its GID."""
+        if not isinstance(component, Component):
+            raise RuntimeStateError("new_component needs a Component instance")
+        gid = self.agas.register(component, home=locality_id)
+        component.bind(gid, locality_id)
+        return gid
+
+    def invoke_async(self, gid: Gid, method: str, *args: Any, **kwargs: Any) -> Future:
+        """Invoke a component action where the component lives (parcel)."""
+        self.agas.resolve(gid)  # validate the target exists up front
+        payload, by_ref = self._encode((("__component__", method, gid), args, kwargs))
+        parcel = Parcel(
+            source_locality=self._source_locality(),
+            payload=payload,
+            target_gid=gid,
+            send_time=self._send_time(),
+        )
+        parcel.by_ref_body = by_ref  # type: ignore[attr-defined]
+        return self._ship(parcel)
+
+    def invoke(self, gid: Gid, method: str, *args: Any, **kwargs: Any) -> Any:
+        return self.invoke_async(gid, method, *args, **kwargs).get()
+
+    def invoke_apply(self, gid: Gid, method: str, *args: Any, **kwargs: Any) -> None:
+        """Fire-and-forget component action (HPX ``hpx::post``).
+
+        No reply parcel travels back, so one-way notifications (halo
+        deposits, event signals) cost one transfer instead of two --
+        which matters on platforms that cannot hide network time.
+        """
+        self.agas.resolve(gid)  # validate the target exists up front
+        payload, by_ref = self._encode((("__component__", method, gid), args, kwargs))
+        parcel = Parcel(
+            source_locality=self._source_locality(),
+            payload=payload,
+            target_gid=gid,
+            send_time=self._send_time(),
+        )
+        parcel.by_ref_body = by_ref  # type: ignore[attr-defined]
+        parcel.fire_and_forget = True  # type: ignore[attr-defined]
+        parcel.reply_promise = Promise()  # type: ignore[attr-defined]
+        self.parcelport.send(parcel)
+
+    # Remote plain actions -------------------------------------------------------------
+    def async_at(
+        self, locality_id: int, fn: Callable[..., Any] | str, *args: Any, **kwargs: Any
+    ) -> Future:
+        """Run a plain action on ``locality_id``; returns a future here.
+
+        ``fn`` may be a module-level callable (shipped by reference) or a
+        registered action name.
+        """
+        self.locality(locality_id)  # validate
+        payload, by_ref = self._encode((("__plain__", fn, None), args, kwargs))
+        parcel = Parcel(
+            source_locality=self._source_locality(),
+            payload=payload,
+            target_locality=locality_id,
+            send_time=self._send_time(),
+        )
+        parcel.by_ref_body = by_ref  # type: ignore[attr-defined]
+        return self._ship(parcel)
+
+    # Parcel plumbing ---------------------------------------------------------------
+    def _encode(self, parcel_body: tuple) -> tuple[bytes, tuple | None]:
+        """Serialize a parcel body.
+
+        Returns ``(wire_bytes, by_reference_body)``.  With
+        ``parcel.serialize`` disabled (an ablation: skip the encode/decode
+        work while keeping transport semantics) the body is carried by
+        reference and only a header-sized placeholder goes "on the wire".
+        """
+        if self.config.get_bool("parcel.serialize"):
+            return serialize(parcel_body), None
+        return b"\0" * 64, parcel_body
+
+    def _source_locality(self) -> int:
+        frame = ctx.current_or_none()
+        if frame is not None and frame.locality is not None:
+            return frame.locality.locality_id
+        return 0
+
+    def _send_time(self) -> float:
+        frame = ctx.current_or_none()
+        if frame is not None and frame.pool is not None:
+            return frame.pool.now
+        return 0.0
+
+    def _destination_of(self, parcel: Parcel) -> int:
+        if parcel.target_locality is not None:
+            return parcel.target_locality
+        assert parcel.target_gid is not None
+        return self.agas.home_of(parcel.target_gid)
+
+    def _ship(self, parcel: Parcel) -> Future:
+        """Attach a reply promise and hand the parcel to the port (which
+        resolves the destination -- possibly re-resolving after migration)."""
+        promise = Promise()
+        parcel.reply_promise = promise  # type: ignore[attr-defined]
+        self.parcelport.send(parcel)
+        return promise.get_future()
+
+    def _route_parcel(self, parcel: Parcel, arrival_time: float) -> None:
+        """Decode a parcel and spawn its handler on the destination pool."""
+        destination = self._destination_of(parcel)
+        dest_pool = self.localities[destination].pool
+        promise: Promise = parcel.reply_promise  # type: ignore[attr-defined]
+        by_ref = getattr(parcel, "by_ref_body", None)
+        head, args, kwargs = by_ref if by_ref is not None else deserialize(parcel.payload)
+        kind = head[0]
+
+        def handler() -> None:
+            try:
+                if kind == "__component__":
+                    _, method, gid = head
+                    home, component = self.agas.resolve(gid)
+                    if home != destination:
+                        # The object migrated between send and delivery:
+                        # forward the parcel to its new home (AGAS routing).
+                        self._reship(parcel, promise)
+                        return
+                    self.agas.pin(gid)
+                    try:
+                        result = component.act(method, *args, **kwargs)
+                    finally:
+                        self.agas.unpin(gid)
+                elif kind == "__plain__":
+                    fn = head[1]
+                    if isinstance(fn, str):
+                        fn = get_action(fn)
+                    result = fn(*args, **kwargs)
+                else:  # pragma: no cover - defensive
+                    raise ParcelError(f"unknown parcel kind {kind!r}")
+            except BaseException as exc:  # noqa: BLE001 - forwarded
+                if getattr(parcel, "fire_and_forget", False):
+                    raise  # surface in the destination pool's failure list
+                self._reply(promise, exc, destination, parcel.source_locality, is_error=True)
+            else:
+                if not getattr(parcel, "fire_and_forget", False):
+                    self._reply(promise, result, destination, parcel.source_locality)
+
+        dest_pool.submit(
+            handler, ready_time=arrival_time, description=f"parcel#{parcel.parcel_id}"
+        )
+
+    def _reship(self, parcel: Parcel, promise: Promise) -> None:
+        parcel.send_time = self._send_time()
+        parcel.reply_promise = promise  # type: ignore[attr-defined]
+        self.parcelport.send(parcel)
+
+    def _reply(
+        self,
+        promise: Promise,
+        value: Any,
+        from_locality: int,
+        to_locality: int,
+        is_error: bool = False,
+    ) -> None:
+        """Route a result back to the caller as a (modelled) reply parcel.
+
+        The reply is materialised as a tiny task on the *source* pool
+        whose ready time includes the return-path network delay, so the
+        future's virtual ready time is honest.
+        """
+        delay = 0.0
+        if from_locality != to_locality and isinstance(self.parcelport, NetworkParcelport):
+            size = len(serialize(value)) + 64 if self.config.get_bool(
+                "parcel.serialize"
+            ) else 64
+            delay = self.parcelport.interconnect.transfer_time(size, self.n_localities)
+        send_time = self._send_time()
+        source_pool = self.localities[to_locality].pool
+
+        def deliver() -> None:
+            if is_error:
+                promise.set_exception(value)
+            else:
+                promise.set_value(value)
+
+        source_pool.submit(
+            deliver, ready_time=send_time + delay, description="parcel-reply"
+        )

@@ -1,0 +1,26 @@
+"""HPX-thread subsystem: lightweight tasks, schedulers, pools, executors."""
+
+from .hpx_thread import HpxThread, ThreadState
+from .scheduler import (
+    Scheduler,
+    FifoScheduler,
+    StaticScheduler,
+    WorkStealingScheduler,
+    make_scheduler,
+)
+from .pool import ThreadPool
+from .executor import Executor, PoolExecutor, BlockExecutor
+
+__all__ = [
+    "HpxThread",
+    "ThreadState",
+    "Scheduler",
+    "FifoScheduler",
+    "StaticScheduler",
+    "WorkStealingScheduler",
+    "make_scheduler",
+    "ThreadPool",
+    "Executor",
+    "PoolExecutor",
+    "BlockExecutor",
+]

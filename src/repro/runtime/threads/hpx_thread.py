@@ -1,0 +1,129 @@
+"""The lightweight HPX-thread (task) object.
+
+An HPX-thread is far lighter than an OS thread: a callable, a promise for
+its result, and scheduling metadata.  Here it also carries the virtual-
+time bookkeeping: when it became runnable (``ready_time``), how much
+virtual compute it has accrued (:meth:`accrue_cost`), and the latest
+completion time of any future it consumed (:meth:`note_dependency`).  Its
+virtual finish time is ``max(start, deps) + cost``.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Any, Callable
+
+from ...errors import RuntimeStateError
+from ..futures import Future, Promise
+
+__all__ = ["HpxThread", "ThreadState", "ThreadPriority"]
+
+_ids = itertools.count(1)
+
+
+class ThreadState(enum.Enum):
+    """Lifecycle of an HPX-thread (subset of HPX's state machine)."""
+
+    PENDING = "pending"  # in a scheduler queue
+    RUNNING = "running"  # executing on a worker
+    SUSPENDED = "suspended"  # blocked on an LCO, helping the scheduler
+    TERMINATED = "terminated"  # done (value or exception delivered)
+
+
+class ThreadPriority(enum.IntEnum):
+    """HPX thread priorities; higher values run first on each worker."""
+
+    LOW = 0
+    NORMAL = 1
+    HIGH = 2
+
+
+class HpxThread:
+    """One unit of user work plus its virtual-time accounting."""
+
+    __slots__ = (
+        "tid",
+        "fn",
+        "args",
+        "kwargs",
+        "description",
+        "state",
+        "priority",
+        "ready_time",
+        "start_time",
+        "finish_time",
+        "worker_id",
+        "_cost",
+        "_deps_time",
+        "_promise",
+    )
+
+    def __init__(
+        self,
+        fn: Callable[..., Any],
+        args: tuple = (),
+        kwargs: dict | None = None,
+        description: str = "",
+        ready_time: float = 0.0,
+        priority: "ThreadPriority" = None,  # type: ignore[assignment]
+    ) -> None:
+        if not callable(fn):
+            raise RuntimeStateError(f"task body must be callable, got {fn!r}")
+        self.tid = next(_ids)
+        self.fn = fn
+        self.args = args
+        self.kwargs = kwargs or {}
+        self.description = description or getattr(fn, "__name__", "task")
+        self.state = ThreadState.PENDING
+        self.priority = ThreadPriority.NORMAL if priority is None else ThreadPriority(priority)
+        self.ready_time = float(ready_time)
+        self.start_time = 0.0
+        self.finish_time = 0.0
+        self.worker_id: int | None = None
+        self._cost = 0.0
+        self._deps_time = 0.0
+        self._promise = Promise()
+
+    # Result plumbing ----------------------------------------------------------
+    def get_future(self) -> Future:
+        """Future for this task's return value."""
+        return self._promise.get_future()
+
+    @property
+    def promise(self) -> Promise:
+        return self._promise
+
+    # Virtual-time accounting ----------------------------------------------------
+    def accrue_cost(self, seconds: float) -> None:
+        """Add ``seconds`` of modelled compute time to this task."""
+        if seconds < 0:
+            raise RuntimeStateError("cost must be non-negative")
+        self._cost += seconds
+
+    def note_dependency(self, ready_time: float) -> None:
+        """Record that this task consumed a value produced at ``ready_time``."""
+        if ready_time > self._deps_time:
+            self._deps_time = ready_time
+
+    @property
+    def cost(self) -> float:
+        return self._cost
+
+    @property
+    def deps_time(self) -> float:
+        return self._deps_time
+
+    def current_virtual_time(self) -> float:
+        """The task's position on the virtual clock *right now*.
+
+        ``max(start, latest dependency) + accrued cost`` -- used for the
+        ready time of children it spawns and of promises it fulfils.
+        """
+        return max(self.start_time, self._deps_time) + self._cost
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"HpxThread(#{self.tid} {self.description!r} {self.state.value}"
+            f" cost={self._cost:.3e})"
+        )

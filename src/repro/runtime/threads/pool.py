@@ -1,0 +1,249 @@
+"""The cooperative thread pool: real execution, virtual time.
+
+Workers model pinned OS threads (one per physical core, as the paper
+configures HPX).  Execution is cooperative and single-OS-threaded, which
+makes every run deterministic; *when* things happen is tracked on a
+virtual clock:
+
+* each worker has an ``available_at`` time;
+* a task starts at ``max(worker.available_at, task.ready_time)`` and
+  finishes at ``max(start, latest dependency) + accrued cost``;
+* a blocking ``Future.get()`` suspends the task and lets the pool run
+  other work ("helping"), the cooperative analogue of HPX suspending an
+  HPX-thread and the worker picking up the next one.
+
+The pool's makespan (``max available_at``) is the modelled parallel
+execution time -- this is what the DES-mode benchmarks read.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ...errors import DeadlockError, RuntimeStateError
+from .. import context as ctx
+from ..futures import Future
+from .hpx_thread import HpxThread, ThreadState
+from .scheduler import Scheduler, WorkStealingScheduler, make_scheduler
+
+__all__ = ["ThreadPool"]
+
+
+class _Worker:
+    __slots__ = ("worker_id", "core_id", "available_at", "tasks_run", "busy_time")
+
+    def __init__(self, worker_id: int, core_id: int | None) -> None:
+        self.worker_id = worker_id
+        self.core_id = core_id
+        self.available_at = 0.0
+        self.tasks_run = 0
+        #: Attributed compute seconds executed on this worker (excludes
+        #: idle gaps and dependency waits) -- drives the idle-rate counter.
+        self.busy_time = 0.0
+
+
+class ThreadPool:
+    """A pool of virtual worker cores executing HPX-threads."""
+
+    #: Guard against unbounded mutual blocking (each nested blocking get
+    #: re-enters the scheduler loop).
+    MAX_HELP_DEPTH = 256
+
+    def __init__(
+        self,
+        n_workers: int,
+        scheduler: str | Scheduler = "work-stealing",
+        core_ids: Optional[list[int]] = None,
+        name: str = "default",
+        steal_attempts: int | None = None,
+    ) -> None:
+        if n_workers < 1:
+            raise RuntimeStateError("pool needs at least one worker")
+        if core_ids is not None and len(core_ids) != n_workers:
+            raise RuntimeStateError(
+                f"{len(core_ids)} core ids for {n_workers} workers"
+            )
+        self.name = name
+        self.workers = [
+            _Worker(i, core_ids[i] if core_ids else None) for i in range(n_workers)
+        ]
+        if isinstance(scheduler, Scheduler):
+            if scheduler.n_workers != n_workers:
+                raise RuntimeStateError("scheduler sized for a different pool")
+            self.scheduler = scheduler
+        else:
+            self.scheduler = make_scheduler(scheduler, n_workers, steal_attempts)
+        self.tasks_executed = 0
+        self.failures: list[tuple[HpxThread, BaseException]] = []
+        self._help_depth = 0
+        self._in_flight = 0
+        # Backrefs installed by Locality/Runtime so task frames carry them.
+        self.locality = None
+        self.runtime = None
+
+    # Introspection -------------------------------------------------------------
+    @property
+    def n_workers(self) -> int:
+        return len(self.workers)
+
+    @property
+    def makespan(self) -> float:
+        """Virtual time at which every worker is drained."""
+        return max(w.available_at for w in self.workers)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time from the active task's point of view."""
+        frame = ctx.current_or_none()
+        if frame is not None and frame.pool is self and frame.task is not None:
+            return frame.task.current_virtual_time()
+        return self.makespan
+
+    @property
+    def steals(self) -> int:
+        """Successful steals (work-stealing scheduler only)."""
+        sched = self.scheduler
+        return sched.steals if isinstance(sched, WorkStealingScheduler) else 0
+
+    def pending(self) -> int:
+        """Queued tasks not yet started."""
+        return len(self.scheduler)
+
+    # Submission ------------------------------------------------------------------
+    def submit(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        kwargs: dict | None = None,
+        worker: int | None = None,
+        ready_time: float | None = None,
+        description: str = "",
+        priority=None,
+    ) -> Future:
+        """Queue ``fn(*args)`` as a new HPX-thread; returns its future.
+
+        ``worker`` pins the task (block executors); ``ready_time``
+        overrides the virtual time at which it may start (parcel
+        arrivals); ``priority`` jumps scheduler queues
+        (:class:`~repro.runtime.threads.hpx_thread.ThreadPriority`).  By
+        default a task becomes ready at the submitter's current virtual
+        time with normal priority.
+        """
+        task = HpxThread(
+            fn,
+            args,
+            kwargs,
+            description=description,
+            ready_time=self.now if ready_time is None else ready_time,
+            priority=priority,
+        )
+        self.scheduler.push(task, worker_hint=worker)
+        return task.get_future()
+
+    # Execution -------------------------------------------------------------------
+    def _next(self) -> tuple[HpxThread, _Worker] | tuple[None, None]:
+        """Pick the (task, worker) pair that can start earliest."""
+        for worker in sorted(self.workers, key=lambda w: (w.available_at, w.worker_id)):
+            task = self.scheduler.acquire(worker.worker_id)
+            if task is not None:
+                return task, worker
+        return None, None
+
+    def _execute(self, task: HpxThread, worker: _Worker) -> None:
+        task.worker_id = worker.worker_id
+        task.start_time = max(worker.available_at, task.ready_time)
+        task.state = ThreadState.RUNNING
+        outer = ctx.current_or_none()
+        frame = ctx.ExecutionContext(
+            runtime=self.runtime or (outer.runtime if outer else None),
+            locality=self.locality or (outer.locality if outer else None),
+            pool=self,
+            worker_id=worker.worker_id,
+            task=task,
+        )
+        ctx.push(frame)
+        self._in_flight += 1
+        try:
+            try:
+                result = task.fn(*task.args, **task.kwargs)
+            except BaseException as exc:  # noqa: BLE001 - forwarded via future
+                task.state = ThreadState.TERMINATED
+                task.finish_time = task.current_virtual_time()
+                task.promise.set_exception(exc)
+                self.failures.append((task, exc))
+            else:
+                task.state = ThreadState.TERMINATED
+                task.finish_time = task.current_virtual_time()
+                task.promise.set_value(result)
+        finally:
+            self._in_flight -= 1
+            ctx.pop()
+        worker.available_at = max(worker.available_at, task.finish_time)
+        worker.tasks_run += 1
+        worker.busy_time += task.cost
+        self.tasks_executed += 1
+
+    def step_one(self) -> bool:
+        """Execute exactly one queued task; False if none was available."""
+        task, worker = self._next()
+        if task is None:
+            return False
+        self._execute(task, worker)
+        return True
+
+    def next_start_hint(self) -> float:
+        """Lower bound on when this pool's next task could start.
+
+        Used by the runtime to step pools in approximately causal order.
+        Returns +inf when nothing is queued.
+        """
+        if not len(self.scheduler):
+            return float("inf")
+        return min(w.available_at for w in self.workers)
+
+    def run_until(self, predicate: Callable[[], bool]) -> None:
+        """Execute queued tasks until ``predicate()`` is true.
+
+        Raises :class:`DeadlockError` when the predicate is false and no
+        runnable work remains -- every remaining task waits on an LCO
+        nobody can fire.
+        """
+        if self._help_depth >= self.MAX_HELP_DEPTH:
+            raise DeadlockError(
+                f"blocking-wait depth exceeded {self.MAX_HELP_DEPTH}; "
+                "likely an unbounded chain of mutually blocking tasks"
+            )
+        self._help_depth += 1
+        try:
+            while not predicate():
+                task, worker = self._next()
+                if task is None:
+                    raise DeadlockError(
+                        "no runnable work while tasks wait on unsatisfied "
+                        "dependencies (cooperative deadlock)"
+                    )
+                self._execute(task, worker)
+        finally:
+            self._help_depth -= 1
+
+    def run_all(self) -> float:
+        """Drain every queued task; returns the resulting makespan."""
+        while len(self.scheduler):
+            task, worker = self._next()
+            if task is None:  # pragma: no cover - scheduler invariant
+                raise DeadlockError("scheduler reports work but yields none")
+            self._execute(task, worker)
+        return self.makespan
+
+    def reset_clock(self) -> None:
+        """Rewind all workers to t=0 (between benchmark repetitions)."""
+        if len(self.scheduler) or self._in_flight:
+            raise RuntimeStateError("cannot reset clock while work is pending")
+        for worker in self.workers:
+            worker.available_at = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"ThreadPool({self.name!r}, workers={self.n_workers}, "
+            f"scheduler={self.scheduler.name}, makespan={self.makespan:.3e})"
+        )

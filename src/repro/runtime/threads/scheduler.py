@@ -1,0 +1,197 @@
+"""Task schedulers: FIFO, static, and work-stealing.
+
+HPX's default scheduler keeps one lock-free deque per worker and steals
+when a worker runs dry; ``schedule(static)``-style executors bind chunks
+to workers with no stealing.  The cooperative analogues here preserve
+the *placement decisions* (which worker runs which task, and when a
+steal happens), which is what matters for the virtual-time model; they
+need no locks because execution is single-threaded.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from ...errors import ConfigError, RuntimeStateError
+from .hpx_thread import HpxThread, ThreadPriority
+
+__all__ = [
+    "Scheduler",
+    "FifoScheduler",
+    "StaticScheduler",
+    "WorkStealingScheduler",
+    "make_scheduler",
+]
+
+#: Priorities in service order: HIGH tasks always run before NORMAL/LOW
+#: on the same worker (HPX's priority-queue scheduler behaviour).
+_PRIORITIES = (ThreadPriority.HIGH, ThreadPriority.NORMAL, ThreadPriority.LOW)
+
+
+class _PriorityDeques:
+    """A bundle of one deque per priority level."""
+
+    __slots__ = ("_deques",)
+
+    def __init__(self) -> None:
+        self._deques = {priority: deque() for priority in _PRIORITIES}
+
+    def push(self, task: HpxThread) -> None:
+        self._deques[task.priority].append(task)
+
+    def pop_front(self) -> Optional[HpxThread]:
+        """Owner pop: highest priority first, FIFO within a level."""
+        for priority in _PRIORITIES:
+            queue = self._deques[priority]
+            if queue:
+                return queue.popleft()
+        return None
+
+    def pop_back(self) -> Optional[HpxThread]:
+        """Thief pop: highest priority first, oldest within a level."""
+        for priority in _PRIORITIES:
+            queue = self._deques[priority]
+            if queue:
+                return queue.pop()
+        return None
+
+    def __len__(self) -> int:
+        return sum(len(q) for q in self._deques.values())
+
+
+class Scheduler:
+    """Interface: queue tasks, hand them to workers."""
+
+    name = "abstract"
+
+    def __init__(self, n_workers: int) -> None:
+        if n_workers < 1:
+            raise RuntimeStateError("scheduler needs at least one worker")
+        self.n_workers = n_workers
+
+    def push(self, task: HpxThread, worker_hint: Optional[int] = None) -> None:
+        """Queue a task, optionally bound/hinted to a worker."""
+        raise NotImplementedError
+
+    def acquire(self, worker_id: int) -> Optional[HpxThread]:
+        """Get a task for ``worker_id`` or None if it can find none."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def _check_worker(self, worker_id: Optional[int]) -> None:
+        if worker_id is not None and not 0 <= worker_id < self.n_workers:
+            raise RuntimeStateError(
+                f"worker {worker_id} out of range [0, {self.n_workers})"
+            )
+
+
+class FifoScheduler(Scheduler):
+    """One global priority-FIFO queue; worker hints are ignored."""
+
+    name = "fifo"
+
+    def __init__(self, n_workers: int) -> None:
+        super().__init__(n_workers)
+        self._queue = _PriorityDeques()
+
+    def push(self, task: HpxThread, worker_hint: Optional[int] = None) -> None:
+        self._check_worker(worker_hint)
+        self._queue.push(task)
+
+    def acquire(self, worker_id: int) -> Optional[HpxThread]:
+        self._check_worker(worker_id)
+        return self._queue.pop_front()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class StaticScheduler(Scheduler):
+    """Per-worker FIFO queues, no stealing (OpenMP ``schedule(static)``).
+
+    Unhinted tasks are distributed round-robin.  A worker that drains its
+    queue idles even if others are loaded -- exactly the imbalance the
+    work-stealing ablation benchmark measures.
+    """
+
+    name = "static"
+
+    def __init__(self, n_workers: int) -> None:
+        super().__init__(n_workers)
+        self._queues = [_PriorityDeques() for _ in range(n_workers)]
+        self._rr = 0
+
+    def push(self, task: HpxThread, worker_hint: Optional[int] = None) -> None:
+        self._check_worker(worker_hint)
+        if worker_hint is None:
+            worker_hint = self._rr
+            self._rr = (self._rr + 1) % self.n_workers
+        task.worker_id = worker_hint
+        self._queues[worker_hint].push(task)
+
+    def acquire(self, worker_id: int) -> Optional[HpxThread]:
+        self._check_worker(worker_id)
+        return self._queues[worker_id].pop_front()
+
+    def __len__(self) -> int:
+        return sum(len(q) for q in self._queues)
+
+
+class WorkStealingScheduler(Scheduler):
+    """Per-worker deques with deterministic round-robin stealing.
+
+    Owners pop FIFO from the front of their deque (HPX default for
+    fairness); thieves steal from the back, which takes the oldest work a
+    victim queued -- the classic contention-minimising split.
+    """
+
+    name = "work-stealing"
+
+    def __init__(self, n_workers: int, steal_attempts: int | None = None) -> None:
+        super().__init__(n_workers)
+        self._queues = [_PriorityDeques() for _ in range(n_workers)]
+        self._rr = 0
+        self.steal_attempts = (
+            n_workers - 1 if steal_attempts is None else min(steal_attempts, n_workers - 1)
+        )
+        self.steals = 0  # statistic: successful steals
+
+    def push(self, task: HpxThread, worker_hint: Optional[int] = None) -> None:
+        self._check_worker(worker_hint)
+        if worker_hint is None:
+            worker_hint = self._rr
+            self._rr = (self._rr + 1) % self.n_workers
+        self._queues[worker_hint].push(task)
+
+    def acquire(self, worker_id: int) -> Optional[HpxThread]:
+        self._check_worker(worker_id)
+        task = self._queues[worker_id].pop_front()
+        if task is not None:
+            task.worker_id = worker_id
+            return task
+        # Steal round-robin from the next victims.
+        for k in range(1, self.steal_attempts + 1):
+            victim = (worker_id + k) % self.n_workers
+            task = self._queues[victim].pop_back()
+            if task is not None:
+                task.worker_id = worker_id
+                self.steals += 1
+                return task
+        return None
+
+    def __len__(self) -> int:
+        return sum(len(q) for q in self._queues)
+
+
+def make_scheduler(name: str, n_workers: int, steal_attempts: int | None = None) -> Scheduler:
+    """Factory keyed by the ``threads.scheduler`` config value."""
+    if name == "fifo":
+        return FifoScheduler(n_workers)
+    if name == "static":
+        return StaticScheduler(n_workers)
+    if name == "work-stealing":
+        return WorkStealingScheduler(n_workers, steal_attempts)
+    raise ConfigError(f"unknown scheduler {name!r}")

@@ -1,0 +1,18 @@
+"""Discrete-event simulation kernel.
+
+The runtime executes real Python callables, but *time* is virtual: cores,
+memory controllers, and network links are resources whose occupancy is
+tracked on a simulated clock.  This package provides the primitives:
+
+* :class:`~repro.sim.clock.VirtualClock` -- a monotonic virtual clock,
+* :class:`~repro.sim.events.EventQueue` -- a stable priority queue of
+  timestamped events,
+* :class:`~repro.sim.engine.SimulationEngine` -- the event loop binding the
+  two together.
+"""
+
+from .clock import VirtualClock
+from .events import Event, EventQueue
+from .engine import SimulationEngine
+
+__all__ = ["VirtualClock", "Event", "EventQueue", "SimulationEngine"]

@@ -1,0 +1,57 @@
+"""Monotonic virtual clock used by the discrete-event engine."""
+
+from __future__ import annotations
+
+from ..errors import SimulationError
+
+__all__ = ["VirtualClock"]
+
+
+class VirtualClock:
+    """A monotonically non-decreasing clock measured in virtual seconds.
+
+    The clock only moves when the simulation engine (or a resource model)
+    advances it; wall-clock time never leaks in, which keeps every run
+    bit-for-bit reproducible.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0.0:
+            raise SimulationError(f"clock cannot start at negative time {start!r}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Move the clock forward to absolute time ``t``.
+
+        Raises :class:`SimulationError` if ``t`` lies in the past -- a DES
+        engine must never process events out of order.
+        """
+        if t < self._now:
+            raise SimulationError(
+                f"cannot move clock backwards: now={self._now!r}, requested={t!r}"
+            )
+        self._now = float(t)
+        return self._now
+
+    def advance_by(self, dt: float) -> float:
+        """Move the clock forward by ``dt`` seconds (``dt >= 0``)."""
+        if dt < 0.0:
+            raise SimulationError(f"cannot advance clock by negative delta {dt!r}")
+        self._now += float(dt)
+        return self._now
+
+    def reset(self, start: float = 0.0) -> None:
+        """Reset to ``start`` (used between benchmark repetitions)."""
+        if start < 0.0:
+            raise SimulationError(f"clock cannot reset to negative time {start!r}")
+        self._now = float(start)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"VirtualClock(now={self._now:.9f})"

@@ -1,0 +1,111 @@
+"""The discrete-event simulation engine.
+
+A thin, deterministic event loop: events are popped in ``(time, seq)``
+order, the virtual clock is advanced to the event time, and the event's
+callback runs.  Callbacks may schedule further events (at or after the
+current time).  ``run`` drains the queue; ``run_until`` stops at a deadline.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..errors import SimulationError
+from .clock import VirtualClock
+from .events import Event, EventQueue
+
+__all__ = ["SimulationEngine"]
+
+
+class SimulationEngine:
+    """Deterministic discrete-event loop over a :class:`VirtualClock`."""
+
+    def __init__(self, clock: VirtualClock | None = None) -> None:
+        self.clock = clock if clock is not None else VirtualClock()
+        self.queue = EventQueue()
+        self._running = False
+        self._events_fired = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.clock.now
+
+    @property
+    def events_fired(self) -> int:
+        """Total number of events executed so far (statistics/debugging)."""
+        return self._events_fired
+
+    def schedule_at(self, time: float, action: Callable[[], Any]) -> Event:
+        """Schedule ``action`` at absolute virtual ``time`` (>= now)."""
+        if time < self.clock.now:
+            raise SimulationError(
+                f"cannot schedule into the past: now={self.clock.now!r}, at={time!r}"
+            )
+        return self.queue.push(time, action)
+
+    def schedule_after(self, delay: float, action: Callable[[], Any]) -> Event:
+        """Schedule ``action`` ``delay`` seconds from now (``delay >= 0``)."""
+        if delay < 0.0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.queue.push(self.clock.now + delay, action)
+
+    def cancel(self, event: Event) -> bool:
+        """Cancel a pending event."""
+        return self.queue.cancel(event)
+
+    def step(self) -> bool:
+        """Fire the single earliest event. Returns False if queue was empty."""
+        if not self.queue:
+            return False
+        event = self.queue.pop()
+        self.clock.advance_to(event.time)
+        self._events_fired += 1
+        event.fire()
+        return True
+
+    def run(self, max_events: int | None = None) -> float:
+        """Drain the event queue; returns the final virtual time.
+
+        ``max_events`` guards against runaway self-rescheduling loops.
+        """
+        if self._running:
+            raise SimulationError("engine is already running (re-entrant run)")
+        self._running = True
+        try:
+            fired = 0
+            while self.queue:
+                self.step()
+                fired += 1
+                if max_events is not None and fired >= max_events:
+                    break
+            return self.clock.now
+        finally:
+            self._running = False
+
+    def run_until(self, deadline: float) -> float:
+        """Fire events with ``time <= deadline``; advance the clock to it.
+
+        The clock ends exactly at ``deadline`` even if no event fires there,
+        matching the usual DES ``run_until`` contract.
+        """
+        if deadline < self.clock.now:
+            raise SimulationError(
+                f"deadline {deadline!r} is in the past (now={self.clock.now!r})"
+            )
+        if self._running:
+            raise SimulationError("engine is already running (re-entrant run)")
+        self._running = True
+        try:
+            while self.queue and self.queue.peek_time() <= deadline:
+                self.step()
+            self.clock.advance_to(deadline)
+            return self.clock.now
+        finally:
+            self._running = False
+
+    def reset(self) -> None:
+        """Clear all pending events and rewind the clock to zero."""
+        self.queue.clear()
+        self.clock.reset()
+        self._events_fired = 0

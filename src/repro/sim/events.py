@@ -1,0 +1,98 @@
+"""Stable timestamped event queue.
+
+Events at equal times fire in insertion order (FIFO), which makes the
+engine deterministic without relying on comparison of callback objects.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..errors import SimulationError
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """A scheduled callback.
+
+    ``seq`` breaks ties among events with equal ``time`` so ordering is the
+    insertion order, never an arbitrary object comparison.
+    """
+
+    time: float
+    seq: int
+    action: Callable[[], Any] = field(compare=False)
+
+    def fire(self) -> Any:
+        return self.action()
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` ordered by ``(time, seq)``.
+
+    Supports cancellation by tombstoning: ``cancel`` marks the event dead
+    (O(1) via a pending-set) and ``pop`` skips dead entries lazily.
+    """
+
+    __slots__ = ("_heap", "_counter", "_dead", "_pending")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Event]] = []
+        self._counter = itertools.count()
+        self._dead: set[int] = set()
+        self._pending: set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def __bool__(self) -> bool:
+        return bool(self._pending)
+
+    def push(self, time: float, action: Callable[[], Any]) -> Event:
+        """Schedule ``action`` at absolute virtual ``time``; returns a handle."""
+        if time < 0.0:
+            raise SimulationError(f"cannot schedule event at negative time {time!r}")
+        event = Event(time=float(time), seq=next(self._counter), action=action)
+        heapq.heappush(self._heap, (event.time, event.seq, event))
+        self._pending.add(event.seq)
+        return event
+
+    def cancel(self, event: Event) -> bool:
+        """Cancel a scheduled event. Returns False if already fired/cancelled."""
+        if event.seq not in self._pending:
+            return False
+        self._pending.discard(event.seq)
+        self._dead.add(event.seq)
+        return True
+
+    def peek_time(self) -> float:
+        """Time of the next live event (raises if empty)."""
+        self._drop_dead()
+        if not self._heap:
+            raise SimulationError("peek on empty event queue")
+        return self._heap[0][0]
+
+    def pop(self) -> Event:
+        """Remove and return the earliest live event (raises if empty)."""
+        self._drop_dead()
+        if not self._heap:
+            raise SimulationError("pop on empty event queue")
+        _, seq, event = heapq.heappop(self._heap)
+        self._pending.discard(seq)
+        return event
+
+    def _drop_dead(self) -> None:
+        heap = self._heap
+        while heap and heap[0][1] in self._dead:
+            _, seq, _ = heapq.heappop(heap)
+            self._dead.discard(seq)
+
+    def clear(self) -> None:
+        self._heap.clear()
+        self._dead.clear()
+        self._pending.clear()

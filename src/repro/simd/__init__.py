@@ -1,0 +1,38 @@
+"""NSIMD-like portable SIMD layer.
+
+The paper vectorizes its 2D stencil with NSIMD ``pack`` types so one
+generic kernel (Listing 2) runs on AVX2, NEON, and SVE.  This package
+reproduces that programming model in Python:
+
+* :mod:`~repro.simd.isa` -- ISA descriptors.  SVE is *vector-length
+  agnostic*: the lane count is fixed at :class:`~repro.simd.isa.SveIsa`
+  construction, mirroring GCC's ``-msve-vector-bits`` compile-time choice
+  the paper had to make.
+* :mod:`~repro.simd.pack` -- the ``pack`` value type with arithmetic,
+  loads/stores and lane shuffles.
+* :mod:`~repro.simd.layout` -- the Virtual Node Scheme data layout
+  ([Boyle et al., Grid]) used by Listing 2, including the halo shuffle.
+* :mod:`~repro.simd.typetraits` -- the ``get_type`` meta-class analogue
+  used at Listing 2 line 17 to tell scalar containers from pack
+  containers.
+"""
+
+from .isa import Isa, FixedIsa, SveIsa, ScalarIsa, AVX2, NEON, isa_for, sve
+from .pack import Pack
+from .layout import VnsLayout
+from .typetraits import is_pack_container, element_kind
+
+__all__ = [
+    "Isa",
+    "FixedIsa",
+    "SveIsa",
+    "ScalarIsa",
+    "AVX2",
+    "NEON",
+    "isa_for",
+    "sve",
+    "Pack",
+    "VnsLayout",
+    "is_pack_container",
+    "element_kind",
+]

@@ -1,0 +1,155 @@
+"""NSIMD-style free-function API over packs.
+
+NSIMD exposes its operations as free functions (``nsimd::add(a, b)``,
+``nsimd::loadu<pack<T>>(p)``, ``nsimd::addv`` ...) rather than methods;
+generic C++ kernels are written against that surface.  This module
+mirrors it so ported kernels read like their C++ originals, and adds
+the masked-select (``if_else1``) NSIMD provides for branch-free code.
+
+All functions are thin, validated wrappers over :class:`Pack`; the
+tests pin each one to its NumPy ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import SimdError
+from .isa import Isa
+from .pack import Pack
+
+__all__ = [
+    "len_",
+    "set1",
+    "loadu",
+    "storeu",
+    "add",
+    "sub",
+    "mul",
+    "div",
+    "fma",
+    "neg",
+    "min_",
+    "max_",
+    "abs_",
+    "sqrt",
+    "addv",
+    "shuffle",
+    "if_else1",
+    "cmp_lt",
+    "cmp_le",
+    "cmp_eq",
+]
+
+
+def len_(isa: Isa, dtype=np.float64) -> int:
+    """Lane count of a pack (NSIMD ``len``)."""
+    return isa.lanes(np.dtype(dtype))
+
+
+def set1(isa: Isa, value: float, dtype=np.float64) -> Pack:
+    """Broadcast a scalar to all lanes."""
+    return Pack.set1(isa, value, dtype)
+
+
+def loadu(isa: Isa, buffer: np.ndarray, offset: int = 0) -> Pack:
+    """Unaligned load of one register from ``buffer[offset:]``."""
+    return Pack.load(isa, buffer, offset)
+
+
+def storeu(buffer: np.ndarray, pack: Pack, offset: int = 0) -> None:
+    """Unaligned store of all lanes to ``buffer[offset:]``."""
+    pack.store(buffer, offset)
+
+
+def add(a: Pack, b: Pack | float) -> Pack:
+    return a + b
+
+
+def sub(a: Pack, b: Pack | float) -> Pack:
+    return a - b
+
+
+def mul(a: Pack, b: Pack | float) -> Pack:
+    return a * b
+
+
+def div(a: Pack, b: Pack | float) -> Pack:
+    return a / b
+
+
+def fma(a: Pack, b: Pack | float, c: Pack | float) -> Pack:
+    """Fused multiply-add ``a * b + c``."""
+    return a.fma(b, c)
+
+
+def neg(a: Pack) -> Pack:
+    return -a
+
+
+def min_(a: Pack, b: Pack | float) -> Pack:
+    return a.min(b)
+
+
+def max_(a: Pack, b: Pack | float) -> Pack:
+    return a.max(b)
+
+
+def abs_(a: Pack) -> Pack:
+    return a.abs()
+
+
+def sqrt(a: Pack) -> Pack:
+    return a.sqrt()
+
+
+def addv(a: Pack) -> float:
+    """Horizontal sum (NSIMD ``addv``)."""
+    return a.hadd()
+
+
+def shuffle(a: Pack, indices: Sequence[int]) -> Pack:
+    return a.shuffle(indices)
+
+
+def _mask_of(condition: Sequence[bool], pack: Pack) -> np.ndarray:
+    mask = np.asarray(list(condition), dtype=bool)
+    if mask.shape != (pack.lanes,):
+        raise SimdError(
+            f"mask of {mask.shape[0] if mask.ndim else 0} lanes for a "
+            f"{pack.lanes}-lane pack"
+        )
+    return mask
+
+
+def if_else1(condition: Sequence[bool], a: Pack, b: Pack) -> Pack:
+    """Per-lane select: ``a`` where the mask is true, else ``b``
+    (NSIMD ``if_else1``)."""
+    if a.lanes != b.lanes or a.dtype != b.dtype:
+        raise SimdError("if_else1 operands must match in lanes and dtype")
+    mask = _mask_of(condition, a)
+    return Pack(a.isa, np.where(mask, a.to_array(), b.to_array()))
+
+
+def _compare(a: Pack, b: Pack | float, op) -> list[bool]:
+    rhs = b.to_array() if isinstance(b, Pack) else np.full(a.lanes, b, dtype=a.dtype)
+    if isinstance(b, Pack) and (b.lanes != a.lanes or b.dtype != a.dtype):
+        raise SimdError("comparison operands must match in lanes and dtype")
+    return [bool(v) for v in op(a.to_array(), rhs)]
+
+
+def cmp_lt(a: Pack, b: Pack | float) -> list[bool]:
+    """Per-lane ``a < b`` mask."""
+    return _compare(a, b, np.less)
+
+
+def cmp_le(a: Pack, b: Pack | float) -> list[bool]:
+    """Per-lane ``a <= b`` mask."""
+    return _compare(a, b, np.less_equal)
+
+
+def cmp_eq(a: Pack, b: Pack | float) -> list[bool]:
+    """Per-lane ``a == b`` mask."""
+    return _compare(a, b, np.equal)

@@ -1,0 +1,218 @@
+"""The NSIMD ``pack`` value type.
+
+A :class:`Pack` is a small fixed-length vector of float32/float64 lanes
+with value semantics: every operation returns a new pack, loads/stores
+move lane-count-sized slabs, and the lane count is dictated by an
+:class:`~repro.simd.isa.Isa`.  Backed by a NumPy array but deliberately
+*not* a NumPy subclass -- like NSIMD, the pack API is the whole surface,
+so kernels written against it are portable across ISAs (and testable
+against their scalar twins).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+from ..errors import LaneMismatchError, SimdError
+from .isa import Isa
+
+__all__ = ["Pack"]
+
+
+class Pack:
+    """An immutable SIMD register value."""
+
+    __slots__ = ("_isa", "_data")
+
+    def __init__(self, isa: Isa, data: np.ndarray) -> None:
+        lanes = isa.lanes(data.dtype)
+        if data.ndim != 1 or data.shape[0] != lanes:
+            raise SimdError(
+                f"pack for {isa.name}/{data.dtype} needs shape ({lanes},), "
+                f"got {data.shape}"
+            )
+        self._isa = isa
+        self._data = np.array(data, copy=True)
+        self._data.flags.writeable = False
+
+    # Constructors -----------------------------------------------------------
+    @classmethod
+    def set1(cls, isa: Isa, value: float, dtype=np.float64) -> "Pack":
+        """Broadcast ``value`` to every lane (NSIMD ``set1``)."""
+        lanes = isa.lanes(np.dtype(dtype))
+        return cls(isa, np.full(lanes, value, dtype=dtype))
+
+    @classmethod
+    def zero(cls, isa: Isa, dtype=np.float64) -> "Pack":
+        return cls.set1(isa, 0.0, dtype)
+
+    @classmethod
+    def iota(cls, isa: Isa, dtype=np.float64) -> "Pack":
+        """Lane indices 0..L-1 (NSIMD ``iota``)."""
+        lanes = isa.lanes(np.dtype(dtype))
+        return cls(isa, np.arange(lanes, dtype=dtype))
+
+    @classmethod
+    def load(cls, isa: Isa, buffer: np.ndarray, offset: int = 0) -> "Pack":
+        """Load one register's worth of contiguous elements (``loadu``)."""
+        lanes = isa.lanes(buffer.dtype)
+        if offset < 0 or offset + lanes > buffer.shape[0]:
+            raise SimdError(
+                f"load of {lanes} lanes at offset {offset} overruns buffer "
+                f"of {buffer.shape[0]}"
+            )
+        return cls(isa, np.asarray(buffer[offset : offset + lanes]))
+
+    def store(self, buffer: np.ndarray, offset: int = 0) -> None:
+        """Store all lanes to contiguous memory (``storeu``)."""
+        lanes = self.lanes
+        if offset < 0 or offset + lanes > buffer.shape[0]:
+            raise SimdError(
+                f"store of {lanes} lanes at offset {offset} overruns buffer "
+                f"of {buffer.shape[0]}"
+            )
+        if buffer.dtype != self.dtype:
+            raise SimdError(f"store dtype mismatch: {buffer.dtype} != {self.dtype}")
+        buffer[offset : offset + lanes] = self._data
+
+    # Introspection ------------------------------------------------------------
+    @property
+    def isa(self) -> Isa:
+        return self._isa
+
+    @property
+    def lanes(self) -> int:
+        return self._data.shape[0]
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._data.dtype
+
+    def to_array(self) -> np.ndarray:
+        """Copy out the lane values."""
+        return np.array(self._data, copy=True)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self._data.tolist())
+
+    def __len__(self) -> int:
+        return self.lanes
+
+    def lane(self, i: int) -> float:
+        if not 0 <= i < self.lanes:
+            raise SimdError(f"lane {i} out of range [0, {self.lanes})")
+        return float(self._data[i])
+
+    # Arithmetic ----------------------------------------------------------------
+    def _coerce(self, other: "Pack | float | int") -> np.ndarray:
+        if isinstance(other, Pack):
+            if other.lanes != self.lanes:
+                raise LaneMismatchError(
+                    f"lane mismatch: {self.lanes} vs {other.lanes}"
+                )
+            if other.dtype != self.dtype:
+                raise SimdError(f"dtype mismatch: {self.dtype} vs {other.dtype}")
+            return other._data
+        if isinstance(other, (int, float, np.floating)):
+            return np.full(self.lanes, other, dtype=self.dtype)
+        raise SimdError(f"cannot combine pack with {type(other).__name__}")
+
+    def _binary(self, other: "Pack | float | int", op: Callable) -> "Pack":
+        rhs = self._coerce(other)
+        return Pack(self._isa, op(self._data, rhs).astype(self.dtype, copy=False))
+
+    def __add__(self, other):  # noqa: D105
+        return self._binary(other, np.add)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):  # noqa: D105
+        return self._binary(other, np.subtract)
+
+    def __rsub__(self, other):  # noqa: D105
+        rhs = self._coerce(other)
+        return Pack(self._isa, (rhs - self._data).astype(self.dtype, copy=False))
+
+    def __mul__(self, other):  # noqa: D105
+        return self._binary(other, np.multiply)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):  # noqa: D105
+        return self._binary(other, np.divide)
+
+    def __neg__(self):  # noqa: D105
+        return Pack(self._isa, -self._data)
+
+    def fma(self, b: "Pack | float", c: "Pack | float") -> "Pack":
+        """Fused multiply-add: ``self * b + c`` (one instruction on FMA ISAs)."""
+        bb = self._coerce(b)
+        cc = self._coerce(c)
+        return Pack(self._isa, (self._data * bb + cc).astype(self.dtype, copy=False))
+
+    def min(self, other: "Pack | float") -> "Pack":
+        return self._binary(other, np.minimum)
+
+    def max(self, other: "Pack | float") -> "Pack":
+        return self._binary(other, np.maximum)
+
+    def abs(self) -> "Pack":
+        return Pack(self._isa, np.abs(self._data))
+
+    def sqrt(self) -> "Pack":
+        return Pack(self._isa, np.sqrt(self._data))
+
+    # Horizontal / permute ---------------------------------------------------
+    def hadd(self) -> float:
+        """Horizontal sum of all lanes (NSIMD ``addv``)."""
+        return float(self._data.sum(dtype=np.float64))
+
+    def shuffle(self, indices: Sequence[int]) -> "Pack":
+        """Arbitrary lane permute/gather (``tbl``/``permute``)."""
+        idx = list(indices)
+        if len(idx) != self.lanes:
+            raise LaneMismatchError(
+                f"shuffle needs {self.lanes} indices, got {len(idx)}"
+            )
+        if any(not 0 <= i < self.lanes for i in idx):
+            raise SimdError(f"shuffle index out of range in {idx}")
+        return Pack(self._isa, self._data[idx])
+
+    def slide_left(self, fill: float = 0.0) -> "Pack":
+        """Shift lanes toward index 0; the top lane is ``fill``.
+
+        (``ext``/``palignr`` with a neighbour of constants.)
+        """
+        out = np.empty_like(self._data)
+        out[:-1] = self._data[1:]
+        out[-1] = fill
+        return Pack(self._isa, out)
+
+    def slide_right(self, fill: float = 0.0) -> "Pack":
+        """Shift lanes away from index 0; lane 0 becomes ``fill``."""
+        out = np.empty_like(self._data)
+        out[1:] = self._data[:-1]
+        out[0] = fill
+        return Pack(self._isa, out)
+
+    # Comparison -----------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Pack):
+            return NotImplemented
+        return (
+            self.lanes == other.lanes
+            and self.dtype == other.dtype
+            and bool(np.array_equal(self._data, other._data))
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.dtype.str, self._data.tobytes()))
+
+    def allclose(self, other: "Pack", rtol: float = 1e-6) -> bool:
+        self._coerce(other)
+        return bool(np.allclose(self._data, other._data, rtol=rtol))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Pack<{self._isa.name},{self.dtype}>({self._data.tolist()})"

@@ -1,0 +1,68 @@
+"""Type-trait helpers (the paper's ``get_type`` meta-class analogue).
+
+Listing 2 line 17 uses ``std::is_same`` plus a custom ``get_type``
+meta-class to ask, of a generic container, "are your elements scalars or
+NSIMD packs?" and to recover the underlying arithmetic type either way.
+These helpers answer the same questions for Python containers of floats
+or :class:`~repro.simd.pack.Pack` values, so generic kernels can branch
+on the answer exactly like the C++ does.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..errors import SimdError
+from .pack import Pack
+
+__all__ = ["is_pack", "is_pack_container", "element_kind", "underlying_dtype"]
+
+
+def is_pack(value: Any) -> bool:
+    """Is ``value`` a SIMD pack (vs a scalar)?"""
+    return isinstance(value, Pack)
+
+
+def is_pack_container(container: Sequence[Any] | np.ndarray) -> bool:
+    """Is this a container of packs (Listing 2's ``is_same`` test)?
+
+    Empty containers and NumPy arrays are scalar containers; mixed
+    containers are rejected -- a generic kernel must see one layout.
+    """
+    if isinstance(container, np.ndarray):
+        return False
+    items = list(container)
+    if not items:
+        return False
+    kinds = {isinstance(item, Pack) for item in items}
+    if len(kinds) != 1:
+        raise SimdError("container mixes packs and scalars")
+    return kinds.pop()
+
+
+def element_kind(container: Sequence[Any] | np.ndarray) -> str:
+    """``"pack"`` or ``"scalar"`` -- what a generic kernel dispatches on."""
+    return "pack" if is_pack_container(container) else "scalar"
+
+
+def underlying_dtype(container: Sequence[Any] | np.ndarray) -> np.dtype:
+    """The arithmetic element type, looking through packs (``get_type``)."""
+    if isinstance(container, np.ndarray):
+        dt = container.dtype
+        if dt.type not in (np.float32, np.float64):
+            raise SimdError(f"unsupported element type {dt}")
+        return dt
+    items = list(container)
+    if not items:
+        raise SimdError("cannot infer dtype of an empty container")
+    first = items[0]
+    if isinstance(first, Pack):
+        dtypes = {item.dtype for item in items if isinstance(item, Pack)}
+        if len(dtypes) != 1 or len(items) != sum(isinstance(i, Pack) for i in items):
+            raise SimdError("pack container mixes dtypes or kinds")
+        return dtypes.pop()
+    if isinstance(first, (float, np.floating)):
+        return np.dtype(type(first)) if isinstance(first, np.floating) else np.dtype(np.float64)
+    raise SimdError(f"cannot infer dtype from element of type {type(first).__name__}")

@@ -1,0 +1,323 @@
+"""1D heat-equation solvers (paper Sec. IV-A, V-A, VII-A).
+
+Three implementations of the 3-point stencil of Eq. (3), all with
+periodic boundaries (as in the canonical HPX ``1d_stencil`` the paper's
+benchmark derives from):
+
+* :func:`heat1d_reference` -- plain NumPy, the numerical ground truth;
+* :class:`Heat1DPartitioned` -- shared-memory solver structured exactly
+  like Listing 1: the grid is cut into ``nlp`` partitions and each time
+  step is an ``hpx::parallel::for_each`` over partitions;
+* :class:`DistributedHeat1D` -- the fully distributed, *futurized*
+  solver used for Fig 3: one :class:`Heat1DPartition` component per
+  locality slot, halo values travelling as parcels, and a per-partition
+  dataflow chain so network latencies hide under compute (no global
+  barrier anywhere).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..runtime import context as ctx
+from ..runtime.agas.component import Component
+from ..runtime.algorithms import ExecutionPolicy, for_each, seq
+from ..runtime.futures import Future, Promise, make_ready_future, when_all
+from ..runtime.lco.dataflow import dataflow
+from ..runtime.runtime import Runtime
+from .grid import Layout  # noqa: F401  (re-exported type alias)
+
+__all__ = [
+    "Heat1DParams",
+    "heat1d_reference",
+    "Heat1DPartitioned",
+    "Heat1DPartition",
+    "DistributedHeat1D",
+]
+
+
+@dataclass(frozen=True)
+class Heat1DParams:
+    """Discretisation of Eq. (2): ``du/dt = alpha * d2u/dx2``."""
+
+    alpha: float = 1.0
+    dt: float = 4.0e-5
+    dx: float = 1.0e-2
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0 or self.dt <= 0 or self.dx <= 0:
+            raise ValidationError("alpha, dt and dx must all be positive")
+
+    @property
+    def k(self) -> float:
+        """The stencil coefficient ``alpha * dt / dx^2`` of Eq. (3)."""
+        return self.alpha * self.dt / (self.dx * self.dx)
+
+    def check_stability(self) -> None:
+        """Explicit Euler needs ``k <= 1/2`` or the solution blows up."""
+        if self.k > 0.5:
+            raise ValidationError(
+                f"unstable discretisation: alpha*dt/dx^2 = {self.k:.4g} > 0.5"
+            )
+
+
+def heat1d_reference(u0: np.ndarray, steps: int, params: Heat1DParams) -> np.ndarray:
+    """Ground-truth periodic 3-point stencil, vectorized NumPy."""
+    if steps < 0:
+        raise ValidationError("steps must be non-negative")
+    u = np.array(u0, dtype=np.float64, copy=True)
+    k = params.k
+    for _ in range(steps):
+        u = u + k * (np.roll(u, 1) - 2.0 * u + np.roll(u, -1))
+    return u
+
+
+def _update_interior(u: np.ndarray, left: float, right: float, k: float) -> np.ndarray:
+    """One stencil step over a chunk given its two halo values."""
+    new = np.empty_like(u)
+    if u.shape[0] == 1:
+        new[0] = u[0] + k * (left - 2.0 * u[0] + right)
+        return new
+    new[1:-1] = u[1:-1] + k * (u[:-2] - 2.0 * u[1:-1] + u[2:])
+    new[0] = u[0] + k * (left - 2.0 * u[0] + u[1])
+    new[-1] = u[-1] + k * (u[-2] - 2.0 * u[-1] + right)
+    return new
+
+
+class Heat1DPartitioned:
+    """Shared-memory solver in the shape of Listing 1.
+
+    The grid is a flat array of ``nx`` points cut into ``nlp``
+    partitions; each time step applies ``stencil_update`` to every
+    partition through ``for_each(policy, range(nlp), ...)``.  Periodic
+    halos come straight from the shared array (no messages on one node).
+    """
+
+    def __init__(self, nx: int, nlp: int, params: Heat1DParams | None = None) -> None:
+        if nlp < 1:
+            raise ValidationError("need at least one partition")
+        if nx < nlp or nx % nlp != 0:
+            raise ValidationError(
+                f"{nx} points do not split evenly into {nlp} partitions"
+            )
+        self.nx = nx
+        self.nlp = nlp
+        self.local_nx = nx // nlp
+        self.params = params or Heat1DParams()
+        self.params.check_stability()
+        self._u = [np.zeros(nx), np.zeros(nx)]
+        self.steps_done = 0
+
+    def initialize(self, u0: np.ndarray) -> None:
+        u0 = np.asarray(u0, dtype=np.float64)
+        if u0.shape != (self.nx,):
+            raise ValidationError(f"expected initial field of shape ({self.nx},)")
+        self._u[0][...] = u0
+        self._u[1][...] = u0
+
+    def _stencil_update(self, i: int, t: int) -> None:
+        """Update partition ``i`` for time step ``t`` (Listing 1 body)."""
+        curr = self._u[t % 2]
+        new = self._u[(t + 1) % 2]
+        lo = i * self.local_nx
+        hi = (i + 1) * self.local_nx
+        left = curr[(lo - 1) % self.nx]
+        right = curr[hi % self.nx]
+        new[lo:hi] = _update_interior(curr[lo:hi], left, right, self.params.k)
+
+    def run(self, steps: int, policy: ExecutionPolicy = seq) -> np.ndarray:
+        """Iterate ``steps`` time steps; returns the final field."""
+        if steps < 0:
+            raise ValidationError("steps must be non-negative")
+        for t in range(self.steps_done, self.steps_done + steps):
+            for_each(policy, range(self.nlp), lambda i, t=t: self._stencil_update(i, t))
+        self.steps_done += steps
+        return self.solution()
+
+    def solution(self) -> np.ndarray:
+        return np.array(self._u[self.steps_done % 2], copy=True)
+
+
+class Heat1DPartition(Component):
+    """One locality's share of the distributed 1D grid.
+
+    Halo values for step ``t`` arrive via :meth:`deposit_halo` (shipped
+    as parcels by the neighbours) and are matched with per-``(step,
+    side)`` promises -- a tiny channel.  :meth:`advance` consumes them,
+    steps the local field, and immediately sends the *new* boundary
+    values for step ``t+1``, so neighbours can run ahead; nothing ever
+    blocks.
+    """
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        params: Heat1DParams,
+        cost_per_step: float = 0.0,
+    ) -> None:
+        super().__init__()
+        self.u = np.array(data, dtype=np.float64, copy=True)
+        self.params = params
+        #: Virtual compute seconds one local step costs (cost model hook).
+        self.cost_per_step = float(cost_per_step)
+        self._halos: dict[tuple[int, str], Promise] = {}
+        self._runtime: Runtime | None = None
+        self._left_gid = None
+        self._right_gid = None
+        self.steps_done = 0
+
+    # Wiring -----------------------------------------------------------------
+    def connect(self, runtime: Runtime, left_gid, right_gid) -> None:
+        """Install neighbour GIDs (periodic ring)."""
+        self._runtime = runtime
+        self._left_gid = left_gid
+        self._right_gid = right_gid
+
+    def _halo_promise(self, step: int, side: str) -> Promise:
+        key = (step, side)
+        if key not in self._halos:
+            self._halos[key] = Promise()
+        return self._halos[key]
+
+    def halo_future(self, step: int, side: str) -> Future:
+        """Future for the ``side`` ("left"/"right") halo of ``step``."""
+        return self._halo_promise(step, side).get_future()
+
+    # Remote surface ----------------------------------------------------------
+    def deposit_halo(self, step: int, side: str, value: float) -> None:
+        """A neighbour's boundary value arriving (component action)."""
+        if side not in ("left", "right"):
+            raise ValidationError(f"halo side must be left/right, got {side!r}")
+        self._halo_promise(step, side).set_value(float(value))
+
+    def send_boundaries(self, step: int) -> None:
+        """Ship this partition's current edges to both neighbours.
+
+        The left edge is the *right* halo of the left neighbour and vice
+        versa.
+        """
+        runtime = self._require_runtime()
+        runtime.invoke_apply(self._left_gid, "deposit_halo", step, "right", float(self.u[0]))
+        runtime.invoke_apply(self._right_gid, "deposit_halo", step, "left", float(self.u[-1]))
+
+    def advance(self, t: int, left: float, right: float) -> int:
+        """Apply step ``t`` given its halos; send halos for ``t+1``."""
+        if t != self.steps_done:
+            raise ValidationError(
+                f"advance({t}) out of order; partition is at step {self.steps_done}"
+            )
+        self.u = _update_interior(self.u, left, right, self.params.k)
+        if self.cost_per_step:
+            ctx.add_cost(self.cost_per_step)
+        self.steps_done += 1
+        # Drop the consumed promises so memory stays bounded over long runs.
+        self._halos.pop((t, "left"), None)
+        self._halos.pop((t, "right"), None)
+        self.send_boundaries(self.steps_done)
+        return self.steps_done
+
+    def start_chain(self, steps: int) -> None:
+        """Build the futurized time-step chain on this locality.
+
+        Runs *as a component action on the home locality*, so every
+        dataflow body it creates is scheduled on the home pool.  The
+        chain for step ``t`` fires when step ``t-1`` is done and both
+        halos of ``t`` have arrived -- pure continuation flow.
+        """
+        self._require_runtime()
+        start = self.steps_done
+        if start == 0:
+            self.send_boundaries(0)
+        # Resuming: the previous chain's last advance already sent the
+        # boundaries for step ``start``.
+        prev: Future = make_ready_future(start)
+        for t in range(start, start + steps):
+            prev = dataflow(
+                lambda left, right, _done, t=t: self.advance(t, left, right),
+                self.halo_future(t, "left"),
+                self.halo_future(t, "right"),
+                prev,
+            )
+        self.final_future = prev
+
+    def local_solution(self) -> np.ndarray:
+        return np.array(self.u, copy=True)
+
+    def _require_runtime(self) -> Runtime:
+        if self._runtime is None or self._left_gid is None or self._right_gid is None:
+            raise ValidationError("partition is not connected; call connect() first")
+        return self._runtime
+
+
+class DistributedHeat1D:
+    """Driver for the fully distributed solver (Fig 3's application).
+
+    Splits ``nx`` points over ``partitions_per_locality * n_localities``
+    partitions laid out round the periodic ring in locality-major order,
+    registers each partition as a component on its locality, and runs
+    the futurized chains to completion.
+    """
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        nx: int,
+        params: Heat1DParams | None = None,
+        partitions_per_locality: int = 1,
+        cost_per_step: float = 0.0,
+    ) -> None:
+        n_parts = runtime.n_localities * partitions_per_locality
+        if nx < n_parts or nx % n_parts != 0:
+            raise ValidationError(
+                f"{nx} points do not split evenly into {n_parts} partitions"
+            )
+        self.runtime = runtime
+        self.nx = nx
+        self.params = params or Heat1DParams()
+        self.params.check_stability()
+        self.n_partitions = n_parts
+        self.local_nx = nx // n_parts
+        self.partitions_per_locality = partitions_per_locality
+        self.cost_per_step = cost_per_step
+        self._gids: list = []
+        self._parts: list[Heat1DPartition] = []
+
+    def initialize(self, u0: np.ndarray) -> None:
+        """Create and connect the partition components from ``u0``."""
+        u0 = np.asarray(u0, dtype=np.float64)
+        if u0.shape != (self.nx,):
+            raise ValidationError(f"expected initial field of shape ({self.nx},)")
+        self._gids.clear()
+        self._parts.clear()
+        for p in range(self.n_partitions):
+            locality = p // self.partitions_per_locality
+            chunk = u0[p * self.local_nx : (p + 1) * self.local_nx]
+            part = Heat1DPartition(chunk, self.params, self.cost_per_step)
+            gid = self.runtime.new_component(part, locality_id=locality)
+            self._gids.append(gid)
+            self._parts.append(part)
+        n = self.n_partitions
+        for p, part in enumerate(self._parts):
+            part.connect(self.runtime, self._gids[(p - 1) % n], self._gids[(p + 1) % n])
+
+    def run(self, steps: int) -> np.ndarray:
+        """Run ``steps`` time steps; returns the assembled global field."""
+        if not self._parts:
+            raise ValidationError("call initialize() before run()")
+        if steps < 0:
+            raise ValidationError("steps must be non-negative")
+        if steps > 0:
+            chains = [
+                self.runtime.invoke_async(gid, "start_chain", steps)
+                for gid in self._gids
+            ]
+            when_all(chains).get()  # chains are *built*; now wait for completion
+            when_all([part.final_future for part in self._parts]).get()
+        return self.solution()
+
+    def solution(self) -> np.ndarray:
+        """Gather the global field (driver-side, for verification)."""
+        return np.concatenate([part.local_solution() for part in self._parts])

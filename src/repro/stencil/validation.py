@@ -1,0 +1,108 @@
+"""Numerical validation: analytic solutions and error norms.
+
+The simulation substitutes the paper's hardware, not its mathematics --
+these helpers pin the solvers to ground truth:
+
+* the periodic heat equation damps each Fourier mode analytically, so a
+  sine initial condition has a closed-form solution at any time;
+* small Jacobi problems can be solved directly (dense linear algebra)
+  and the iterative solver must converge to that fixed point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ValidationError
+from .heat1d import Heat1DParams
+
+__all__ = [
+    "analytic_heat_profile",
+    "discrete_heat_decay_factor",
+    "l2_error",
+    "max_error",
+    "jacobi_dense_solution",
+]
+
+
+def analytic_heat_profile(nx: int, mode: int = 1) -> np.ndarray:
+    """A single periodic Fourier mode ``sin(2 pi m x / L)`` on ``nx`` points."""
+    if nx < 2:
+        raise ValidationError("need at least two points")
+    if mode < 1 or 2 * mode >= nx:
+        raise ValidationError(f"mode {mode} not resolvable on {nx} points")
+    x = np.arange(nx) / nx
+    return np.sin(2.0 * np.pi * mode * x)
+
+
+def discrete_heat_decay_factor(nx: int, mode: int, params: Heat1DParams, steps: int) -> float:
+    """Exact per-``steps`` damping of a Fourier mode under the 3-point
+    explicit scheme.
+
+    The discrete operator's eigenvalue for mode ``m`` is
+    ``1 - 4 k sin^2(pi m / nx)`` with ``k = alpha dt / dx^2`` -- the
+    solver must damp a sine initial condition by exactly this factor per
+    step (up to roundoff), which makes a sharp correctness oracle.
+    """
+    if steps < 0:
+        raise ValidationError("steps must be non-negative")
+    k = params.k
+    eigenvalue = 1.0 - 4.0 * k * np.sin(np.pi * mode / nx) ** 2
+    return float(eigenvalue**steps)
+
+
+def l2_error(a: np.ndarray, b: np.ndarray) -> float:
+    """Relative L2 error ``||a - b|| / max(||b||, eps)``."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValidationError(f"shape mismatch: {a.shape} vs {b.shape}")
+    denom = max(float(np.linalg.norm(b)), np.finfo(np.float64).tiny)
+    return float(np.linalg.norm(a - b) / denom)
+
+
+def max_error(a: np.ndarray, b: np.ndarray) -> float:
+    """Maximum absolute pointwise error."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValidationError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return float(np.max(np.abs(a - b))) if a.size else 0.0
+
+
+def jacobi_dense_solution(boundary: np.ndarray) -> np.ndarray:
+    """Solve the Laplace fixed point of the 5-point Jacobi iteration.
+
+    Given a ``(ny, nx)`` array whose *edge* values are the Dirichlet
+    boundary, returns the harmonic interior the Jacobi sweeps converge
+    to, computed by directly solving the linear system (small grids
+    only; the matrix is ``(ny-2)(nx-2)`` square).
+    """
+    field = np.asarray(boundary, dtype=np.float64)
+    if field.ndim != 2 or field.shape[0] < 3 or field.shape[1] < 3:
+        raise ValidationError("need a 2D grid of at least 3x3")
+    ny, nx = field.shape
+    n_interior = (ny - 2) * (nx - 2)
+    if n_interior > 10_000:
+        raise ValidationError(
+            f"{n_interior} interior unknowns is too large for the dense oracle"
+        )
+
+    def idx(y: int, x: int) -> int:
+        return (y - 1) * (nx - 2) + (x - 1)
+
+    matrix = np.zeros((n_interior, n_interior))
+    rhs = np.zeros(n_interior)
+    for y in range(1, ny - 1):
+        for x in range(1, nx - 1):
+            row = idx(y, x)
+            matrix[row, row] = 1.0
+            for yy, xx in ((y - 1, x), (y + 1, x), (y, x - 1), (y, x + 1)):
+                if 1 <= yy <= ny - 2 and 1 <= xx <= nx - 2:
+                    matrix[row, idx(yy, xx)] = -0.25
+                else:
+                    rhs[row] += 0.25 * field[yy, xx]
+    interior = np.linalg.solve(matrix, rhs)
+    solution = np.array(field, copy=True)
+    solution[1:-1, 1:-1] = interior.reshape(ny - 2, nx - 2)
+    return solution

@@ -1,0 +1,23 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.registry import machine_names, machine
+from repro.runtime.runtime import Runtime
+
+
+@pytest.fixture
+def rt():
+    """A small single-locality runtime (4 workers), started and stopped."""
+    runtime = Runtime(n_localities=1, workers_per_locality=4)
+    runtime.start()
+    yield runtime
+    runtime.stop()
+
+
+@pytest.fixture(params=machine_names())
+def any_machine(request):
+    """Parametrized over all four calibrated machine models."""
+    return machine(request.param)

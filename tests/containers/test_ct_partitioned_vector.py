@@ -1,0 +1,148 @@
+"""Tests for the distributed partitioned vector."""
+
+import operator
+
+import numpy as np
+import pytest
+
+from repro.containers import PartitionedVector
+from repro.errors import ValidationError
+from repro.runtime import Runtime
+from repro.runtime.actions import action
+
+
+@action(name="pv.double")
+def double_segment(data):
+    return data * 2.0
+
+
+@action(name="pv.sum")
+def sum_segment(data):
+    return float(np.sum(data))
+
+
+@pytest.fixture
+def cluster():
+    with Runtime(machine="xeon-e5-2660v3", n_localities=3, workers_per_locality=2) as rt:
+        yield rt
+
+
+def test_construction_and_gather(cluster):
+    vec = PartitionedVector(cluster, 10, initial=1.5)
+    assert len(vec) == 10
+    assert np.allclose(cluster.run(vec.to_array), np.full(10, 1.5))
+
+
+def test_construction_from_array(cluster):
+    data = np.arange(11.0)
+    vec = PartitionedVector(cluster, 11, initial=data)
+    assert np.array_equal(cluster.run(vec.to_array), data)
+
+
+def test_segments_cover_the_index_space(cluster):
+    vec = PartitionedVector(cluster, 10)
+    covered = []
+    for i in range(10):
+        seg, off = vec.segment_of(i)
+        covered.append((seg, off))
+    assert len(set(covered)) == 10
+    segs = {seg for seg, _ in covered}
+    assert segs == set(range(vec.n_segments))
+
+
+def test_element_access_across_localities(cluster):
+    vec = PartitionedVector(cluster, 9, initial=0.0)
+
+    def main():
+        for i in range(9):
+            vec.set(i, float(i * i))
+        return [vec.get(i) for i in range(9)]
+
+    assert cluster.run(main) == [float(i * i) for i in range(9)]
+
+
+def test_elements_live_on_different_localities(cluster):
+    vec = PartitionedVector(cluster, 9)
+    homes = {vec.home_of(i) for i in range(9)}
+    assert homes == {0, 1, 2}  # block distribution over all three
+
+
+def test_fill_and_map_inplace(cluster):
+    vec = PartitionedVector(cluster, 12)
+
+    def main():
+        vec.fill(3.0)
+        vec.map_inplace("pv.double")
+        return vec.to_array()
+
+    assert np.allclose(cluster.run(main), np.full(12, 6.0))
+
+
+def test_map_with_module_level_function(cluster):
+    vec = PartitionedVector(cluster, 6, initial=2.0)
+    cluster.run(lambda: vec.map_inplace(double_segment))
+    assert np.allclose(cluster.run(vec.to_array), np.full(6, 4.0))
+
+
+def test_reduce(cluster):
+    vec = PartitionedVector(cluster, 10, initial=np.arange(10.0))
+    total = cluster.run(lambda: vec.reduce("pv.sum", operator.add, 0.0))
+    assert total == pytest.approx(45.0)
+
+
+def test_migration_keeps_indices_valid(cluster):
+    vec = PartitionedVector(cluster, 9, initial=np.arange(9.0))
+
+    def main():
+        before = vec.get(0)
+        vec.migrate_segment(0, 2)
+        after = vec.get(0)
+        return before, after, vec.home_of(0)
+
+    before, after, home = cluster.run(main)
+    assert before == after == 0.0
+    assert home == 2
+
+
+def test_more_segments_than_localities(cluster):
+    vec = PartitionedVector(cluster, 12, segments_per_locality=2)
+    assert vec.n_segments == 6
+    assert np.allclose(cluster.run(vec.to_array), np.zeros(12))
+
+
+def test_tiny_vector_fewer_segments_than_localities(cluster):
+    vec = PartitionedVector(cluster, 2)
+    assert vec.n_segments == 2
+    cluster.run(lambda: vec.set(1, 7.0))
+    assert cluster.run(lambda: vec.get(1)) == 7.0
+
+
+def test_validation(cluster):
+    with pytest.raises(ValidationError):
+        PartitionedVector(cluster, 0)
+    with pytest.raises(ValidationError):
+        PartitionedVector(cluster, 4, segments_per_locality=0)
+    with pytest.raises(ValidationError):
+        PartitionedVector(cluster, 4, initial=np.zeros(5))
+    vec = PartitionedVector(cluster, 4)
+    with pytest.raises(ValidationError):
+        vec.segment_of(4)
+    with pytest.raises(ValidationError):
+        vec.migrate_segment(99, 0)
+
+
+def test_segment_transform_shape_guard(cluster):
+    @action(name="pv.bad_transform")
+    def bad(data):
+        return data[:-1]
+
+    vec = PartitionedVector(cluster, 6)
+    with pytest.raises(ValidationError):
+        cluster.run(lambda: vec.map_inplace("pv.bad_transform"))
+
+
+def test_remote_access_costs_network_time(cluster):
+    vec = PartitionedVector(cluster, 9)
+    before = cluster.makespan
+    cluster.run(lambda: vec.get(8))  # lives on locality 2
+    assert cluster.makespan > before

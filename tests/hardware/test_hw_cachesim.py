@@ -1,0 +1,162 @@
+"""Cache-simulator tests: deriving the paper's AI regimes mechanistically.
+
+These tests *derive* the three traffic figures the analytic cost model
+uses -- 24 B/LUP (three transfers, rows fit), 40 B/LUP (five transfers,
+rows too large), 16 B/LUP (two transfers, streaming stores) -- by running
+the exact Jacobi access trace through an LRU set-associative cache.
+"""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.hardware.cachesim import CacheSim, jacobi_row_traffic
+
+
+def make_cache(size_kb=32, line=64, ways=8, write_allocate=True):
+    return CacheSim(size_kb * 1024, line, ways, write_allocate)
+
+
+# Mechanism unit tests ---------------------------------------------------------
+
+def test_geometry_validation():
+    with pytest.raises(TopologyError):
+        CacheSim(0, 64, 8)
+    with pytest.raises(TopologyError):
+        CacheSim(1000, 64, 8)  # not divisible into sets
+
+
+def test_cold_miss_then_hit():
+    cache = make_cache()
+    assert cache.read(0) is False
+    assert cache.read(8) is True  # same 64-byte line
+    assert cache.read(64) is False  # next line
+    assert cache.stats.misses == 2
+    assert cache.stats.bytes_from_memory == 128
+
+
+def test_lru_eviction_order():
+    # 1 set, 2 ways: the least-recently-used line is evicted.
+    cache = CacheSim(128, 64, 2)
+    cache.read(0)
+    cache.read(64)
+    cache.read(0)  # touch line 0 -> line 64 is now LRU
+    cache.read(128)  # evicts line 64
+    assert cache.read(0) is True
+    assert cache.read(64) is False
+
+
+def test_write_allocate_fetches_line():
+    cache = make_cache()
+    cache.write(0)
+    assert cache.stats.bytes_from_memory == 64  # the allocate fetch
+    assert cache.stats.bytes_to_memory == 0  # write-back deferred
+
+
+def test_dirty_eviction_writes_back():
+    cache = CacheSim(128, 64, 2)
+    cache.write(0)
+    cache.read(64)
+    cache.read(128)  # evicts dirty line 0
+    assert cache.stats.writebacks == 1
+    assert cache.stats.bytes_to_memory == 64
+
+
+def test_non_temporal_store_bypasses_cache():
+    cache = make_cache(write_allocate=False)
+    cache.write(0, size=8)
+    assert cache.stats.bytes_from_memory == 0
+    assert cache.stats.bytes_to_memory == 8
+    assert cache.resident_lines == 0
+
+
+def test_flush_writes_dirty_lines():
+    cache = make_cache()
+    cache.write(0)
+    cache.write(64)
+    cache.read(128)
+    cache.flush()
+    assert cache.stats.bytes_to_memory == 128
+    assert cache.resident_lines == 0
+
+
+def test_hit_keeps_dirty_bit():
+    cache = CacheSim(128, 64, 2)
+    cache.write(0)
+    cache.read(0)  # hit must not clean the line
+    cache.read(64)
+    cache.read(128)  # evict line 0 -> must still write back
+    assert cache.stats.writebacks == 1
+
+
+# The paper's AI regimes, derived ------------------------------------------------
+
+def test_rows_fit_gives_three_transfers():
+    """Sec. V-B's assumption: 3 rows in cache -> 24 B/LUP for doubles."""
+    cache = make_cache(size_kb=32)
+    traffic = jacobi_row_traffic(cache, ny=32, nx=512, sweeps=2)
+    assert traffic == pytest.approx(24.0, rel=0.10)
+
+
+def test_rows_fit_gives_twelve_bytes_for_floats():
+    cache = make_cache(size_kb=32)
+    traffic = jacobi_row_traffic(cache, ny=32, nx=1024, elem_bytes=4, sweeps=2)
+    assert traffic == pytest.approx(12.0, rel=0.10)
+
+
+def test_rows_too_large_gives_five_transfers():
+    """When three rows exceed the cache, every neighbour row misses:
+    40 B/LUP for doubles (the paper's worst-case regime)."""
+    cache = make_cache(size_kb=32)
+    traffic = jacobi_row_traffic(cache, ny=12, nx=4096, sweeps=2)
+    assert traffic == pytest.approx(40.0, rel=0.10)
+
+
+def test_streaming_stores_give_two_transfers():
+    """Without write-allocate, stores stream to memory: 16 B/LUP --
+    the mechanism behind the A64FX/TX2 'Expected Peak Max' regime."""
+    cache = make_cache(size_kb=32, write_allocate=False)
+    traffic = jacobi_row_traffic(cache, ny=32, nx=512, sweeps=2)
+    assert traffic == pytest.approx(16.0, rel=0.10)
+
+
+def test_large_cache_lines_do_not_change_streaming_traffic():
+    """A 256-byte line moves the same bytes per LUP for a streaming
+    sweep -- the line size pays off in *miss count* (prefetch
+    friendliness), which is the stall story, not raw traffic."""
+    small = make_cache(size_kb=32, line=64)
+    big = make_cache(size_kb=32, line=256)
+    t_small = jacobi_row_traffic(small, ny=32, nx=512, sweeps=2)
+    t_big = jacobi_row_traffic(big, ny=32, nx=512, sweeps=2)
+    assert t_big == pytest.approx(t_small, rel=0.10)
+    assert big.stats.misses < small.stats.misses / 2  # 4x fewer line fills
+
+
+def test_whole_problem_in_cache_is_traffic_free():
+    """If both buffers fit entirely, steady-state traffic ~ 0."""
+    cache = make_cache(size_kb=256)
+    traffic = jacobi_row_traffic(cache, ny=8, nx=64, sweeps=3)
+    assert traffic < 2.0
+
+
+def test_traffic_model_agrees_with_cache_hierarchy_answer():
+    """The fast analytic answer (CacheHierarchy) and the simulator agree
+    in both regimes."""
+    from repro.hardware.caches import CacheHierarchy, CacheLevel
+
+    hierarchy = CacheHierarchy((CacheLevel("L", 32 * 1024, 64),))
+    # Rows fit.
+    assert hierarchy.stencil_transfers_per_update(512 * 8, 8) == 24.0
+    sim = make_cache(size_kb=32)
+    assert jacobi_row_traffic(sim, 32, 512, sweeps=2) == pytest.approx(24.0, rel=0.1)
+    # Rows do not fit.
+    assert hierarchy.stencil_transfers_per_update(4096 * 8, 8) == 40.0
+    sim2 = make_cache(size_kb=32)
+    assert jacobi_row_traffic(sim2, 12, 4096, sweeps=2) == pytest.approx(40.0, rel=0.1)
+
+
+def test_trace_validation():
+    cache = make_cache()
+    with pytest.raises(TopologyError):
+        jacobi_row_traffic(cache, 2, 512)
+    with pytest.raises(TopologyError):
+        jacobi_row_traffic(cache, 8, 64, sweeps=0)

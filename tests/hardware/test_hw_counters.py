@@ -1,0 +1,80 @@
+"""Unit tests for the PAPI-like counter registers."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.hardware import CounterSet, PAPI_L2_TCM, PAPI_TOT_INS, STALL_BACKEND
+
+
+def test_counters_start_at_zero():
+    counters = CounterSet()
+    assert counters.read(PAPI_TOT_INS) == 0
+
+
+def test_add_accumulates():
+    counters = CounterSet()
+    counters.add(PAPI_TOT_INS, 100)
+    counters.add(PAPI_TOT_INS, 50)
+    assert counters.read(PAPI_TOT_INS) == 150
+
+
+def test_float_increments_round():
+    counters = CounterSet()
+    counters.add(PAPI_L2_TCM, 1.6)
+    assert counters.read(PAPI_L2_TCM) == 2
+
+
+def test_unknown_counter_rejected():
+    counters = CounterSet()
+    with pytest.raises(ReproError):
+        counters.add("MADE_UP", 1)
+    with pytest.raises(ReproError):
+        counters.read("MADE_UP")
+
+
+def test_negative_increment_rejected():
+    with pytest.raises(ReproError):
+        CounterSet().add(PAPI_TOT_INS, -1)
+
+
+def test_snapshot_is_frozen():
+    counters = CounterSet()
+    counters.add(PAPI_TOT_INS, 10)
+    snap = counters.snapshot()
+    counters.add(PAPI_TOT_INS, 5)
+    assert snap.read(PAPI_TOT_INS) == 10
+    with pytest.raises(ReproError):
+        snap.add(PAPI_TOT_INS, 1)
+    with pytest.raises(ReproError):
+        snap.reset()
+
+
+def test_diff_between_snapshots():
+    counters = CounterSet()
+    counters.add(PAPI_TOT_INS, 10)
+    before = counters.snapshot()
+    counters.add(PAPI_TOT_INS, 7)
+    counters.add(STALL_BACKEND, 3)
+    delta = counters.diff(before)
+    assert delta.read(PAPI_TOT_INS) == 7
+    assert delta.read(STALL_BACKEND) == 3
+
+
+def test_diff_backwards_rejected():
+    a = CounterSet({PAPI_TOT_INS: 10})
+    b = CounterSet({PAPI_TOT_INS: 5})
+    with pytest.raises(ReproError):
+        b.diff(a)
+
+
+def test_mapping_protocol():
+    counters = CounterSet({PAPI_TOT_INS: 3})
+    assert counters[PAPI_TOT_INS] == 3
+    assert PAPI_TOT_INS in set(counters)
+    assert len(counters) == 1
+
+
+def test_reset():
+    counters = CounterSet({PAPI_TOT_INS: 3})
+    counters.reset()
+    assert counters.read(PAPI_TOT_INS) == 0

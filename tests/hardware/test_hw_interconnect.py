@@ -1,0 +1,69 @@
+"""Unit tests for the network model."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.hardware import Interconnect, machine
+
+
+def ib():
+    return Interconnect("IB", latency_s=2e-6, bandwidth_gbs=12.5)
+
+
+def test_validation():
+    with pytest.raises(TopologyError):
+        Interconnect("bad", latency_s=-1, bandwidth_gbs=10)
+    with pytest.raises(TopologyError):
+        Interconnect("bad", latency_s=0, bandwidth_gbs=0)
+    with pytest.raises(TopologyError):
+        Interconnect("bad", latency_s=0, bandwidth_gbs=10, injection_efficiency=0)
+    with pytest.raises(TopologyError):
+        Interconnect("bad", latency_s=0, bandwidth_gbs=10, congestion_per_node_s=-1)
+
+
+def test_small_message_is_latency_bound():
+    net = ib()
+    t = net.transfer_time(8)
+    assert t == pytest.approx(2e-6, rel=1e-3)
+
+
+def test_large_message_is_bandwidth_bound():
+    net = ib()
+    one_gb = 10**9
+    t = net.transfer_time(one_gb)
+    assert t == pytest.approx(one_gb / 12.5e9, rel=1e-2)
+
+
+def test_injection_efficiency_slows_transfers():
+    slow = Interconnect("slow", 2e-6, 12.5, injection_efficiency=0.1)
+    assert slow.transfer_time(10**9) > ib().transfer_time(10**9) * 5
+
+
+def test_congestion_grows_with_nodes():
+    net = Interconnect("cong", 1e-6, 12.5, congestion_per_node_s=1e-3)
+    assert net.transfer_time(8, n_nodes=8) > net.transfer_time(8, n_nodes=2)
+
+
+def test_invalid_args():
+    net = ib()
+    with pytest.raises(TopologyError):
+        net.transfer_time(-1)
+    with pytest.raises(TopologyError):
+        net.transfer_time(1, n_nodes=0)
+
+
+def test_halo_exchange_single_node_is_free():
+    assert ib().halo_exchange_time(1024, 1) == 0.0
+
+
+def test_halo_exchange_multi_node():
+    net = ib()
+    assert net.halo_exchange_time(72, 8) == pytest.approx(net.transfer_time(72, 8))
+
+
+def test_kunpeng_network_is_far_worse_than_xeon():
+    """Sec. VII-A: the Hi1616 cannot exploit the InfiniBand fabric."""
+    kunpeng = machine("kunpeng916").interconnect
+    xeon = machine("xeon-e5-2660v3").interconnect
+    assert kunpeng.transfer_time(72, 8) > 100 * xeon.transfer_time(72, 8)
+    assert kunpeng.effective_bandwidth_gbs < xeon.effective_bandwidth_gbs / 5

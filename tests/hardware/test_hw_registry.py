@@ -1,0 +1,105 @@
+"""Registry tests: the four machines match Table I exactly."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.hardware import machine, machine_names
+
+
+def test_four_machines_registered():
+    assert machine_names() == ("xeon-e5-2660v3", "kunpeng916", "thunderx2", "a64fx")
+
+
+def test_unknown_machine_rejected():
+    with pytest.raises(TopologyError):
+        machine("epyc")
+
+
+def test_lookup_is_cached():
+    assert machine("a64fx") is machine("a64fx")
+
+
+# Table I rows ---------------------------------------------------------------
+
+def test_table1_clock_speeds():
+    assert machine("xeon-e5-2660v3").spec.clock_ghz == 2.6
+    assert machine("kunpeng916").spec.clock_ghz == 2.4
+    assert machine("thunderx2").spec.clock_ghz == 2.4
+    assert machine("a64fx").spec.clock_ghz == 2.2
+
+
+def test_table1_threads_per_core():
+    assert machine("xeon-e5-2660v3").spec.threads_per_core == 2
+    assert machine("kunpeng916").spec.threads_per_core == 1
+    assert machine("thunderx2").spec.threads_per_core == 4
+    assert machine("a64fx").spec.threads_per_core == 1
+
+
+def test_table1_dp_flops_per_cycle():
+    assert machine("xeon-e5-2660v3").spec.dp_flops_per_cycle == 16
+    assert machine("kunpeng916").spec.dp_flops_per_cycle == 4
+    assert machine("thunderx2").spec.dp_flops_per_cycle == 8
+    assert machine("a64fx").spec.dp_flops_per_cycle == 32
+
+
+def test_table1_peak_gflops():
+    """The bottom row of Table I, computed not copied."""
+    assert machine("xeon-e5-2660v3").spec.peak_gflops == pytest.approx(832.0)
+    assert machine("kunpeng916").spec.peak_gflops == pytest.approx(614.4)
+    assert machine("thunderx2").spec.peak_gflops == pytest.approx(1228.8)
+    assert machine("a64fx").spec.peak_gflops == pytest.approx(3379.2)
+
+
+def test_a64fx_helper_cores_and_sve():
+    spec = machine("a64fx").spec
+    assert spec.helper_cores == 4
+    assert spec.isa == "sve"
+    assert spec.vector_bits == 512
+    assert spec.cores_per_node == 48
+
+
+def test_vector_isas():
+    assert machine("xeon-e5-2660v3").spec.isa == "avx2"
+    assert machine("kunpeng916").spec.isa == "neon"
+    assert machine("thunderx2").spec.isa == "neon"
+
+
+def test_calibration_vectorization_bands(any_machine):
+    """The single-core rates must respect simd >= auto for each dtype."""
+    rates = any_machine.calibration.single_core_glups
+    for dtype in ("float32", "float64"):
+        assert rates[(dtype, "simd")] >= rates[(dtype, "auto")]
+        assert rates[(dtype, "auto")] > 0
+
+
+def test_only_kunpeng_lacks_network_overlap():
+    overlap = {name: machine(name).calibration.network_overlap for name in machine_names()}
+    assert overlap == {
+        "xeon-e5-2660v3": True,
+        "kunpeng916": False,
+        "thunderx2": True,
+        "a64fx": True,
+    }
+
+
+def test_blocking_flags():
+    """Large-cache-line machines get implicit blocking (Sec. VII-B)."""
+    assert not machine("xeon-e5-2660v3").calibration.blocking_floats
+    assert not machine("kunpeng916").calibration.blocking_floats
+    assert machine("thunderx2").calibration.blocking_floats
+    assert machine("thunderx2").calibration.blocking_doubles_from_cores == 16
+    assert machine("a64fx").calibration.blocking_floats
+    assert machine("a64fx").calibration.blocking_doubles
+
+
+def test_stream_bandwidth_ordering():
+    """Fig 2's vertical ordering: A64FX's HBM dwarfs everything."""
+    full = {
+        name: machine(name).memory.aggregate_bandwidth(
+            machine(name).spec.cores_per_node
+        )
+        for name in machine_names()
+    }
+    assert full["a64fx"] > 2 * full["thunderx2"]
+    assert full["thunderx2"] > full["xeon-e5-2660v3"]
+    assert abs(full["xeon-e5-2660v3"] - full["kunpeng916"]) < 30

@@ -1,0 +1,47 @@
+"""Tests for the hwloc-ls-style renderer."""
+
+from repro.hardware import machine
+from repro.hardware.topology_render import render_machine, render_pinning
+
+
+def test_render_xeon_structure():
+    text = render_machine(machine("xeon-e5-2660v3"))
+    assert text.count("Package P#") == 2
+    assert text.count("NUMANode N#") == 2
+    assert text.count("Core C#") == 20
+    assert "L3 (25MB, shared by 10 cores, 64B lines)" in text
+    assert "PU#0 PU#1" in text  # SMT pair on core 0
+
+
+def test_render_a64fx_structure():
+    text = render_machine(machine("a64fx"))
+    assert text.count("NUMANode N#") == 4  # CMGs
+    assert text.count("Core C#") == 48
+    assert "256B lines" in text
+    assert "L2 (8MB, shared by 12 cores" in text
+
+
+def test_render_without_pus():
+    text = render_machine(machine("kunpeng916"), show_pus=False)
+    assert "PU#" not in text
+    assert text.count("Core C#") == 64
+
+
+def test_bandwidth_shown_per_domain():
+    text = render_machine(machine("thunderx2"))
+    assert "118 GB/s" in text  # saturated 32-core domain
+
+
+def test_render_pinning_compact():
+    m = machine("kunpeng916")
+    text = render_pinning(m, m.topology.pin_compact(40))
+    assert "40 worker(s) pinned across 3 NUMA domain(s)" in text
+    assert "16/16" in text  # two full domains
+    assert "8/16" in text  # the partial one (the Fig 5 dip!)
+
+
+def test_render_pinning_scatter():
+    m = machine("a64fx")
+    text = render_pinning(m, m.topology.pin_scatter(8))
+    assert "across 4 NUMA domain(s)" in text
+    assert text.count("2/12") == 4

@@ -1,0 +1,73 @@
+"""Tests for the calibration self-checks."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.hardware import machine
+from repro.hardware.validate import validate_all, validate_machine
+
+
+def test_all_registered_machines_are_valid():
+    validate_all()  # raises on any inconsistency
+
+
+def test_validate_machine_empty_for_valid(any_machine):
+    assert validate_machine(any_machine) == []
+
+
+def _with_calibration(model, **overrides):
+    cal = dataclasses.replace(model.calibration, **overrides)
+    return dataclasses.replace(model, calibration=cal)
+
+
+def test_detects_bad_efficiency():
+    broken = _with_calibration(machine("a64fx"), stencil2d_efficiency=1.5)
+    assert any("stencil2d_efficiency" in p for p in validate_machine(broken))
+
+
+def test_detects_negative_overhead():
+    broken = _with_calibration(machine("a64fx"), per_step_overhead_s=-1.0)
+    assert any("overhead" in p for p in validate_machine(broken))
+
+
+def test_detects_simd_below_auto():
+    rates = dict(machine("thunderx2").calibration.single_core_glups)
+    rates[("float32", "simd")] = rates[("float32", "auto")] / 2
+    broken = _with_calibration(machine("thunderx2"), single_core_glups=rates)
+    assert any("simd rate below auto" in p for p in validate_machine(broken))
+
+
+def test_detects_missing_variant():
+    rates = dict(machine("kunpeng916").calibration.single_core_glups)
+    del rates[("float64", "simd")]
+    broken = _with_calibration(machine("kunpeng916"), single_core_glups=rates)
+    assert any("missing single-core rate" in p for p in validate_machine(broken))
+
+
+def test_detects_absurd_rate():
+    rates = dict(machine("xeon-e5-2660v3").calibration.single_core_glups)
+    rates[("float32", "simd")] = 1000.0
+    broken = _with_calibration(machine("xeon-e5-2660v3"), single_core_glups=rates)
+    assert any("wildly above" in p for p in validate_machine(broken))
+
+
+def test_detects_blocking_flag_inconsistency():
+    broken = _with_calibration(
+        machine("xeon-e5-2660v3"),
+        blocking_doubles=False,
+        blocking_doubles_from_cores=8,
+    )
+    assert any("blocking_doubles_from_cores" in p for p in validate_machine(broken))
+
+
+def test_validate_all_raises_with_message(monkeypatch):
+    import repro.hardware.validate as validate_module
+
+    broken = _with_calibration(machine("a64fx"), stencil1d_efficiency=0.0)
+    monkeypatch.setattr(
+        validate_module, "machine", lambda name: broken
+    )
+    with pytest.raises(ValidationError, match="calibration inconsistencies"):
+        validate_module.validate_all()

@@ -1,0 +1,58 @@
+"""Exhibit data must equal direct model calls -- no drift between the
+rendering layer and the models."""
+
+import numpy as np
+import pytest
+
+from repro.exhibits import fig2_stream, fig3_1d_scaling, fig_2d_stencil
+from repro.hardware import machine, machine_names
+from repro.perf import stencil2d_glups, stream_model
+from repro.perf.cost import stencil1d_time
+
+
+def test_fig2_series_equal_model():
+    for series in fig2_stream():
+        model = next(
+            machine(name)
+            for name in machine_names()
+            if machine(name).spec.name == series.name
+        )
+        for cores, value in series.points:
+            assert value == pytest.approx(
+                stream_model(model, int(cores)).bandwidth_gbs
+            )
+
+
+def test_fig3_series_equal_model():
+    data = fig3_1d_scaling(nodes=(1, 4))
+    for series in data["strong"]:
+        model = next(
+            machine(name)
+            for name in machine_names()
+            if machine(name).spec.name == series.name
+        )
+        for nodes, value in series.points:
+            assert value == pytest.approx(stencil1d_time(model, int(nodes)))
+
+
+@pytest.mark.parametrize("name", machine_names())
+def test_fig_2d_series_equal_model(name):
+    model = machine(name)
+    series = {s.name: s for s in fig_2d_stencil(name, with_peaks=False)}
+    for label, dtype, mode in (
+        ("Float", np.float32, "auto"),
+        ("Vector Double", np.float64, "simd"),
+    ):
+        for cores, value in series[label].points:
+            assert value == pytest.approx(
+                stencil2d_glups(model, dtype, mode, int(cores))
+            )
+
+
+def test_exhibits_are_stateless():
+    """Two renders of the same exhibit are identical strings."""
+    from repro.exhibits import render_fig3, render_fig_2d, render_table1
+
+    assert render_table1() == render_table1()
+    assert render_fig3() == render_fig3()
+    assert render_fig_2d("a64fx") == render_fig_2d("a64fx")

@@ -1,0 +1,86 @@
+"""Integration: every paper exhibit renders and carries its signatures."""
+
+import pytest
+
+from repro.exhibits import (
+    DTYPE_VARIANTS,
+    counter_table,
+    fig2_stream,
+    fig3_1d_scaling,
+    fig_2d_stencil,
+    render_counter_table,
+    render_fig2,
+    render_fig3,
+    render_fig_2d,
+    render_table1,
+    table1,
+)
+from repro.hardware import machine_names
+from repro.perf.cost import PAPER_GRID_2D_LARGE
+
+
+def test_table1_contains_all_machines():
+    text = render_table1()
+    for name in ("Xeon E5-2660 v3", "Kunpeng 916", "ThunderX2", "A64FX"):
+        assert name in text
+    headers, rows = table1()
+    assert any("Peak Performance" in row[0] for row in rows)
+
+
+def test_fig2_renders_every_machine():
+    text = render_fig2()
+    assert text.count("GB/s") == 4
+    series = fig2_stream()
+    assert {len(s.points) > 2 for s in series} == {True}
+
+
+def test_fig2_scatter_variant():
+    compact = fig2_stream(pinning="compact")
+    scatter = fig2_stream(pinning="scatter")
+    # Scatter exposes aggregate bandwidth earlier on multi-domain nodes.
+    xeon_c = compact[0]
+    xeon_s = scatter[0]
+    mid = len(xeon_c.points) // 2
+    assert xeon_s.ys()[mid] >= xeon_c.ys()[mid]
+
+
+def test_fig3_contains_strong_and_weak():
+    text = render_fig3()
+    assert "Strong scaling" in text and "Weak scaling" in text
+    data = fig3_1d_scaling()
+    assert len(data["strong"]) == 4 and len(data["weak"]) == 4
+
+
+@pytest.mark.parametrize("name", machine_names())
+def test_fig_2d_renders_with_variants_and_peaks(name):
+    series = fig_2d_stencil(name)
+    names = [s.name for s in series]
+    for label, _, _ in DTYPE_VARIANTS:
+        assert label in names
+    assert "Expected Peak Min (Float)" in names
+    assert "Expected Peak Max (Double)" in names
+    text = render_fig_2d(name)
+    assert "GLUP/s" in text
+
+
+def test_fig7_uses_large_grid_label():
+    text = render_fig_2d("a64fx", PAPER_GRID_2D_LARGE)
+    assert "Fig 7" in text and "196608" in text
+
+
+@pytest.mark.parametrize("name", machine_names())
+def test_counter_tables_have_four_variants(name):
+    headers, rows = counter_table(name)
+    assert [row[0] for row in rows] == [
+        "Float",
+        "Vector Float",
+        "Double",
+        "Vector Double",
+    ]
+    text = render_counter_table(name)
+    assert "Hardware Counters" in text
+
+
+def test_counter_table_numbers_match_paper_format():
+    text = render_counter_table("xeon-e5-2660v3")
+    assert "3.153e10" in text  # Table III's first instruction count

@@ -1,0 +1,83 @@
+"""Tests for the repetition-and-best measurement harness."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.perf.harness import Measurement, run_best, time_call
+
+
+def test_time_call_returns_elapsed_and_result():
+    elapsed, result = time_call(lambda: "value")
+    assert elapsed >= 0.0
+    assert result == "value"
+
+
+def test_run_best_min_mode_paper_1d_protocol():
+    """Three runs, least time reported (Sec. VI)."""
+    calls = []
+    measurement = run_best(lambda: calls.append(1), repeats=3, mode="min")
+    assert len(calls) == 3
+    assert len(measurement.samples) == 3
+    assert measurement.best == min(measurement.samples)
+
+
+def test_run_best_max_mode_paper_2d_protocol():
+    """Five runs, maximum performance reported (Sec. VI)."""
+    counter = {"n": 0}
+
+    def work():
+        counter["n"] += 1
+        return counter["n"]
+
+    measurement = run_best(
+        work, repeats=5, mode="max", metric=lambda elapsed, result: float(result)
+    )
+    assert measurement.best == 5.0  # max of 1..5
+    assert measurement.samples == (1.0, 2.0, 3.0, 4.0, 5.0)
+    assert measurement.result == 5
+
+
+def test_deterministic_metric_has_zero_spread():
+    measurement = run_best(
+        lambda: 7, repeats=4, mode="max", metric=lambda e, r: float(r)
+    )
+    assert measurement.spread == 0.0
+
+
+def test_spread_reflects_variation():
+    values = iter([1.0, 2.0, 4.0])
+    measurement = run_best(
+        lambda: next(values), repeats=3, mode="max", metric=lambda e, r: r
+    )
+    assert measurement.spread == pytest.approx((4.0 - 1.0) / 4.0)
+
+
+def test_validation():
+    with pytest.raises(ValidationError):
+        run_best(lambda: None, repeats=0)
+    with pytest.raises(ValidationError):
+        run_best(lambda: None, repeats=1, mode="median")
+
+
+def test_measurement_zero_best_spread():
+    m = Measurement(best=0.0, samples=(0.0, 0.0), mode="max")
+    assert m.spread == 0.0
+
+
+def test_run_best_with_virtual_time_model():
+    """On the deterministic cost model, best-of-N is a no-op: every
+    repetition produces the identical figure."""
+    import numpy as np
+
+    from repro.hardware import machine
+    from repro.perf import stencil2d_glups
+
+    m = machine("a64fx")
+    measurement = run_best(
+        lambda: stencil2d_glups(m, np.float32, "simd", 48),
+        repeats=5,
+        mode="max",
+        metric=lambda elapsed, result: result,
+    )
+    assert measurement.spread == 0.0
+    assert measurement.best == pytest.approx(61.875)

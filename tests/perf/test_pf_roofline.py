@@ -1,0 +1,61 @@
+"""Unit tests for the roofline model (Eq. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.perf import (
+    arithmetic_intensity,
+    attainable_performance,
+    stencil2d_arithmetic_intensity,
+)
+
+
+def test_paper_ai_values():
+    """Sec. V-B: AI = 1/12 LUP/B (float), 1/24 LUP/B (double)."""
+    assert stencil2d_arithmetic_intensity(np.float32) == pytest.approx(1 / 12)
+    assert stencil2d_arithmetic_intensity(np.float64) == pytest.approx(1 / 24)
+
+
+def test_cache_blocked_ai_values():
+    """Two transfers per update: 1/8 and 1/16 (Sec. VII-B)."""
+    assert stencil2d_arithmetic_intensity(np.float32, 2) == pytest.approx(1 / 8)
+    assert stencil2d_arithmetic_intensity(np.float64, 2) == pytest.approx(1 / 16)
+
+
+def test_ai_validation():
+    with pytest.raises(ValidationError):
+        arithmetic_intensity(0, 1)
+    with pytest.raises(ValidationError):
+        arithmetic_intensity(1, 0)
+    with pytest.raises(ValidationError):
+        stencil2d_arithmetic_intensity(np.float32, 0)
+    with pytest.raises(ValidationError):
+        stencil2d_arithmetic_intensity(np.int64)
+
+
+def test_attainable_memory_bound():
+    # AI x BW = 0.083 x 118 = 9.8 < CP -> memory bound.
+    assert attainable_performance(100.0, 1 / 12, 118.0) == pytest.approx(118 / 12)
+
+
+def test_attainable_compute_bound():
+    assert attainable_performance(5.0, 1.0, 118.0) == 5.0
+
+
+def test_attainable_validation():
+    with pytest.raises(ValidationError):
+        attainable_performance(0, 1, 1)
+    with pytest.raises(ValidationError):
+        attainable_performance(1, -1, 1)
+    with pytest.raises(ValidationError):
+        attainable_performance(1, 1, 0)
+
+
+def test_roofline_monotone_in_bandwidth():
+    perfs = [attainable_performance(1000.0, 1 / 12, bw) for bw in (10, 50, 100, 500)]
+    assert perfs == sorted(perfs)
+
+
+def test_roofline_saturates_at_compute_peak():
+    assert attainable_performance(10.0, 1.0, 10**6) == 10.0

@@ -1,0 +1,39 @@
+"""Unit tests for the high-resolution timer."""
+
+import pytest
+
+from repro.perf import HighResolutionTimer
+from repro.runtime import context as ctx
+from repro.runtime.threads.pool import ThreadPool
+
+
+def test_wall_timer_advances():
+    timer = HighResolutionTimer()
+    assert timer.elapsed() >= 0.0
+
+
+def test_wall_timer_restart():
+    timer = HighResolutionTimer()
+    first = timer.restart()
+    assert first >= 0.0
+    assert timer.elapsed() <= first + 1.0
+
+
+def test_virtual_timer_reads_pool_makespan():
+    pool = ThreadPool(1)
+    timer = HighResolutionTimer(pool)
+    pool.submit(lambda: ctx.add_cost(2.5))
+    pool.run_all()
+    assert timer.elapsed() == pytest.approx(2.5)
+
+
+def test_virtual_timer_restart():
+    pool = ThreadPool(1)
+    timer = HighResolutionTimer(pool)
+    pool.submit(lambda: ctx.add_cost(1.0))
+    pool.run_all()
+    assert timer.restart() == pytest.approx(1.0)
+    assert timer.elapsed() == pytest.approx(0.0)
+    pool.submit(lambda: ctx.add_cost(3.0))
+    pool.run_all()
+    assert timer.elapsed() == pytest.approx(3.0)

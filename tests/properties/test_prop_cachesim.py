@@ -1,0 +1,86 @@
+"""Property-based tests for the cache simulator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.cachesim import CacheSim, jacobi_row_traffic
+
+
+def geometry():
+    return st.tuples(
+        st.sampled_from([8, 16, 32, 64]),  # size KiB
+        st.sampled_from([32, 64, 128, 256]),  # line bytes
+        st.sampled_from([1, 2, 4, 8]),  # ways
+    )
+
+
+@given(geom=geometry(), addresses=st.lists(st.integers(0, 1 << 20), max_size=200))
+@settings(max_examples=50)
+def test_reads_never_lose_bytes(geom, addresses):
+    """Accounting invariants: hits + misses == accesses; read traffic is
+    misses x line; no write-backs without writes."""
+    kb, line, ways = geom
+    cache = CacheSim(kb * 1024, line, ways)
+    for address in addresses:
+        cache.read(address)
+    stats = cache.stats
+    assert stats.hits + stats.misses == stats.accesses == len(addresses)
+    assert stats.bytes_from_memory == stats.misses * line
+    assert stats.bytes_to_memory == 0
+
+
+@given(geom=geometry(), addresses=st.lists(st.integers(0, 1 << 18), max_size=150))
+@settings(max_examples=50)
+def test_repeating_a_trace_only_improves_hit_rate(geom, addresses):
+    """The second pass over any trace cannot miss more than the first."""
+    kb, line, ways = geom
+    cache = CacheSim(kb * 1024, line, ways)
+    for address in addresses:
+        cache.read(address)
+    first_misses = cache.stats.misses
+    for address in addresses:
+        cache.read(address)
+    second_misses = cache.stats.misses - first_misses
+    assert second_misses <= first_misses
+
+
+@given(geom=geometry(), data=st.data())
+@settings(max_examples=40)
+def test_occupancy_never_exceeds_capacity(geom, data):
+    kb, line, ways = geom
+    cache = CacheSim(kb * 1024, line, ways)
+    addresses = data.draw(st.lists(st.integers(0, 1 << 22), max_size=300))
+    for address in addresses:
+        if data.draw(st.booleans()):
+            cache.read(address)
+        else:
+            cache.write(address)
+    assert cache.resident_lines <= cache.n_sets * ways
+
+
+@given(
+    ny=st.integers(4, 12),
+    nx=st.sampled_from([64, 128, 256]),
+    elem=st.sampled_from([4, 8]),
+)
+@settings(max_examples=20, deadline=None)
+def test_stencil_traffic_within_physical_bounds(ny, nx, elem):
+    """Bytes/LUP can never beat the compulsory write-back (one element)
+    nor exceed the all-miss worst case (5 accesses x line)."""
+    cache = CacheSim(32 * 1024, 64, 8)
+    traffic = jacobi_row_traffic(cache, ny, nx, elem_bytes=elem, sweeps=1)
+    assert traffic >= 0.0
+    assert traffic <= 5 * 64  # every access a full-line miss
+
+
+@given(
+    ny=st.integers(4, 10),
+    nx=st.sampled_from([64, 128]),
+)
+@settings(max_examples=15, deadline=None)
+def test_simulator_is_deterministic(ny, nx):
+    runs = []
+    for _ in range(2):
+        cache = CacheSim(16 * 1024, 64, 4)
+        runs.append(jacobi_row_traffic(cache, ny, nx, sweeps=2))
+    assert runs[0] == runs[1]

@@ -1,0 +1,120 @@
+"""Property-based tests: the SIMD layer against NumPy ground truth."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.simd import AVX2, NEON, Pack, VnsLayout, sve
+
+ISAS = [NEON, AVX2, sve(512)]
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False, width=32
+)
+
+
+def lane_arrays(isa, dtype=np.float64):
+    return arrays(dtype, isa.lanes(np.dtype(dtype)), elements=finite)
+
+
+@given(data=st.data(), isa=st.sampled_from(ISAS))
+def test_pack_add_matches_numpy(data, isa):
+    a = data.draw(lane_arrays(isa))
+    b = data.draw(lane_arrays(isa))
+    result = (Pack(isa, a) + Pack(isa, b)).to_array()
+    assert np.array_equal(result, a + b)
+
+
+@given(data=st.data(), isa=st.sampled_from(ISAS))
+def test_pack_mul_matches_numpy(data, isa):
+    a = data.draw(lane_arrays(isa))
+    b = data.draw(lane_arrays(isa))
+    assert np.array_equal((Pack(isa, a) * Pack(isa, b)).to_array(), a * b)
+
+
+@given(data=st.data(), isa=st.sampled_from(ISAS))
+def test_pack_fma_matches_numpy(data, isa):
+    a = data.draw(lane_arrays(isa))
+    b = data.draw(lane_arrays(isa))
+    c = data.draw(lane_arrays(isa))
+    result = Pack(isa, a).fma(Pack(isa, b), Pack(isa, c)).to_array()
+    assert np.allclose(result, a * b + c, rtol=1e-12)
+
+
+@given(data=st.data(), isa=st.sampled_from(ISAS))
+def test_pack_hadd_matches_numpy_sum(data, isa):
+    a = data.draw(lane_arrays(isa))
+    assert Pack(isa, a).hadd() == float(a.sum(dtype=np.float64))
+
+
+@given(data=st.data(), isa=st.sampled_from(ISAS))
+def test_slide_left_then_right_keeps_middle(data, isa):
+    a = data.draw(lane_arrays(isa))
+    pack = Pack(isa, a)
+    round_trip = pack.slide_left(0.0).slide_right(0.0).to_array()
+    # Lane 0 is destroyed, the rest of the interior survives shifted back.
+    assert np.array_equal(round_trip[1:-1], a[1:-1])
+    assert round_trip[0] == 0.0
+
+
+@given(data=st.data(), isa=st.sampled_from(ISAS))
+def test_shuffle_is_permutation(data, isa):
+    lanes = isa.lanes(np.float64)
+    a = data.draw(lane_arrays(isa))
+    perm = data.draw(st.permutations(range(lanes)))
+    shuffled = Pack(isa, a).shuffle(perm).to_array()
+    assert sorted(shuffled.tolist()) == sorted(a.tolist())
+    for out_lane, src_lane in enumerate(perm):
+        assert shuffled[out_lane] == a[src_lane]
+
+
+@given(
+    lanes=st.sampled_from([1, 2, 4, 8, 16]),
+    chunk=st.integers(min_value=1, max_value=32),
+    data=st.data(),
+)
+@settings(max_examples=60)
+def test_vns_roundtrip_any_geometry(lanes, chunk, data):
+    width = 2 + lanes * chunk
+    row = data.draw(arrays(np.float64, width, elements=finite))
+    layout = VnsLayout(width, lanes)
+    assert np.array_equal(layout.unpack_row(layout.pack_row(row)), row)
+
+
+@given(
+    lanes=st.sampled_from([2, 4, 8]),
+    chunk=st.integers(min_value=1, max_value=16),
+    data=st.data(),
+)
+@settings(max_examples=40)
+def test_vns_neighbour_invariant(lanes, chunk, data):
+    """packed[j-1]/[j+1] are the true x-neighbours for every interior x."""
+    width = 2 + lanes * chunk
+    row = data.draw(arrays(np.float64, width, elements=finite))
+    layout = VnsLayout(width, lanes)
+    packed = layout.pack_row(row)
+    for lane in range(lanes):
+        for j in range(1, chunk + 1):
+            x = 1 + lane * chunk + (j - 1)
+            assert packed[j, lane] == row[x]
+            assert packed[j - 1, lane] == row[x - 1]
+            assert packed[j + 1, lane] == row[x + 1]
+
+
+@given(
+    lanes=st.sampled_from([2, 4]),
+    chunk=st.integers(min_value=1, max_value=8),
+    data=st.data(),
+)
+@settings(max_examples=40)
+def test_vns_refresh_restores_neighbour_invariant_after_write(lanes, chunk, data):
+    width = 2 + lanes * chunk
+    row = data.draw(arrays(np.float64, width, elements=finite))
+    layout = VnsLayout(width, lanes)
+    packed = layout.pack_row(row)
+    packed[1:-1, :] = packed[1:-1, :] * 0.5 + 1.0  # arbitrary interior update
+    layout.refresh_halo(packed)
+    unpacked = layout.unpack_row(packed)
+    repacked = layout.pack_row(unpacked)
+    assert np.array_equal(packed, repacked)

@@ -1,0 +1,210 @@
+"""Unit tests for parallel algorithms and execution policies."""
+
+import operator
+
+import pytest
+
+from repro.errors import RuntimeStateError
+from repro.runtime import (
+    BlockExecutor,
+    PoolExecutor,
+    for_each,
+    for_loop,
+    inclusive_scan,
+    par,
+    par_simd,
+    reduce_,
+    seq,
+    simd,
+    transform,
+)
+from repro.runtime.algorithms import auto_chunk_size, partition
+
+
+# Policies ----------------------------------------------------------------------
+
+def test_policy_flags():
+    assert not seq.parallel and not seq.vectorize
+    assert par.parallel and not par.vectorize
+    assert not simd.parallel and simd.vectorize
+    assert par_simd.parallel and par_simd.vectorize
+
+
+def test_policy_on_executor(rt):
+    executor = PoolExecutor(rt.localities[0].pool)
+    bound = par.on(executor)
+    assert bound.executor is executor
+    assert par.executor is None  # original is untouched
+
+
+def test_seq_cannot_take_executor(rt):
+    executor = PoolExecutor(rt.localities[0].pool)
+    with pytest.raises(RuntimeStateError):
+        seq.on(executor)
+
+
+def test_with_chunk_size():
+    assert par.with_chunk_size(16).chunk_size == 16
+    with pytest.raises(RuntimeStateError):
+        par.with_chunk_size(0)
+
+
+# Partitioner --------------------------------------------------------------------
+
+def test_auto_chunk_size_targets_chunks_per_worker():
+    # 1000 items / (4 workers x 4) = 62.5 -> 63.
+    assert auto_chunk_size(1000, 4) == 63
+
+
+def test_auto_chunk_size_min_chunk():
+    assert auto_chunk_size(10, 4, min_chunk=8) == 8
+    assert auto_chunk_size(0, 4) == 1
+
+
+def test_auto_chunk_size_validation():
+    with pytest.raises(RuntimeStateError):
+        auto_chunk_size(-1, 2)
+    with pytest.raises(RuntimeStateError):
+        auto_chunk_size(1, 0)
+    with pytest.raises(RuntimeStateError):
+        auto_chunk_size(1, 1, min_chunk=0)
+
+
+def test_partition_covers_range_once():
+    chunks = partition(3, 20, 6)
+    flat = [i for c in chunks for i in c]
+    assert flat == list(range(3, 20))
+    assert [len(c) for c in chunks] == [6, 6, 5]
+
+
+def test_partition_empty():
+    assert partition(5, 5, 3) == []
+
+
+def test_partition_validation():
+    with pytest.raises(RuntimeStateError):
+        partition(0, 10, 0)
+    with pytest.raises(RuntimeStateError):
+        partition(10, 0, 1)
+
+
+# for_each / for_loop ----------------------------------------------------------------
+
+def test_for_each_seq_outside_runtime():
+    out = []
+    for_each(seq, [10, 20, 30], out.append)
+    assert out == [10, 20, 30]
+
+
+def test_for_each_par_outside_runtime_falls_back_to_seq():
+    out = []
+    for_each(par, range(5), out.append)
+    assert out == [0, 1, 2, 3, 4]
+
+
+def test_for_each_par_in_runtime(rt):
+    out = []
+
+    def main():
+        for_each(par, range(100), out.append)
+
+    rt.run(main)
+    assert sorted(out) == list(range(100))
+
+
+def test_for_each_empty(rt):
+    rt.run(lambda: for_each(par, [], lambda x: 1 / 0))
+
+
+def test_for_loop_indices(rt):
+    out = []
+
+    def main():
+        for_loop(par, 5, 15, out.append)
+
+    rt.run(main)
+    assert sorted(out) == list(range(5, 15))
+
+
+def test_for_loop_invalid_range():
+    with pytest.raises(RuntimeStateError):
+        for_loop(seq, 10, 5, lambda i: None)
+
+
+def test_for_each_with_block_executor(rt):
+    executor = BlockExecutor(rt.localities[0].pool)
+    out = []
+
+    def main():
+        for_each(par.on(executor), range(20), out.append)
+
+    rt.run(main)
+    assert sorted(out) == list(range(20))
+
+
+# transform / reduce / scan -------------------------------------------------------------
+
+def test_transform_preserves_order(rt):
+    def main():
+        return transform(par, range(50), lambda x: x * x)
+
+    assert rt.run(main) == [x * x for x in range(50)]
+
+
+def test_transform_seq():
+    assert transform(seq, [1, 2, 3], str) == ["1", "2", "3"]
+
+
+def test_reduce_matches_sequential(rt):
+    data = list(range(1, 101))
+
+    def main():
+        return reduce_(par, data, 0, operator.add)
+
+    assert rt.run(main) == sum(data)
+
+
+def test_reduce_empty():
+    assert reduce_(seq, [], 42, operator.add) == 42
+
+
+def test_reduce_non_commutative_but_associative(rt):
+    """String concatenation: associative, order must be preserved."""
+    words = [c for c in "parallex"]
+
+    def main():
+        return reduce_(par.with_chunk_size(3), words, "", operator.add)
+
+    assert rt.run(main) == "parallex"
+
+
+def test_inclusive_scan_matches_itertools(rt):
+    import itertools
+
+    data = list(range(1, 30))
+
+    def main():
+        return inclusive_scan(par.with_chunk_size(4), data, operator.add)
+
+    assert rt.run(main) == list(itertools.accumulate(data))
+
+
+def test_inclusive_scan_empty():
+    assert inclusive_scan(seq, [], operator.add) == []
+
+
+def test_inclusive_scan_single_chunk():
+    assert inclusive_scan(seq, [5, 1, 2], operator.add) == [5, 6, 8]
+
+
+def test_chunked_for_each_respects_chunk_size(rt):
+    """With chunk_size=10 over 100 items, exactly 10 tasks are spawned."""
+    pool = rt.localities[0].pool
+    before = pool.tasks_executed
+
+    def main():
+        for_each(par.with_chunk_size(10), range(100), lambda i: None)
+
+    rt.run(main)
+    # main + 10 chunk tasks (when_all adds no tasks of its own).
+    assert pool.tasks_executed - before == 11

@@ -1,0 +1,126 @@
+"""Unit tests for distributed collectives and timed execution."""
+
+import operator
+
+import pytest
+
+from repro.errors import RuntimeStateError
+from repro.runtime import Runtime, async_after, collectives, sleep_for
+from repro.runtime import context as ctx
+
+
+def locality_id_of_here():
+    return ctx.here().locality_id
+
+
+def square(x):
+    return x * x
+
+
+def locality_tag():
+    return str(ctx.here().locality_id)
+
+
+def five():
+    return 5
+
+
+@pytest.fixture
+def cluster():
+    with Runtime(machine="xeon-e5-2660v3", n_localities=4, workers_per_locality=2) as rt:
+        yield rt
+
+
+def test_broadcast_runs_everywhere(cluster):
+    results = cluster.run(lambda: collectives.broadcast(cluster, locality_id_of_here))
+    assert results == [0, 1, 2, 3]
+
+
+def test_broadcast_with_args(cluster):
+    results = cluster.run(lambda: collectives.broadcast(cluster, square, 3))
+    assert results == [9, 9, 9, 9]
+
+
+def test_scatter_per_locality_args(cluster):
+    results = cluster.run(
+        lambda: collectives.scatter(cluster, square, [(i,) for i in range(4)])
+    )
+    assert results == [0, 1, 4, 9]
+
+
+def test_scatter_arg_count_checked(cluster):
+    with pytest.raises(RuntimeStateError):
+        cluster.run(lambda: collectives.scatter(cluster, square, [(1,)]))
+
+
+def test_all_reduce_sum(cluster):
+    total = cluster.run(
+        lambda: collectives.all_reduce(cluster, locality_id_of_here, operator.add)
+    )
+    assert total == 0 + 1 + 2 + 3
+
+
+def test_all_reduce_non_commutative_deterministic(cluster):
+    result = cluster.run(
+        lambda: collectives.all_reduce(cluster, locality_tag, operator.add)
+    )
+    assert result == "0123"  # locality order, always
+
+
+def test_global_barrier_costs_network_time(cluster):
+    before = cluster.makespan
+    cluster.run(lambda: collectives.global_barrier(cluster))
+    assert cluster.makespan > before  # round trips accrued virtual time
+
+
+def test_single_locality_collectives():
+    with Runtime(n_localities=1, workers_per_locality=2) as rt:
+        assert rt.run(lambda: collectives.broadcast(rt, square, 2)) == [4]
+        assert rt.run(lambda: collectives.all_reduce(rt, five, operator.add)) == 5
+
+
+# Timed execution ----------------------------------------------------------------
+
+def test_async_after_delays_in_virtual_time(rt):
+    def main():
+        future = async_after(10.0, lambda: "late")
+        return future.get()
+
+    assert rt.run(main) == "late"
+    assert rt.makespan >= 10.0
+
+
+def test_async_after_overlaps_with_other_work(rt):
+    """Workers run other tasks while the timed task waits."""
+    from repro.runtime import async_, when_all
+
+    def main():
+        late = async_after(5.0, lambda: ctx.add_cost(1.0))
+        busy = [async_(lambda: ctx.add_cost(1.0)) for _ in range(3)]
+        when_all([late] + busy).get()
+
+    rt.run(main)
+    # Busy tasks fill t in [0,1]; the timed task runs [5,6]: makespan 6,
+    # not 5 + 1 + 3 sequentialised.
+    assert rt.makespan == pytest.approx(6.0)
+
+
+def test_async_after_negative_delay_rejected(rt):
+    def main():
+        async_after(-1.0, lambda: None)
+
+    with pytest.raises(RuntimeStateError):
+        rt.run(main)
+
+
+def test_sleep_for_advances_task_clock(rt):
+    def main():
+        sleep_for(2.5)
+
+    rt.run(main)
+    assert rt.makespan == pytest.approx(2.5)
+
+
+def test_sleep_for_negative_rejected(rt):
+    with pytest.raises(RuntimeStateError):
+        rt.run(lambda: sleep_for(-0.1))

@@ -1,0 +1,118 @@
+"""Unit tests for executors and static chunking."""
+
+import pytest
+
+from repro.errors import RuntimeStateError
+from repro.runtime import context as ctx
+from repro.runtime.threads.executor import BlockExecutor, PoolExecutor, static_chunks
+from repro.runtime.threads.pool import ThreadPool
+
+
+def test_static_chunks_even():
+    assert static_chunks(8, 4) == [range(0, 2), range(2, 4), range(4, 6), range(6, 8)]
+
+
+def test_static_chunks_remainder_spread_front():
+    chunks = static_chunks(10, 4)
+    assert [len(c) for c in chunks] == [3, 3, 2, 2]
+    assert chunks[0] == range(0, 3)
+    assert chunks[-1] == range(8, 10)
+
+
+def test_static_chunks_more_workers_than_items():
+    chunks = static_chunks(2, 4)
+    assert [len(c) for c in chunks] == [1, 1, 0, 0]
+
+
+def test_static_chunks_cover_everything_exactly_once():
+    chunks = static_chunks(17, 5)
+    flat = [i for c in chunks for i in c]
+    assert flat == list(range(17))
+
+
+def test_static_chunks_validation():
+    with pytest.raises(RuntimeStateError):
+        static_chunks(-1, 2)
+    with pytest.raises(RuntimeStateError):
+        static_chunks(2, 0)
+
+
+def test_pool_executor_submit():
+    pool = ThreadPool(2)
+    executor = PoolExecutor(pool)
+    future = executor.submit(lambda a: a * 2, 21)
+    pool.run_all()
+    assert future.get() == 42
+
+
+def test_pool_executor_bulk():
+    pool = ThreadPool(2)
+    executor = PoolExecutor(pool)
+    seen = []
+    futures = executor.bulk_submit(lambda i: seen.append(i), range(5))
+    pool.run_all()
+    assert len(futures) == 5
+    assert sorted(seen) == [0, 1, 2, 3, 4]
+
+
+def test_block_executor_binds_chunks_to_workers():
+    pool = ThreadPool(4, scheduler="static")
+    executor = BlockExecutor(pool)
+    placement = {}
+
+    def record(i):
+        placement[i] = ctx.current().worker_id
+
+    futures = executor.bulk_submit(record, range(8))
+    pool.run_all()
+    assert len(futures) == 4  # one chunk per worker
+    # Items 0,1 -> worker 0; 2,3 -> worker 1; etc.
+    for item, worker in placement.items():
+        assert worker == item // 2
+
+
+def test_block_executor_stable_across_rounds():
+    """The NUMA property: the same index lands on the same worker every
+    time step (first-touch locality)."""
+    pool = ThreadPool(3, scheduler="static")
+    executor = BlockExecutor(pool)
+    rounds = []
+
+    for _ in range(3):
+        placement = {}
+        executor.bulk_submit(
+            lambda i, p=placement: p.__setitem__(i, ctx.current().worker_id),
+            range(9),
+        )
+        pool.run_all()
+        rounds.append(placement)
+    assert rounds[0] == rounds[1] == rounds[2]
+
+
+def test_block_executor_chunk_for():
+    pool = ThreadPool(4)
+    executor = BlockExecutor(pool)
+    assert executor.chunk_for(8, 0) == range(0, 2)
+    assert executor.chunk_for(8, 3) == range(6, 8)
+    with pytest.raises(RuntimeStateError):
+        executor.chunk_for(8, 4)
+
+
+def test_block_executor_single_submit_pinned():
+    pool = ThreadPool(2, scheduler="static")
+    executor = BlockExecutor(pool)
+    worker = []
+    executor.submit(lambda: worker.append(ctx.current().worker_id))
+    pool.run_all()
+    assert worker == [0]
+
+
+def test_bulk_sync_waits(rt):
+    executor = PoolExecutor(rt.localities[0].pool)
+    done = []
+
+    def main():
+        executor.bulk_sync(lambda i: done.append(i), range(4))
+        return len(done)
+
+    assert rt.run(main) == 4

@@ -1,0 +1,140 @@
+"""Unit tests for parcels, serialization, and parcelports."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParcelError, SerializationError
+from repro.hardware import Interconnect
+from repro.runtime.agas import Gid
+from repro.runtime.parcel import (
+    LoopbackParcelport,
+    NetworkParcelport,
+    Parcel,
+    deserialize,
+    serialize,
+    serialized_size,
+)
+
+
+# Serialization ------------------------------------------------------------------
+
+def test_roundtrip_python_objects():
+    payload = {"a": [1, 2.5, "three"], "b": (None, True)}
+    assert deserialize(serialize(payload)) == payload
+
+
+def test_roundtrip_numpy():
+    arr = np.arange(10.0)
+    out = deserialize(serialize(arr))
+    assert np.array_equal(out, arr)
+
+
+def test_unserializable_rejected_with_clear_error():
+    with pytest.raises(SerializationError):
+        serialize(lambda x: x)  # locally-defined lambda cannot ship
+
+
+def test_unserializable_open_file():
+    import sys
+
+    with pytest.raises(SerializationError):
+        serialize(sys.stdout.buffer)
+
+
+def test_deserialize_garbage_rejected():
+    with pytest.raises(SerializationError):
+        deserialize(b"not a pickle")
+
+
+def test_serialized_size_positive_and_monotone_in_payload():
+    small = serialized_size(b"x" * 10)
+    large = serialized_size(b"x" * 1000)
+    assert 0 < small < large
+
+
+# Parcel ---------------------------------------------------------------------------
+
+def test_parcel_needs_exactly_one_target():
+    with pytest.raises(ParcelError):
+        Parcel(source_locality=0, payload=b"")
+    with pytest.raises(ParcelError):
+        Parcel(
+            source_locality=0,
+            payload=b"",
+            target_gid=Gid(0, 1),
+            target_locality=1,
+        )
+
+
+def test_parcel_payload_must_be_bytes():
+    with pytest.raises(ParcelError):
+        Parcel(source_locality=0, payload="text", target_locality=1)
+
+
+def test_parcel_size_includes_header():
+    parcel = Parcel(source_locality=0, payload=b"x" * 100, target_locality=1)
+    assert parcel.size_bytes == 164
+
+
+def test_parcel_ids_unique():
+    a = Parcel(source_locality=0, payload=b"", target_locality=1)
+    b = Parcel(source_locality=0, payload=b"", target_locality=1)
+    assert a.parcel_id != b.parcel_id
+
+
+# Parcelports -------------------------------------------------------------------------
+
+def test_loopback_delivers_at_send_time():
+    port = LoopbackParcelport()
+    delivered = []
+    port.install_router(lambda p, t: delivered.append((p, t)))
+    parcel = Parcel(source_locality=0, payload=b"hi", target_locality=0, send_time=3.0)
+    assert port.send(parcel) == 3.0
+    assert delivered[0][1] == 3.0
+    assert port.parcels_sent == 1
+    assert port.bytes_sent == parcel.size_bytes
+
+
+def test_send_without_router_rejected():
+    port = LoopbackParcelport()
+    with pytest.raises(ParcelError):
+        port.send(Parcel(source_locality=0, payload=b"", target_locality=0))
+
+
+def make_network_port(**kwargs):
+    net = Interconnect("test", latency_s=1e-3, bandwidth_gbs=1.0)
+    port = NetworkParcelport(net, n_localities=4, **kwargs)
+    port.install_resolver(lambda p: p.target_locality)
+    return port
+
+
+def test_network_port_adds_delay_cross_locality():
+    port = make_network_port()
+    arrivals = []
+    port.install_router(lambda p, t: arrivals.append(t))
+    parcel = Parcel(source_locality=0, payload=b"x" * 936, target_locality=1, send_time=1.0)
+    port.send(parcel)
+    # 1 ms latency + 1000 B / 1 GB/s = 1 us.
+    assert arrivals[0] == pytest.approx(1.0 + 1e-3 + 1e-6)
+
+
+def test_network_port_same_locality_is_free():
+    port = make_network_port()
+    arrivals = []
+    port.install_router(lambda p, t: arrivals.append(t))
+    port.send(Parcel(source_locality=2, payload=b"", target_locality=2, send_time=5.0))
+    assert arrivals[0] == 5.0
+
+
+def test_network_port_needs_resolver():
+    net = Interconnect("test", latency_s=0.0, bandwidth_gbs=1.0)
+    port = NetworkParcelport(net, n_localities=2)
+    port.install_router(lambda p, t: None)
+    with pytest.raises(ParcelError):
+        port.send(Parcel(source_locality=0, payload=b"", target_locality=1))
+
+
+def test_network_port_validation():
+    net = Interconnect("test", latency_s=0.0, bandwidth_gbs=1.0)
+    with pytest.raises(ParcelError):
+        NetworkParcelport(net, n_localities=0)

@@ -1,0 +1,101 @@
+"""Unit tests for the HPX-style performance-counter API."""
+
+import pytest
+
+from repro.errors import RuntimeStateError
+from repro.runtime import Runtime, async_, perfcounters
+from repro.runtime import context as ctx
+
+
+def test_threads_count_cumulative(rt):
+    rt.run(lambda: [async_(lambda: None) for _ in range(5)] and None)
+    rt.progress_all()
+    # 5 children + the main task (+ nothing else).
+    assert perfcounters.query(rt, "/threads{total}/count/cumulative") == 6.0
+
+
+def test_per_locality_instance():
+    with Runtime(n_localities=2, workers_per_locality=1) as rt:
+        rt.run(lambda: None)
+        loc0 = perfcounters.query(rt, "/threads{locality#0/total}/count/cumulative")
+        loc1 = perfcounters.query(rt, "/threads{locality#1/total}/count/cumulative")
+        assert loc0 >= 1.0
+        assert loc1 == 0.0
+
+
+def test_queue_length(rt):
+    pool = rt.localities[0].pool
+    pool.submit(lambda: None)
+    pool.submit(lambda: None)
+    assert perfcounters.query(rt, "/threads{total}/queue/length") == 2.0
+    rt.progress_all()
+    assert perfcounters.query(rt, "/threads{total}/queue/length") == 0.0
+
+
+def test_stolen_counter(rt):
+    pool = rt.localities[0].pool
+    for _ in range(8):
+        pool.submit(lambda: ctx.add_cost(1.0), worker=0)
+    rt.progress_all()
+    assert perfcounters.query(rt, "/threads{total}/count/stolen") > 0
+
+
+def test_idle_rate_bounds(rt):
+    def main():
+        async_(lambda: ctx.add_cost(4.0))  # one long task -> 3 idle workers
+
+    rt.run(main)
+    rt.progress_all()
+    idle = perfcounters.query(rt, "/threads{total}/idle-rate")
+    assert 0.5 < idle < 1.0  # 3 of 4 workers idle most of the makespan
+
+
+def test_idle_rate_counts_delayed_start_as_idle(rt):
+    """A task deferred by ready_time leaves the worker idle, not busy --
+    the counter reads attributed cost, not end times."""
+    pool = rt.localities[0].pool
+    pool.submit(lambda: ctx.add_cost(1.0), ready_time=9.0)
+    rt.progress_all()
+    # 1 busy second out of 4 workers x 10s makespan.
+    idle = perfcounters.query(rt, "/threads{total}/idle-rate")
+    assert idle == pytest.approx(1.0 - 1.0 / 40.0)
+
+
+def test_time_average(rt):
+    rt.run(lambda: [async_(lambda: ctx.add_cost(2.0)) for _ in range(4)] and None)
+    rt.progress_all()
+    avg = perfcounters.query(rt, "/threads{total}/time/average")
+    assert avg > 0.0
+
+
+def test_parcel_counters():
+    with Runtime(machine="xeon-e5-2660v3", n_localities=2, workers_per_locality=1) as rt:
+        rt.run(lambda: rt.async_at(1, abs, -3).get())
+        assert perfcounters.query(rt, "/parcels{total}/count/sent") >= 1.0
+        assert perfcounters.query(rt, "/parcels{total}/data/sent") > 0.0
+
+
+def test_uptime_is_makespan(rt):
+    rt.run(lambda: ctx.add_cost(1.5))
+    assert perfcounters.query(rt, "/runtime/uptime") == pytest.approx(rt.makespan)
+
+
+def test_malformed_paths_rejected(rt):
+    for bad in (
+        "threads/count",  # no leading slash
+        "/threads{locality#x/total}/count/cumulative",
+        "/threads{total}/count/bogus",
+        "/parcels{locality#0/total}/count/sent",
+        "/nonsense/count",
+        "/runtime/downtime",
+    ):
+        with pytest.raises(RuntimeStateError):
+            perfcounters.query(rt, bad)
+
+
+def test_discover_lists_queryable_paths(rt):
+    paths = perfcounters.discover(rt)
+    assert "/runtime/uptime" in paths
+    for path in paths:
+        value = perfcounters.query(rt, path)
+        assert isinstance(value, float)

@@ -1,0 +1,113 @@
+"""Tests for remote (AGAS-hosted) channels."""
+
+import pytest
+
+from repro.errors import ChannelClosedError
+from repro.runtime import Runtime
+from repro.runtime.lco import RemoteChannel
+
+
+@pytest.fixture
+def cluster():
+    with Runtime(machine="xeon-e5-2660v3", n_localities=3, workers_per_locality=2) as rt:
+        yield rt
+
+
+def test_set_then_get_across_localities(cluster):
+    channel = RemoteChannel.create(cluster, locality_id=1)
+
+    def main():
+        channel.set(42).get()
+        return channel.get_sync()
+
+    assert cluster.run(main) == 42
+
+
+def test_fifo_order_preserved(cluster):
+    channel = RemoteChannel.create(cluster, locality_id=2)
+
+    def main():
+        for i in range(5):
+            channel.set(i).get()
+        return [channel.get_sync() for _ in range(5)]
+
+    assert cluster.run(main) == [0, 1, 2, 3, 4]
+
+
+def test_get_before_set_blocks_cooperatively(cluster):
+    channel = RemoteChannel.create(cluster, locality_id=1)
+
+    def producer():
+        channel.set("payload")
+
+    def main():
+        pending = channel.get()  # remote get; nothing sent yet
+        cluster.async_at(2, _produce_on, channel.gid)
+        return pending.get()
+
+    assert cluster.run(main) == "payload"
+
+
+def _produce_on(gid):
+    from repro.runtime import context as ctx
+
+    runtime = ctx.current().runtime
+    runtime.invoke(gid, "ch_set", "payload")
+
+
+def test_try_get(cluster):
+    channel = RemoteChannel.create(cluster)
+
+    def main():
+        empty = channel.try_get()
+        channel.set(7).get()
+        full = channel.try_get()
+        return empty, full
+
+    empty, full = cluster.run(main)
+    assert empty == (False, None)
+    assert full == (True, 7)
+
+
+def test_len_counts_buffered(cluster):
+    channel = RemoteChannel.create(cluster, locality_id=1)
+
+    def main():
+        channel.set(1).get()
+        channel.set(2).get()
+        return len(channel)
+
+    assert cluster.run(main) == 2
+
+
+def test_close_fails_remote_waiters(cluster):
+    channel = RemoteChannel.create(cluster, locality_id=1)
+
+    def main():
+        channel.close()
+        return channel.get()
+
+    future = cluster.run(main)
+    with pytest.raises(ChannelClosedError):
+        future.get()
+
+
+def test_home_and_migration(cluster):
+    channel = RemoteChannel.create(cluster, locality_id=0)
+    assert channel.home == 0
+
+    def main():
+        channel.set("before").get()
+        cluster.agas.migrate(channel.gid, 2)
+        channel.set("after").get()
+        return channel.get_sync(), channel.get_sync()
+
+    assert cluster.run(main) == ("before", "after")
+    assert channel.home == 2
+
+
+def test_remote_channel_costs_network_time(cluster):
+    channel = RemoteChannel.create(cluster, locality_id=2)
+    before = cluster.makespan
+    cluster.run(lambda: channel.set(1).get())
+    assert cluster.makespan > before

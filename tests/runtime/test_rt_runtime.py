@@ -1,0 +1,218 @@
+"""Integration tests for the Runtime: boot, run, components, parcels."""
+
+import pytest
+
+from repro.config import Config
+from repro.errors import RuntimeStateError
+from repro.runtime import Runtime, async_, when_all
+from repro.runtime.agas import Component
+
+
+def double(x):
+    return 2 * x
+
+
+def fail_remotely():
+    raise RuntimeError("remote boom")
+
+
+class Accumulator(Component):
+    def __init__(self):
+        super().__init__()
+        self.total = 0
+
+    def add(self, value):
+        self.total += value
+        return self.total
+
+    def read(self):
+        return self.total
+
+
+def test_run_returns_value():
+    with Runtime(workers_per_locality=2) as rt:
+        assert rt.run(lambda: 123) == 123
+
+
+def test_run_without_start_rejected():
+    rt = Runtime()
+    with pytest.raises(RuntimeStateError):
+        rt.run(lambda: 1)
+
+
+def test_double_start_rejected():
+    rt = Runtime().start()
+    try:
+        with pytest.raises(RuntimeStateError):
+            rt.start()
+    finally:
+        rt.stop()
+
+
+def test_stop_without_start_rejected():
+    with pytest.raises(RuntimeStateError):
+        Runtime().stop()
+
+
+def test_context_manager_cleans_up_on_error():
+    with pytest.raises(ValueError):
+        with Runtime() as rt:
+            rt.run(lambda: 1)
+            raise ValueError("user error")
+    # A fresh runtime must boot fine afterwards (context stack intact).
+    with Runtime() as rt:
+        assert rt.run(lambda: 2) == 2
+
+
+def test_machine_by_name_sets_workers():
+    with Runtime(machine="xeon-e5-2660v3") as rt:
+        assert rt.workers_per_locality == 20
+
+
+def test_worker_count_validation():
+    with pytest.raises(RuntimeStateError):
+        Runtime(n_localities=0)
+    with pytest.raises(RuntimeStateError):
+        Runtime(workers_per_locality=0)
+    with pytest.raises(RuntimeStateError):
+        Runtime(machine="xeon-e5-2660v3", workers_per_locality=100)
+
+
+def test_here_and_localities():
+    with Runtime(n_localities=3, workers_per_locality=1) as rt:
+        assert len(rt.find_all_localities()) == 3
+        assert rt.run(lambda: rt.here().locality_id) == 0
+        with pytest.raises(RuntimeStateError):
+            rt.locality(3)
+
+
+def test_async_at_remote_locality():
+    with Runtime(machine="xeon-e5-2660v3", n_localities=2, workers_per_locality=2) as rt:
+        def main():
+            return rt.async_at(1, double, 21).get()
+
+        assert rt.run(main) == 42
+        assert rt.parcelport.parcels_sent >= 1
+
+
+def test_async_at_local_locality_loopback():
+    with Runtime(n_localities=1, workers_per_locality=2) as rt:
+        def main():
+            return rt.async_at(0, double, 5).get()
+
+        assert rt.run(main) == 10
+
+
+def test_remote_exception_propagates():
+    with Runtime(machine="a64fx", n_localities=2, workers_per_locality=2) as rt:
+        def main():
+            return rt.async_at(1, fail_remotely).get()
+
+        with pytest.raises(RuntimeError, match="remote boom"):
+            rt.run(main)
+
+
+def test_registered_action_by_name():
+    from repro.runtime.actions import action
+
+    @action(name="test.triple")
+    def triple(x):
+        return 3 * x
+
+    with Runtime(n_localities=2, workers_per_locality=1) as rt:
+        def main():
+            return rt.async_at(1, "test.triple", 4).get()
+
+        assert rt.run(main) == 12
+
+
+def test_component_invoke():
+    with Runtime(n_localities=2, workers_per_locality=2) as rt:
+        acc = Accumulator()
+        gid = rt.new_component(acc, locality_id=1)
+
+        def main():
+            rt.invoke(gid, "add", 10)
+            rt.invoke(gid, "add", 5)
+            return rt.invoke(gid, "read")
+
+        assert rt.run(main) == 15
+
+
+def test_component_migration_reroutes_parcels():
+    with Runtime(n_localities=3, workers_per_locality=1) as rt:
+        acc = Accumulator()
+        gid = rt.new_component(acc, locality_id=0)
+
+        def main():
+            rt.invoke(gid, "add", 1)
+            rt.agas.migrate(gid, 2)
+            rt.invoke(gid, "add", 2)  # resolved to the new home
+            return rt.invoke(gid, "read")
+
+        assert rt.run(main) == 3
+        assert rt.agas.home_of(gid) == 2
+
+
+def test_new_component_requires_component():
+    with Runtime() as rt:
+        with pytest.raises(RuntimeStateError):
+            rt.new_component(object())
+
+
+def test_network_time_is_modelled():
+    """Cross-locality calls must cost virtual network time; local ones not."""
+    with Runtime(machine="xeon-e5-2660v3", n_localities=2, workers_per_locality=1) as rt:
+        def main():
+            return rt.async_at(1, double, 1).get()
+
+        rt.run(main)
+        # Round trip over IB: at least 2 x 2 us of virtual time.
+        assert rt.makespan >= 2 * 2.0e-6
+
+
+def test_kunpeng_charges_sender_for_transfers():
+    """overlap=False (Kunpeng) bills the sending task for the wire time."""
+    with Runtime(machine="kunpeng916", n_localities=2, workers_per_locality=1) as rt:
+        def main():
+            return rt.async_at(1, double, 1).get()
+
+        rt.run(main)
+        kunpeng_time = rt.makespan
+    with Runtime(machine="xeon-e5-2660v3", n_localities=2, workers_per_locality=1) as rt:
+        def main():
+            return rt.async_at(1, double, 1).get()
+
+        rt.run(main)
+        xeon_time = rt.makespan
+    assert kunpeng_time > 100 * xeon_time
+
+
+def test_serialize_disabled_still_works():
+    cfg = Config(**{"parcel__serialize": False})
+    with Runtime(n_localities=2, workers_per_locality=1, config=cfg) as rt:
+        def main():
+            return rt.async_at(1, double, 8).get()
+
+        assert rt.run(main) == 16
+
+
+def test_fan_out_across_localities():
+    with Runtime(machine="a64fx", n_localities=4, workers_per_locality=2) as rt:
+        def main():
+            futures = [rt.async_at(i, double, i) for i in range(4)]
+            return [f.get() for f in when_all(futures).get()]
+
+        assert rt.run(main) == [0, 2, 4, 6]
+
+
+def test_progress_all_quiesces():
+    with Runtime(workers_per_locality=2) as rt:
+        def main():
+            for i in range(10):
+                async_(double, i)  # fire and forget
+            return "done"
+
+        rt.run(main)
+        rt.progress_all()
+        assert all(not loc.pool.pending() for loc in rt.localities)

@@ -1,0 +1,129 @@
+"""Unit tests for the three schedulers."""
+
+import pytest
+
+from repro.errors import ConfigError, RuntimeStateError
+from repro.runtime.threads.hpx_thread import HpxThread
+from repro.runtime.threads.scheduler import (
+    FifoScheduler,
+    StaticScheduler,
+    WorkStealingScheduler,
+    make_scheduler,
+)
+
+
+def task(name="t"):
+    return HpxThread(lambda: None, description=name)
+
+
+def test_factory():
+    assert isinstance(make_scheduler("fifo", 2), FifoScheduler)
+    assert isinstance(make_scheduler("static", 2), StaticScheduler)
+    assert isinstance(make_scheduler("work-stealing", 2), WorkStealingScheduler)
+    with pytest.raises(ConfigError):
+        make_scheduler("lottery", 2)
+
+
+def test_needs_at_least_one_worker():
+    with pytest.raises(RuntimeStateError):
+        FifoScheduler(0)
+
+
+def test_fifo_global_order():
+    sched = FifoScheduler(2)
+    t1, t2, t3 = task("1"), task("2"), task("3")
+    for t in (t1, t2, t3):
+        sched.push(t)
+    assert sched.acquire(0) is t1
+    assert sched.acquire(1) is t2
+    assert sched.acquire(0) is t3
+    assert sched.acquire(0) is None
+
+
+def test_fifo_len():
+    sched = FifoScheduler(1)
+    sched.push(task())
+    sched.push(task())
+    assert len(sched) == 2
+
+
+def test_static_round_robin_distribution():
+    sched = StaticScheduler(2)
+    tasks = [task(str(i)) for i in range(4)]
+    for t in tasks:
+        sched.push(t)
+    assert sched.acquire(0) is tasks[0]
+    assert sched.acquire(0) is tasks[2]
+    assert sched.acquire(1) is tasks[1]
+    assert sched.acquire(1) is tasks[3]
+
+
+def test_static_no_stealing():
+    sched = StaticScheduler(2)
+    sched.push(task(), worker_hint=0)
+    # Worker 1 must idle even though worker 0 has work.
+    assert sched.acquire(1) is None
+    assert len(sched) == 1
+
+
+def test_static_honours_hint():
+    sched = StaticScheduler(4)
+    t = task()
+    sched.push(t, worker_hint=3)
+    assert sched.acquire(3) is t
+
+
+def test_work_stealing_own_queue_first():
+    sched = WorkStealingScheduler(2)
+    own = task("own")
+    other = task("other")
+    sched.push(own, worker_hint=0)
+    sched.push(other, worker_hint=1)
+    assert sched.acquire(0) is own
+    assert sched.steals == 0
+
+
+def test_work_stealing_steals_when_dry():
+    sched = WorkStealingScheduler(2)
+    t = task()
+    sched.push(t, worker_hint=1)
+    assert sched.acquire(0) is t
+    assert sched.steals == 1
+    assert t.worker_id == 0
+
+
+def test_steal_takes_oldest_from_victim_back():
+    sched = WorkStealingScheduler(2)
+    t1, t2 = task("old"), task("new")
+    sched.push(t1, worker_hint=1)
+    sched.push(t2, worker_hint=1)
+    stolen = sched.acquire(0)
+    assert stolen is t2  # back of the victim's deque
+    assert sched.acquire(1) is t1  # owner pops front
+
+
+def test_steal_attempts_limit():
+    # Worker 0 may only probe 1 victim (worker 1); work on worker 2 is
+    # out of its reach.
+    sched = WorkStealingScheduler(3, steal_attempts=1)
+    sched.push(task(), worker_hint=2)
+    assert sched.acquire(0) is None
+    assert sched.acquire(1) is not None  # worker 1 probes worker 2
+
+
+def test_worker_range_validated():
+    sched = WorkStealingScheduler(2)
+    with pytest.raises(RuntimeStateError):
+        sched.push(task(), worker_hint=5)
+    with pytest.raises(RuntimeStateError):
+        sched.acquire(-1)
+
+
+def test_unhinted_push_round_robins():
+    sched = WorkStealingScheduler(2)
+    t1, t2 = task(), task()
+    sched.push(t1)
+    sched.push(t2)
+    assert sched.acquire(0) is t1
+    assert sched.acquire(1) is t2
+    assert sched.steals == 0

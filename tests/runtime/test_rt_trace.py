@@ -1,0 +1,123 @@
+"""Unit tests for the execution tracer."""
+
+import pytest
+
+from repro.errors import RuntimeStateError
+from repro.runtime import Runtime, async_
+from repro.runtime import context as ctx
+from repro.runtime.threads.pool import ThreadPool
+from repro.runtime.trace import Tracer
+
+
+def test_records_task_fields():
+    pool = ThreadPool(2, name="p")
+    tracer = Tracer()
+    with tracer.attach(pool):
+        pool.submit(lambda: ctx.add_cost(2.0), description="heavy")
+        pool.run_all()
+    assert len(tracer.records) == 1
+    record = tracer.records[0]
+    assert record.description == "heavy"
+    assert record.duration == pytest.approx(2.0)
+    assert record.pool == "p"
+
+
+def test_detach_restores_pool():
+    pool = ThreadPool(1)
+    tracer = Tracer()
+    with tracer.attach(pool):
+        pool.submit(lambda: None)
+        pool.run_all()
+    pool.submit(lambda: None)
+    pool.run_all()
+    assert len(tracer.records) == 1  # post-detach task not traced
+
+
+def test_attach_to_runtime_traces_all_localities():
+    tracer = Tracer()
+    with Runtime(n_localities=2, workers_per_locality=1) as rt:
+        with tracer.attach(rt):
+            rt.run(lambda: rt.async_at(1, abs, -1).get())
+    pools = {r.pool for r in tracer.records}
+    assert pools == {"locality-0", "locality-1"}
+
+
+def test_attach_rejects_other_objects():
+    with pytest.raises(RuntimeStateError):
+        with Tracer().attach(object()):
+            pass
+
+
+def test_by_worker_lanes_sorted():
+    pool = ThreadPool(2)
+    tracer = Tracer()
+    with tracer.attach(pool):
+        for _ in range(6):
+            pool.submit(lambda: ctx.add_cost(1.0))
+        pool.run_all()
+    lanes = tracer.by_worker()
+    assert len(lanes) == 2
+    for lane in lanes.values():
+        starts = [r.start_time for r in lane]
+        assert starts == sorted(starts)
+
+
+def test_busy_fraction_full_when_balanced():
+    pool = ThreadPool(2)
+    tracer = Tracer()
+    with tracer.attach(pool):
+        for _ in range(4):
+            pool.submit(lambda: ctx.add_cost(1.0))
+        pool.run_all()
+    assert tracer.busy_fraction() == pytest.approx(1.0)
+
+
+def test_busy_fraction_half_when_one_worker_idle():
+    pool = ThreadPool(2)
+    tracer = Tracer()
+    with tracer.attach(pool):
+        pool.submit(lambda: ctx.add_cost(4.0), worker=0)
+        pool.run_all()
+    assert tracer.busy_fraction() == pytest.approx(1.0)  # one lane only
+    # Force both lanes into the picture:
+    with tracer.attach(pool):
+        pool.submit(lambda: None, worker=1)
+        pool.run_all()
+    assert tracer.busy_fraction() < 0.6
+
+
+def test_queue_delay_measured():
+    pool = ThreadPool(1)
+    tracer = Tracer()
+    with tracer.attach(pool):
+        pool.submit(lambda: ctx.add_cost(3.0))
+        pool.submit(lambda: ctx.add_cost(1.0))  # waits 3s for the worker
+        pool.run_all()
+    assert tracer.total_queue_delay() == pytest.approx(3.0)
+
+
+def test_gantt_renders_lanes():
+    pool = ThreadPool(2, name="pool")
+    tracer = Tracer()
+    with tracer.attach(pool):
+        for _ in range(4):
+            pool.submit(lambda: ctx.add_cost(1.0))
+        pool.run_all()
+    chart = tracer.render_gantt(width=40)
+    assert "pool/w0" in chart and "pool/w1" in chart
+    assert "#" in chart
+    assert "@" not in chart  # no double-booked workers, ever
+
+
+def test_gantt_empty():
+    assert "no traced tasks" in Tracer().render_gantt()
+
+
+def test_makespan_matches_pool():
+    pool = ThreadPool(2)
+    tracer = Tracer()
+    with tracer.attach(pool):
+        for _ in range(3):
+            pool.submit(lambda: ctx.add_cost(1.0))
+        pool.run_all()
+    assert tracer.makespan == pytest.approx(pool.makespan)

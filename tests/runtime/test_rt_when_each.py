@@ -1,0 +1,102 @@
+"""Tests for when_each and future unwrapping."""
+
+import pytest
+
+from repro.errors import FutureNotReadyError
+from repro.runtime import Promise, async_, make_ready_future, unwrap, when_each
+
+
+class TestWhenEach:
+    def test_callbacks_fire_in_completion_order(self):
+        promises = [Promise() for _ in range(3)]
+        seen = []
+        done = when_each(
+            [p.get_future() for p in promises],
+            lambda i, f: seen.append((i, f.get_nowait())),
+        )
+        promises[2].set_value("c")
+        promises[0].set_value("a")
+        promises[1].set_value("b")
+        assert seen == [(2, "c"), (0, "a"), (1, "b")]
+        assert done.is_ready()
+
+    def test_empty_input_completes_immediately(self):
+        assert when_each([], lambda i, f: None).is_ready()
+
+    def test_completes_only_after_last(self):
+        promises = [Promise() for _ in range(2)]
+        done = when_each([p.get_future() for p in promises], lambda i, f: None)
+        promises[0].set_value(1)
+        assert not done.is_ready()
+        promises[1].set_value(2)
+        assert done.is_ready()
+
+    def test_callback_exception_does_not_wedge_completion(self):
+        promises = [Promise() for _ in range(2)]
+
+        def fussy(i, f):
+            if i == 0:
+                raise RuntimeError("callback bug")
+
+        done = when_each([p.get_future() for p in promises], fussy)
+        with pytest.raises(RuntimeError):
+            promises[0].set_value(1)
+        promises[1].set_value(2)
+        assert done.is_ready()
+
+    def test_in_runtime_with_tasks(self, rt):
+        order = []
+
+        def main():
+            futures = [async_(lambda i=i: i * i) for i in range(5)]
+            when_each(futures, lambda i, f: order.append(f.get_nowait())).get()
+            return sorted(order)
+
+        assert rt.run(main) == [0, 1, 4, 9, 16]
+
+
+class TestUnwrap:
+    def test_flattens_nested_future(self):
+        inner = make_ready_future(42)
+        outer = make_ready_future(inner)
+        assert unwrap(outer).get() == 42
+
+    def test_passes_through_flat_values(self):
+        assert unwrap(make_ready_future("plain")).get() == "plain"
+
+    def test_pending_outer_then_inner(self):
+        outer_promise, inner_promise = Promise(), Promise()
+        flat = unwrap(outer_promise.get_future())
+        assert not flat.is_ready()
+        outer_promise.set_value(inner_promise.get_future())
+        assert not flat.is_ready()
+        inner_promise.set_value(7)
+        assert flat.get() == 7
+
+    def test_outer_exception_propagates(self):
+        promise = Promise()
+        flat = unwrap(promise.get_future())
+        promise.set_exception(KeyError("outer"))
+        with pytest.raises(KeyError):
+            flat.get()
+
+    def test_inner_exception_propagates(self):
+        inner = Promise()
+        flat = unwrap(make_ready_future(inner.get_future()))
+        inner.set_exception(ValueError("inner"))
+        with pytest.raises(ValueError):
+            flat.get()
+
+    def test_unwrap_async_returning_future(self, rt):
+        def produce():
+            return async_(lambda: "nested result")
+
+        def main():
+            return unwrap(async_(produce)).get()
+
+        assert rt.run(main) == "nested result"
+
+    def test_unwrap_never_ready_stays_pending(self):
+        flat = unwrap(Promise().get_future())
+        with pytest.raises(FutureNotReadyError):
+            flat.get_nowait()

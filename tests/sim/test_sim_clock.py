@@ -1,0 +1,68 @@
+"""Unit tests for the virtual clock."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import VirtualClock
+
+
+def test_starts_at_zero():
+    assert VirtualClock().now == 0.0
+
+
+def test_starts_at_given_time():
+    assert VirtualClock(5.0).now == 5.0
+
+
+def test_negative_start_rejected():
+    with pytest.raises(SimulationError):
+        VirtualClock(-1.0)
+
+
+def test_advance_to_moves_forward():
+    clock = VirtualClock()
+    assert clock.advance_to(3.5) == 3.5
+    assert clock.now == 3.5
+
+
+def test_advance_to_same_time_is_allowed():
+    clock = VirtualClock(2.0)
+    assert clock.advance_to(2.0) == 2.0
+
+
+def test_advance_to_past_rejected():
+    clock = VirtualClock(2.0)
+    with pytest.raises(SimulationError):
+        clock.advance_to(1.0)
+
+
+def test_advance_by_accumulates():
+    clock = VirtualClock()
+    clock.advance_by(1.0)
+    clock.advance_by(0.5)
+    assert clock.now == pytest.approx(1.5)
+
+
+def test_advance_by_zero_is_noop():
+    clock = VirtualClock(1.0)
+    clock.advance_by(0.0)
+    assert clock.now == 1.0
+
+
+def test_advance_by_negative_rejected():
+    clock = VirtualClock()
+    with pytest.raises(SimulationError):
+        clock.advance_by(-0.1)
+
+
+def test_reset():
+    clock = VirtualClock(7.0)
+    clock.reset()
+    assert clock.now == 0.0
+    clock.reset(2.0)
+    assert clock.now == 2.0
+
+
+def test_reset_negative_rejected():
+    with pytest.raises(SimulationError):
+        VirtualClock().reset(-2.0)

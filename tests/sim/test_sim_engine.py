@@ -1,0 +1,103 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import SimulationEngine
+
+
+def test_schedule_and_run():
+    engine = SimulationEngine()
+    fired = []
+    engine.schedule_at(1.0, lambda: fired.append("a"))
+    engine.schedule_at(0.5, lambda: fired.append("b"))
+    final = engine.run()
+    assert fired == ["b", "a"]
+    assert final == 1.0
+    assert engine.events_fired == 2
+
+
+def test_schedule_after():
+    engine = SimulationEngine()
+    times = []
+    engine.schedule_after(2.0, lambda: times.append(engine.now))
+    engine.run()
+    assert times == [2.0]
+
+
+def test_callbacks_can_schedule_more_events():
+    engine = SimulationEngine()
+    log = []
+
+    def first():
+        log.append(("first", engine.now))
+        engine.schedule_after(1.0, lambda: log.append(("second", engine.now)))
+
+    engine.schedule_at(1.0, first)
+    engine.run()
+    assert log == [("first", 1.0), ("second", 2.0)]
+
+
+def test_schedule_into_past_rejected():
+    engine = SimulationEngine()
+    engine.schedule_at(1.0, lambda: None)
+    engine.run()
+    with pytest.raises(SimulationError):
+        engine.schedule_at(0.5, lambda: None)
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        SimulationEngine().schedule_after(-1.0, lambda: None)
+
+
+def test_run_until_stops_at_deadline():
+    engine = SimulationEngine()
+    fired = []
+    engine.schedule_at(1.0, lambda: fired.append(1))
+    engine.schedule_at(5.0, lambda: fired.append(5))
+    engine.run_until(3.0)
+    assert fired == [1]
+    assert engine.now == 3.0
+    engine.run()
+    assert fired == [1, 5]
+
+
+def test_run_until_past_deadline_rejected():
+    engine = SimulationEngine()
+    engine.clock.advance_to(4.0)
+    with pytest.raises(SimulationError):
+        engine.run_until(2.0)
+
+
+def test_max_events_guard():
+    engine = SimulationEngine()
+
+    def reschedule():
+        engine.schedule_after(1.0, reschedule)
+
+    engine.schedule_at(0.0, reschedule)
+    engine.run(max_events=10)
+    assert engine.events_fired == 10
+
+
+def test_cancel_through_engine():
+    engine = SimulationEngine()
+    fired = []
+    event = engine.schedule_at(1.0, lambda: fired.append(1))
+    assert engine.cancel(event)
+    engine.run()
+    assert fired == []
+
+
+def test_step_returns_false_when_empty():
+    assert SimulationEngine().step() is False
+
+
+def test_reset():
+    engine = SimulationEngine()
+    engine.schedule_at(1.0, lambda: None)
+    engine.run()
+    engine.reset()
+    assert engine.now == 0.0
+    assert engine.events_fired == 0

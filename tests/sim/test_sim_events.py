@@ -1,0 +1,92 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import EventQueue
+
+
+def test_empty_queue_is_falsy():
+    queue = EventQueue()
+    assert not queue
+    assert len(queue) == 0
+
+
+def test_pop_on_empty_raises():
+    with pytest.raises(SimulationError):
+        EventQueue().pop()
+
+
+def test_peek_on_empty_raises():
+    with pytest.raises(SimulationError):
+        EventQueue().peek_time()
+
+
+def test_events_pop_in_time_order():
+    queue = EventQueue()
+    fired = []
+    queue.push(3.0, lambda: fired.append(3))
+    queue.push(1.0, lambda: fired.append(1))
+    queue.push(2.0, lambda: fired.append(2))
+    while queue:
+        queue.pop().fire()
+    assert fired == [1, 2, 3]
+
+
+def test_equal_times_fire_in_insertion_order():
+    queue = EventQueue()
+    fired = []
+    for i in range(10):
+        queue.push(1.0, lambda i=i: fired.append(i))
+    while queue:
+        queue.pop().fire()
+    assert fired == list(range(10))
+
+
+def test_negative_time_rejected():
+    with pytest.raises(SimulationError):
+        EventQueue().push(-1.0, lambda: None)
+
+
+def test_peek_time():
+    queue = EventQueue()
+    queue.push(5.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    assert queue.peek_time() == 2.0
+
+
+def test_cancel_removes_event():
+    queue = EventQueue()
+    keep = queue.push(1.0, lambda: "keep")
+    drop = queue.push(0.5, lambda: "drop")
+    assert queue.cancel(drop)
+    assert len(queue) == 1
+    assert queue.pop() is keep
+
+
+def test_cancel_twice_returns_false():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    assert queue.cancel(event)
+    assert not queue.cancel(event)
+
+
+def test_cancel_popped_event_returns_false():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    queue.pop()
+    assert not queue.cancel(event)
+
+
+def test_clear():
+    queue = EventQueue()
+    queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    queue.clear()
+    assert not queue
+
+
+def test_fire_returns_action_result():
+    queue = EventQueue()
+    queue.push(0.0, lambda: 42)
+    assert queue.pop().fire() == 42

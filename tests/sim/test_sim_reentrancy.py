@@ -1,0 +1,83 @@
+"""Edge cases: engine re-entrancy and queue/cancel interactions."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import EventQueue, SimulationEngine
+
+
+def test_reentrant_run_rejected():
+    engine = SimulationEngine()
+    errors = []
+
+    def evil():
+        try:
+            engine.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    engine.schedule_at(1.0, evil)
+    engine.run()
+    assert len(errors) == 1
+
+
+def test_reentrant_run_until_rejected():
+    engine = SimulationEngine()
+    errors = []
+
+    def evil():
+        try:
+            engine.run_until(5.0)
+        except SimulationError as exc:
+            errors.append(exc)
+
+    engine.schedule_at(1.0, evil)
+    engine.run_until(2.0)
+    assert len(errors) == 1
+
+
+def test_step_is_allowed_from_within_events():
+    """Manual stepping is not guarded (the engine is not 'running')."""
+    engine = SimulationEngine()
+    fired = []
+    engine.schedule_at(2.0, lambda: fired.append("late"))
+
+    def early():
+        fired.append("early")
+        engine.step()  # pulls the 2.0 event forward, legally
+
+    engine.schedule_at(1.0, early)
+    engine.step()
+    assert fired == ["early", "late"]
+
+
+def test_cancel_interleaved_with_pops():
+    queue = EventQueue()
+    events = [queue.push(float(i), lambda i=i: i) for i in range(6)]
+    assert queue.cancel(events[0])
+    assert queue.cancel(events[3])
+    popped = []
+    while queue:
+        popped.append(queue.pop().time)
+    assert popped == [1.0, 2.0, 4.0, 5.0]
+
+
+def test_cancel_then_len_consistent():
+    queue = EventQueue()
+    events = [queue.push(1.0, lambda: None) for _ in range(4)]
+    queue.cancel(events[1])
+    queue.cancel(events[2])
+    assert len(queue) == 2
+    queue.pop()
+    queue.pop()
+    assert len(queue) == 0
+    with pytest.raises(SimulationError):
+        queue.pop()
+
+
+def test_peek_skips_cancelled_head():
+    queue = EventQueue()
+    head = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    queue.cancel(head)
+    assert queue.peek_time() == 2.0

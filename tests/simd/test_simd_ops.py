@@ -1,0 +1,92 @@
+"""Tests for the NSIMD-style free-function API."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimdError
+from repro.simd import AVX2, NEON, Pack
+from repro.simd import ops
+
+
+def iota(isa=NEON, dtype=np.float32):
+    return Pack.iota(isa, dtype)
+
+
+def test_len():
+    assert ops.len_(AVX2, np.float32) == 8
+    assert ops.len_(NEON, np.float64) == 2
+
+
+def test_set1_loadu_storeu_roundtrip():
+    buffer = np.arange(8, dtype=np.float32)
+    pack = ops.loadu(NEON, buffer, offset=2)
+    assert pack.to_array().tolist() == [2.0, 3.0, 4.0, 5.0]
+    out = np.zeros(8, dtype=np.float32)
+    ops.storeu(out, pack, offset=4)
+    assert out[4:].tolist() == [2.0, 3.0, 4.0, 5.0]
+    assert ops.set1(NEON, 9.0).to_array().tolist() == [9.0, 9.0]
+
+
+def test_arithmetic_functions_match_operators():
+    a, b = iota(), ops.set1(NEON, 2.0, np.float32)
+    assert ops.add(a, b) == a + b
+    assert ops.sub(a, b) == a - b
+    assert ops.mul(a, b) == a * b
+    assert ops.div(a, b) == a / b
+    assert ops.neg(a) == -a
+    assert ops.fma(a, 2.0, 1.0) == a.fma(2.0, 1.0)
+
+
+def test_minmax_abs_sqrt():
+    a = Pack(NEON, np.array([-4.0, 9.0]))
+    assert ops.min_(a, 0.0).to_array().tolist() == [-4.0, 0.0]
+    assert ops.max_(a, 0.0).to_array().tolist() == [0.0, 9.0]
+    assert ops.sqrt(ops.abs_(a)).to_array().tolist() == [2.0, 3.0]
+
+
+def test_addv():
+    assert ops.addv(iota(AVX2)) == pytest.approx(28.0)
+
+
+def test_shuffle():
+    assert ops.shuffle(iota(), [3, 2, 1, 0]).to_array().tolist() == [3, 2, 1, 0]
+
+
+def test_if_else1_selects_per_lane():
+    a = ops.set1(NEON, 1.0, np.float32)
+    b = ops.set1(NEON, 2.0, np.float32)
+    out = ops.if_else1([True, False, True, False], a, b)
+    assert out.to_array().tolist() == [1.0, 2.0, 1.0, 2.0]
+
+
+def test_if_else1_validation():
+    a = ops.set1(NEON, 1.0, np.float32)
+    b = ops.set1(NEON, 2.0, np.float32)
+    with pytest.raises(SimdError):
+        ops.if_else1([True], a, b)  # wrong mask width
+    c = ops.set1(AVX2, 2.0, np.float32)
+    with pytest.raises(SimdError):
+        ops.if_else1([True] * 4, a, c)  # lane mismatch
+
+
+def test_comparisons():
+    a = iota()  # 0 1 2 3
+    assert ops.cmp_lt(a, 2.0) == [True, True, False, False]
+    assert ops.cmp_le(a, 2.0) == [True, True, True, False]
+    assert ops.cmp_eq(a, 2.0) == [False, False, True, False]
+    b = ops.set1(NEON, 1.0, np.float32)
+    assert ops.cmp_lt(b, a) == [False, False, True, True]
+
+
+def test_comparison_mismatch_rejected():
+    with pytest.raises(SimdError):
+        ops.cmp_lt(iota(NEON), iota(AVX2))
+
+
+def test_branch_free_clamp_kernel():
+    """The NSIMD idiom: clamp via masks, no branches."""
+    values = Pack(NEON, np.array([-5.0, 0.5, 2.0, 7.0], dtype=np.float32))
+    lo, hi = ops.set1(NEON, 0.0, np.float32), ops.set1(NEON, 1.0, np.float32)
+    clamped = ops.if_else1(ops.cmp_lt(values, 0.0), lo, values)
+    clamped = ops.if_else1(ops.cmp_lt(hi, clamped), hi, clamped)
+    assert clamped.to_array().tolist() == [0.0, 0.5, 1.0, 1.0]

@@ -1,0 +1,147 @@
+"""Unit tests for the Pack value type."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LaneMismatchError, SimdError
+from repro.simd import AVX2, NEON, Pack, sve
+
+
+def test_set1_broadcasts():
+    p = Pack.set1(AVX2, 3.0, np.float32)
+    assert p.lanes == 8
+    assert all(v == 3.0 for v in p)
+
+
+def test_zero_and_iota():
+    assert Pack.zero(NEON).to_array().tolist() == [0.0, 0.0]
+    assert Pack.iota(NEON, np.float32).to_array().tolist() == [0.0, 1.0, 2.0, 3.0]
+
+
+def test_load_store_roundtrip():
+    buffer = np.arange(16, dtype=np.float64)
+    p = Pack.load(AVX2, buffer, offset=4)
+    assert p.to_array().tolist() == [4.0, 5.0, 6.0, 7.0]
+    out = np.zeros(16, dtype=np.float64)
+    p.store(out, offset=8)
+    assert out[8:12].tolist() == [4.0, 5.0, 6.0, 7.0]
+
+
+def test_load_overrun_rejected():
+    buffer = np.zeros(5, dtype=np.float64)
+    with pytest.raises(SimdError):
+        Pack.load(AVX2, buffer, offset=2)
+    with pytest.raises(SimdError):
+        Pack.load(AVX2, buffer, offset=-1)
+
+
+def test_store_dtype_mismatch_rejected():
+    p = Pack.set1(NEON, 1.0, np.float32)
+    with pytest.raises(SimdError):
+        p.store(np.zeros(8, dtype=np.float64))
+
+
+def test_packs_are_immutable():
+    p = Pack.set1(NEON, 1.0)
+    with pytest.raises(ValueError):
+        p._data[0] = 9.0  # the backing array is read-only
+    arr = p.to_array()
+    arr[0] = 9.0  # copies are writable and do not alias
+    assert p.lane(0) == 1.0
+
+
+def test_arithmetic_elementwise():
+    a = Pack.iota(NEON, np.float32)
+    b = Pack.set1(NEON, 2.0, np.float32)
+    assert (a + b).to_array().tolist() == [2.0, 3.0, 4.0, 5.0]
+    assert (a - b).to_array().tolist() == [-2.0, -1.0, 0.0, 1.0]
+    assert (a * b).to_array().tolist() == [0.0, 2.0, 4.0, 6.0]
+    assert (a / b).to_array().tolist() == [0.0, 0.5, 1.0, 1.5]
+    assert (-a).to_array().tolist() == [0.0, -1.0, -2.0, -3.0]
+
+
+def test_scalar_broadcast_operands():
+    a = Pack.iota(NEON, np.float32)
+    assert (a + 1).to_array().tolist() == [1.0, 2.0, 3.0, 4.0]
+    assert (2 * a).to_array().tolist() == [0.0, 2.0, 4.0, 6.0]
+    assert (1 - a).to_array().tolist() == [1.0, 0.0, -1.0, -2.0]
+
+
+def test_fma():
+    a = Pack.set1(NEON, 2.0)
+    assert a.fma(3.0, 1.0).to_array().tolist() == [7.0, 7.0]
+
+
+def test_min_max_abs_sqrt():
+    a = Pack(NEON, np.array([-4.0, 9.0]))
+    assert a.abs().to_array().tolist() == [4.0, 9.0]
+    assert a.min(0.0).to_array().tolist() == [-4.0, 0.0]
+    assert a.max(0.0).to_array().tolist() == [0.0, 9.0]
+    assert a.abs().sqrt().to_array().tolist() == [2.0, 3.0]
+
+
+def test_lane_mismatch_rejected():
+    a = Pack.set1(AVX2, 1.0, np.float32)  # 8 lanes
+    b = Pack.set1(NEON, 1.0, np.float32)  # 4 lanes
+    with pytest.raises(LaneMismatchError):
+        _ = a + b
+
+
+def test_dtype_mismatch_rejected():
+    a = Pack.set1(NEON, 1.0, np.float32)
+    b = Pack.set1(NEON, 1.0, np.float64)  # 2 lanes - also lane mismatch
+    with pytest.raises((LaneMismatchError, SimdError)):
+        _ = a + b
+
+
+def test_hadd():
+    assert Pack.iota(AVX2, np.float32).hadd() == pytest.approx(28.0)
+
+
+def test_shuffle():
+    a = Pack.iota(NEON, np.float32)
+    assert a.shuffle([3, 2, 1, 0]).to_array().tolist() == [3.0, 2.0, 1.0, 0.0]
+    with pytest.raises(LaneMismatchError):
+        a.shuffle([0, 1])
+    with pytest.raises(SimdError):
+        a.shuffle([0, 1, 2, 9])
+
+
+def test_slides():
+    a = Pack.iota(NEON, np.float32)
+    assert a.slide_left(fill=-1.0).to_array().tolist() == [1.0, 2.0, 3.0, -1.0]
+    assert a.slide_right(fill=-1.0).to_array().tolist() == [-1.0, 0.0, 1.0, 2.0]
+
+
+def test_equality_and_hash():
+    a = Pack.set1(NEON, 1.0)
+    b = Pack.set1(NEON, 1.0)
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != Pack.set1(NEON, 2.0)
+
+
+def test_allclose():
+    a = Pack.set1(NEON, 1.0)
+    b = Pack.set1(NEON, 1.0 + 1e-9)
+    assert a.allclose(b)
+
+
+def test_wrong_shape_rejected():
+    with pytest.raises(SimdError):
+        Pack(AVX2, np.zeros((2, 2)))
+    with pytest.raises(SimdError):
+        Pack(AVX2, np.zeros(3, dtype=np.float64))  # needs 4 lanes
+
+
+def test_sve_pack_lane_count_follows_frozen_width():
+    p = Pack.set1(sve(1024), 1.0, np.float64)
+    assert p.lanes == 16
+
+
+def test_iteration_and_len():
+    p = Pack.iota(NEON, np.float32)
+    assert len(p) == 4
+    assert list(p) == [0.0, 1.0, 2.0, 3.0]
+    with pytest.raises(SimdError):
+        p.lane(4)

@@ -1,0 +1,67 @@
+"""Unit tests for the type-trait helpers (Listing 2 line 17)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimdError
+from repro.simd import NEON, Pack
+from repro.simd.typetraits import (
+    element_kind,
+    is_pack,
+    is_pack_container,
+    underlying_dtype,
+)
+
+
+def test_is_pack():
+    assert is_pack(Pack.set1(NEON, 1.0))
+    assert not is_pack(1.0)
+    assert not is_pack(np.float64(1.0))
+
+
+def test_pack_container_detection():
+    packs = [Pack.set1(NEON, float(i)) for i in range(3)]
+    assert is_pack_container(packs)
+    assert element_kind(packs) == "pack"
+
+
+def test_scalar_container_detection():
+    assert not is_pack_container([1.0, 2.0])
+    assert element_kind(np.zeros(4)) == "scalar"
+    assert not is_pack_container([])
+
+
+def test_mixed_container_rejected():
+    with pytest.raises(SimdError):
+        is_pack_container([Pack.set1(NEON, 1.0), 2.0])
+
+
+def test_underlying_dtype_of_ndarray():
+    assert underlying_dtype(np.zeros(3, dtype=np.float32)) == np.float32
+    with pytest.raises(SimdError):
+        underlying_dtype(np.zeros(3, dtype=np.int64))
+
+
+def test_underlying_dtype_of_pack_container():
+    packs = [Pack.set1(NEON, 1.0, np.float32)]
+    assert underlying_dtype(packs) == np.float32
+
+
+def test_underlying_dtype_of_float_list():
+    assert underlying_dtype([1.0, 2.0]) == np.float64
+
+
+def test_underlying_dtype_mixed_pack_dtypes_rejected():
+    packs = [Pack.set1(NEON, 1.0, np.float32), Pack.set1(NEON, 1.0, np.float64)]
+    with pytest.raises(SimdError):
+        underlying_dtype(packs)
+
+
+def test_underlying_dtype_empty_rejected():
+    with pytest.raises(SimdError):
+        underlying_dtype([])
+
+
+def test_underlying_dtype_unsupported_rejected():
+    with pytest.raises(SimdError):
+        underlying_dtype(["a"])

@@ -1,0 +1,88 @@
+"""Edge-branch coverage for the stencil components."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.runtime import Runtime
+from repro.stencil import (
+    DistributedJacobi2D,
+    Heat1DParams,
+    Heat1DPartition,
+    analytic_heat_profile,
+)
+from repro.stencil.jacobi2d_dist import Jacobi2DPartition
+
+
+def test_heat_partition_rejects_bad_halo_side():
+    part = Heat1DPartition(np.zeros(4), Heat1DParams())
+    with pytest.raises(ValidationError):
+        part.deposit_halo(0, "north", 1.0)
+
+
+def test_heat_partition_rejects_out_of_order_advance():
+    part = Heat1DPartition(np.zeros(4), Heat1DParams())
+    with Runtime(n_localities=1, workers_per_locality=1) as rt:
+        gid = rt.new_component(part)
+        part.connect(rt, gid, gid)  # self-ring
+        with pytest.raises(ValidationError):
+            rt.run(lambda: part.advance(3, 0.0, 0.0))
+
+
+def test_heat_partition_requires_connection():
+    part = Heat1DPartition(np.zeros(4), Heat1DParams())
+    with pytest.raises(ValidationError):
+        part.send_boundaries(0)
+
+
+def test_jacobi_partition_rejects_bad_shapes():
+    with pytest.raises(ValidationError):
+        Jacobi2DPartition(np.zeros((2, 5)))
+    with pytest.raises(ValidationError):
+        Jacobi2DPartition(np.zeros(5))
+
+
+def test_jacobi_partition_rejects_bad_halo_side():
+    part = Jacobi2DPartition(np.zeros((3, 5)))
+    with pytest.raises(ValidationError):
+        part.deposit_halo_row(0, "left", np.zeros(5))
+
+
+def test_jacobi_partition_out_of_order_advance():
+    part = Jacobi2DPartition(np.zeros((3, 5)))
+    with Runtime(n_localities=1, workers_per_locality=1) as rt:
+        rt.new_component(part)
+        part.connect(rt, None, None)
+        with pytest.raises(ValidationError):
+            rt.run(lambda: part.advance(2, None, None))
+
+
+def test_distributed_jacobi_solution_before_initialize():
+    with Runtime(n_localities=1, workers_per_locality=1) as rt:
+        solver = DistributedJacobi2D(rt, 6, 6)
+        with pytest.raises(ValidationError):
+            solver.solution()
+
+
+def test_boundary_partition_halo_futures_always_ready():
+    part = Jacobi2DPartition(np.zeros((4, 5)))
+    with Runtime(n_localities=1, workers_per_locality=1) as rt:
+        rt.new_component(part)
+        part.connect(rt, None, None)  # both sides are global boundary
+        assert part.halo_future(0, "up").is_ready()
+        assert part.halo_future(7, "down").is_ready()
+
+
+def test_heat_partition_local_solution_is_a_copy():
+    data = np.arange(4.0)
+    part = Heat1DPartition(data, Heat1DParams())
+    out = part.local_solution()
+    out[0] = 99.0
+    assert part.local_solution()[0] == 0.0
+
+
+def test_params_stability_boundary_exact():
+    """k = 0.5 is the last stable value."""
+    Heat1DParams(alpha=1.0, dt=0.5, dx=1.0).check_stability()
+    with pytest.raises(ValidationError):
+        Heat1DParams(alpha=1.0, dt=0.5000001, dx=1.0).check_stability()

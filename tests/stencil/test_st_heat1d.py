@@ -1,0 +1,148 @@
+"""Unit and integration tests for the 1D heat solvers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.runtime import Runtime, par, seq
+from repro.stencil import (
+    DistributedHeat1D,
+    Heat1DParams,
+    Heat1DPartitioned,
+    analytic_heat_profile,
+    discrete_heat_decay_factor,
+    heat1d_reference,
+    l2_error,
+)
+
+
+PARAMS = Heat1DParams()
+
+
+def test_params_validation():
+    with pytest.raises(ValidationError):
+        Heat1DParams(alpha=-1)
+    with pytest.raises(ValidationError):
+        Heat1DParams(dt=0)
+    Heat1DParams(dt=1e-5).check_stability()
+    with pytest.raises(ValidationError):
+        Heat1DParams(dt=1.0).check_stability()
+
+
+def test_reference_conserves_mass():
+    """The periodic stencil conserves the field's sum exactly."""
+    u0 = np.linspace(0, 1, 32)
+    u1 = heat1d_reference(u0, 50, PARAMS)
+    assert u1.sum() == pytest.approx(u0.sum(), rel=1e-12)
+
+
+def test_reference_damps_fourier_mode_exactly():
+    u0 = analytic_heat_profile(128, mode=3)
+    u1 = heat1d_reference(u0, 200, PARAMS)
+    factor = discrete_heat_decay_factor(128, 3, PARAMS, 200)
+    assert np.max(np.abs(u1 - factor * u0)) < 1e-12
+
+
+def test_reference_zero_steps_identity():
+    u0 = np.random.default_rng(0).random(16)
+    assert np.array_equal(heat1d_reference(u0, 0, PARAMS), u0)
+    with pytest.raises(ValidationError):
+        heat1d_reference(u0, -1, PARAMS)
+
+
+# Partitioned (Listing 1) ------------------------------------------------------
+
+class TestPartitioned:
+    def test_matches_reference_seq(self):
+        u0 = analytic_heat_profile(60)
+        solver = Heat1DPartitioned(60, 6, PARAMS)
+        solver.initialize(u0)
+        out = solver.run(40, seq)
+        assert l2_error(out, heat1d_reference(u0, 40, PARAMS)) < 1e-13
+
+    def test_matches_reference_par(self, rt):
+        u0 = analytic_heat_profile(64)
+        solver = Heat1DPartitioned(64, 8, PARAMS)
+        solver.initialize(u0)
+        out = rt.run(lambda: solver.run(40, par))
+        assert l2_error(out, heat1d_reference(u0, 40, PARAMS)) < 1e-13
+
+    def test_single_partition(self):
+        u0 = analytic_heat_profile(16)
+        solver = Heat1DPartitioned(16, 1, PARAMS)
+        solver.initialize(u0)
+        out = solver.run(10)
+        assert l2_error(out, heat1d_reference(u0, 10, PARAMS)) < 1e-13
+
+    def test_incremental_runs_compose(self):
+        u0 = analytic_heat_profile(32)
+        solver = Heat1DPartitioned(32, 4, PARAMS)
+        solver.initialize(u0)
+        solver.run(10)
+        out = solver.run(15)
+        assert l2_error(out, heat1d_reference(u0, 25, PARAMS)) < 1e-13
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            Heat1DPartitioned(10, 3, PARAMS)  # uneven split
+        with pytest.raises(ValidationError):
+            Heat1DPartitioned(10, 0, PARAMS)
+        solver = Heat1DPartitioned(10, 2, PARAMS)
+        with pytest.raises(ValidationError):
+            solver.initialize(np.zeros(11))
+        with pytest.raises(ValidationError):
+            solver.run(-1)
+
+
+# Distributed (Fig 3's application) ---------------------------------------------
+
+class TestDistributed:
+    def run_distributed(self, n_localities, parts_per_loc, nx=64, steps=25):
+        u0 = analytic_heat_profile(nx)
+        with Runtime(
+            machine="xeon-e5-2660v3",
+            n_localities=n_localities,
+            workers_per_locality=2,
+        ) as rt:
+            solver = DistributedHeat1D(
+                rt, nx, PARAMS, partitions_per_locality=parts_per_loc
+            )
+            solver.initialize(u0)
+            out = rt.run(lambda: solver.run(steps))
+            makespan = rt.makespan
+        return out, heat1d_reference(u0, steps, PARAMS), makespan
+
+    def test_two_localities_match_reference(self):
+        out, ref, _ = self.run_distributed(2, 1)
+        assert l2_error(out, ref) < 1e-13
+
+    def test_four_localities_two_partitions_each(self):
+        out, ref, _ = self.run_distributed(4, 2)
+        assert l2_error(out, ref) < 1e-13
+
+    def test_single_locality(self):
+        out, ref, _ = self.run_distributed(1, 4)
+        assert l2_error(out, ref) < 1e-13
+
+    def test_network_time_appears_in_makespan(self):
+        _, _, makespan = self.run_distributed(4, 1)
+        assert makespan > 0.0
+
+    def test_validation(self):
+        with Runtime(n_localities=2, workers_per_locality=1) as rt:
+            with pytest.raises(ValidationError):
+                DistributedHeat1D(rt, 63, PARAMS)  # does not split over 2
+            solver = DistributedHeat1D(rt, 64, PARAMS)
+            with pytest.raises(ValidationError):
+                solver.run(5)  # not initialised
+            solver.initialize(analytic_heat_profile(64))
+            with pytest.raises(ValidationError):
+                solver.initialize(np.zeros(63))
+
+    def test_zero_steps(self):
+        u0 = analytic_heat_profile(32)
+        with Runtime(n_localities=2, workers_per_locality=1) as rt:
+            solver = DistributedHeat1D(rt, 32, PARAMS)
+            solver.initialize(u0)
+            out = rt.run(lambda: solver.run(0))
+        assert np.allclose(out, u0)

@@ -1,0 +1,89 @@
+"""Unit tests for the validation oracles themselves."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.stencil import (
+    Heat1DParams,
+    analytic_heat_profile,
+    discrete_heat_decay_factor,
+    jacobi_dense_solution,
+    l2_error,
+    max_error,
+)
+
+
+def test_profile_is_zero_mean_sine():
+    u = analytic_heat_profile(64, mode=2)
+    assert abs(u.sum()) < 1e-10
+    assert u.max() <= 1.0
+
+
+def test_profile_validation():
+    with pytest.raises(ValidationError):
+        analytic_heat_profile(1)
+    with pytest.raises(ValidationError):
+        analytic_heat_profile(16, mode=8)  # not resolvable
+    with pytest.raises(ValidationError):
+        analytic_heat_profile(16, mode=0)
+
+
+def test_decay_factor_bounds():
+    params = Heat1DParams()
+    f = discrete_heat_decay_factor(64, 1, params, 100)
+    assert 0.0 < f < 1.0
+    assert discrete_heat_decay_factor(64, 1, params, 0) == 1.0
+    with pytest.raises(ValidationError):
+        discrete_heat_decay_factor(64, 1, params, -1)
+
+
+def test_higher_modes_decay_faster():
+    params = Heat1DParams()
+    f1 = discrete_heat_decay_factor(64, 1, params, 100)
+    f5 = discrete_heat_decay_factor(64, 5, params, 100)
+    assert f5 < f1
+
+
+def test_l2_error_basics():
+    a = np.ones(4)
+    assert l2_error(a, a) == 0.0
+    assert l2_error(np.zeros(4), a) == pytest.approx(1.0)
+    with pytest.raises(ValidationError):
+        l2_error(np.zeros(3), np.zeros(4))
+
+
+def test_max_error_basics():
+    assert max_error(np.array([1.0, 2.0]), np.array([1.0, 2.5])) == 0.5
+    assert max_error(np.array([]), np.array([])) == 0.0
+    with pytest.raises(ValidationError):
+        max_error(np.zeros(2), np.zeros(3))
+
+
+def test_dense_solution_is_jacobi_fixed_point():
+    from repro.stencil import jacobi_reference_step
+
+    field = np.zeros((8, 9))
+    field[0, :] = 1.0
+    field[:, 0] = 0.5
+    solution = jacobi_dense_solution(field)
+    after_sweep = jacobi_reference_step(solution)
+    assert max_error(after_sweep, solution) < 1e-12
+
+
+def test_dense_solution_respects_maximum_principle():
+    field = np.zeros((6, 6))
+    field[0, :] = 1.0
+    solution = jacobi_dense_solution(field)
+    interior = solution[1:-1, 1:-1]
+    assert interior.min() > 0.0
+    assert interior.max() < 1.0
+
+
+def test_dense_solution_validation():
+    with pytest.raises(ValidationError):
+        jacobi_dense_solution(np.zeros(5))
+    with pytest.raises(ValidationError):
+        jacobi_dense_solution(np.zeros((2, 5)))
+    with pytest.raises(ValidationError):
+        jacobi_dense_solution(np.zeros((200, 200)))  # dense oracle cap

@@ -1,0 +1,95 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+def test_machines(capsys):
+    code, out = run_cli(capsys, "machines")
+    assert code == 0
+    for name in ("xeon-e5-2660v3", "kunpeng916", "thunderx2", "a64fx"):
+        assert name in out
+
+
+def test_exhibits_all(capsys):
+    code, out = run_cli(capsys, "exhibits")
+    assert code == 0
+    assert "TABLE I" in out
+    assert "Fig 3" in out
+    assert "TABLE VI" in out
+
+
+def test_exhibits_selected(capsys):
+    code, out = run_cli(capsys, "exhibits", "table1", "fig5")
+    assert code == 0
+    assert "TABLE I" in out and "Fig 5" in out
+    assert "TABLE VI" not in out
+
+
+def test_stream(capsys):
+    code, out = run_cli(capsys, "stream", "--machine", "a64fx")
+    assert code == 0
+    assert "660.0" in out
+
+
+def test_stream_scatter(capsys):
+    code, out = run_cli(capsys, "stream", "--machine", "xeon-e5-2660v3",
+                        "--pinning", "scatter")
+    assert code == 0
+    assert "GB/s" in out
+
+
+def test_stencil1d_strong_and_weak(capsys):
+    code, strong = run_cli(capsys, "stencil1d", "--machine", "xeon-e5-2660v3")
+    assert code == 0
+    assert "strong" in strong
+    code, weak = run_cli(
+        capsys, "stencil1d", "--machine", "kunpeng916", "--weak", "--nodes", "1", "8"
+    )
+    assert code == 0
+    assert "weak" in weak
+
+
+def test_stencil2d(capsys):
+    code, out = run_cli(
+        capsys, "stencil2d", "--machine", "thunderx2", "--dtype", "float64",
+        "--mode", "auto",
+    )
+    assert code == 0
+    assert "GLUP/s" in out
+
+
+def test_counters(capsys):
+    code, out = run_cli(capsys, "counters", "--machine", "a64fx")
+    assert code == 0
+    assert "Backend Stalls" in out
+
+
+def test_trace(capsys):
+    code, out = run_cli(capsys, "trace", "--nodes", "2", "--steps", "4")
+    assert code == 0
+    assert "locality-0/w0" in out
+    assert "#" in out
+
+
+def test_unknown_machine_rejected():
+    with pytest.raises(SystemExit):
+        main(["stream", "--machine", "epyc"])
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_parser_lists_all_exhibits():
+    parser = build_parser()
+    # Smoke: help text builds without error.
+    assert "exhibits" in parser.format_help()

@@ -1,0 +1,55 @@
+"""Unit tests for report rendering."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.reporting import Series, format_figure, format_scientific, format_table
+
+
+def test_format_table_alignment():
+    text = format_table(["name", "v"], [["a", 1], ["long-name", 22]])
+    lines = text.splitlines()
+    assert len(lines) == 4  # header, rule, 2 rows
+    widths = {len(line) for line in lines}
+    assert len(widths) == 1  # all lines equally wide
+
+
+def test_format_table_validation():
+    with pytest.raises(ValidationError):
+        format_table([], [])
+    with pytest.raises(ValidationError):
+        format_table(["a", "b"], [["only-one"]])
+
+
+def test_series_accumulates():
+    s = Series("x2")
+    s.add(1, 1)
+    s.add(2, 4)
+    assert s.xs() == [1.0, 2.0]
+    assert s.ys() == [1.0, 4.0]
+
+
+def test_format_figure():
+    a = Series("a", [(1, 10.0), (2, 20.0)])
+    b = Series("b", [(1, 1.5), (2, 2.5)])
+    text = format_figure("Fig X", [a, b], xlabel="cores", ylabel="GLUPS")
+    assert "Fig X" in text
+    assert "cores" in text
+    assert "10.000" in text and "2.500" in text
+
+
+def test_format_figure_mismatched_grid_rejected():
+    a = Series("a", [(1, 1.0)])
+    b = Series("b", [(2, 1.0)])
+    with pytest.raises(ValidationError):
+        format_figure("t", [a, b])
+
+
+def test_format_figure_needs_series():
+    with pytest.raises(ValidationError):
+        format_figure("t", [])
+
+
+def test_format_scientific():
+    assert format_scientific(0) == "0"
+    assert "e10" in format_scientific(3.153e10)
