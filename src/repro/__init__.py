@@ -12,6 +12,7 @@ Subpackage map::
     repro.simd        NSIMD-like packs and the Virtual Node Scheme
     repro.stencil     the paper's 1D/2D stencil applications
     repro.containers  distributed data structures (partitioned_vector)
+    repro.resilience  fault injection + HPX-style replay/replicate
     repro.perf        roofline / STREAM / counters / cost models
     repro.exhibits    one function per paper table & figure
     repro.sim         discrete-event primitives

@@ -28,6 +28,12 @@ _DEFAULTS: dict[str, Any] = {
     # Parcel subsystem.
     "parcel.serialize": True,  # serialize args even in-process (catches bugs)
     "parcel.overlap": True,  # hide network latency under compute
+    # Reliable delivery (consulted only when a FaultInjector is installed).
+    "parcel.retry": True,  # retransmit lost parcels on ack-timeout
+    "parcel.retry_max_attempts": 8,  # total transmissions before dead-letter
+    "parcel.retry_timeout_s": 0.0,  # base ack-timeout; 0 = derive from network RTO
+    "parcel.retry_max_timeout_s": 0.0,  # backoff cap; 0 = 64x the base timeout
+    "parcel.retry_backoff": 2.0,  # exponential backoff factor
     # Parallel algorithms.
     "algorithms.chunker": "auto",  # auto | static
     "algorithms.min_chunk": 1,
@@ -88,6 +94,14 @@ class Config(Mapping[str, Any]):
             raise ConfigError("threads.steal_attempts must be >= 0")
         if int(self._values["algorithms.min_chunk"]) < 1:
             raise ConfigError("algorithms.min_chunk must be >= 1")
+        if int(self._values["parcel.retry_max_attempts"]) < 1:
+            raise ConfigError("parcel.retry_max_attempts must be >= 1")
+        if float(self._values["parcel.retry_timeout_s"]) < 0:
+            raise ConfigError("parcel.retry_timeout_s must be non-negative")
+        if float(self._values["parcel.retry_max_timeout_s"]) < 0:
+            raise ConfigError("parcel.retry_max_timeout_s must be non-negative")
+        if float(self._values["parcel.retry_backoff"]) < 1.0:
+            raise ConfigError("parcel.retry_backoff must be >= 1.0")
 
     def replace(self, **overrides: Any) -> "Config":
         """Return a new config with ``overrides`` applied."""
@@ -118,6 +132,9 @@ class Config(Mapping[str, Any]):
 
     def get_int(self, key: str) -> int:
         return int(self[key])
+
+    def get_float(self, key: str) -> float:
+        return float(self[key])
 
     def get_str(self, key: str) -> str:
         return str(self[key])

@@ -16,12 +16,19 @@ __all__ = [
     "FutureNotReadyError",
     "BrokenPromiseError",
     "ChannelClosedError",
+    "TimeoutError",
+    "FutureTimeoutError",
+    "ChannelTimeoutError",
     "DeadlockError",
     "AgasError",
     "UnknownGidError",
     "MigrationError",
     "ParcelError",
     "SerializationError",
+    "ParcelDeadLetterError",
+    "ResilienceError",
+    "ReplayExhaustedError",
+    "ReplicateError",
     "TopologyError",
     "PinningError",
     "SimdError",
@@ -65,6 +72,22 @@ class ChannelClosedError(ReproError):
     """A ``set``/``get`` was attempted on a closed channel."""
 
 
+class TimeoutError(ReproError):  # noqa: A001 - deliberate HPX-style name
+    """Base of the timeout subtree: a deadline in *virtual* time passed.
+
+    Deadlines are measured on the simulated clock, so a timeout is a
+    deterministic property of the schedule, not of wall-clock load.
+    """
+
+
+class FutureTimeoutError(TimeoutError, FutureError):
+    """``Future.wait_for``/``when_all(timeout=...)`` deadline expired."""
+
+
+class ChannelTimeoutError(TimeoutError):
+    """``Channel.get(timeout=...)`` produced no value by the deadline."""
+
+
 class DeadlockError(ReproError):
     """The cooperative scheduler ran out of runnable work while tasks wait.
 
@@ -92,6 +115,26 @@ class ParcelError(ReproError):
 
 class SerializationError(ParcelError):
     """An argument could not be serialized for remote dispatch."""
+
+
+class ParcelDeadLetterError(ParcelError):
+    """A parcel exhausted its delivery attempts and was dead-lettered.
+
+    Raised on the sender's reply future, and by the progress engine when
+    the job stalls with undeliverable parcels in the dead-letter queue.
+    """
+
+
+class ResilienceError(ReproError):
+    """Base class for task-resiliency (replay/replicate) failures."""
+
+
+class ReplayExhaustedError(ResilienceError):
+    """``async_replay`` ran out of attempts without a valid result."""
+
+
+class ReplicateError(ResilienceError):
+    """``async_replicate`` found no replica result passing validation."""
 
 
 class TopologyError(ReproError):

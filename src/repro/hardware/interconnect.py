@@ -60,6 +60,16 @@ class Interconnect:
         serialisation = n_bytes / (self.effective_bandwidth_gbs * 1e9)
         return self.latency_s + serialisation + self.congestion_per_node_s * n_nodes
 
+    def rto_estimate(self, n_bytes: int = 256, n_nodes: int = 2) -> float:
+        """Retransmission-timeout hint for reliable parcel delivery.
+
+        A sender should wait at least one round trip (data out, ack back)
+        plus a latency of slack before declaring a parcel lost; the
+        resilience layer uses this as the base ack-timeout when the
+        configuration does not pin one explicitly.
+        """
+        return 2.0 * self.transfer_time(n_bytes, n_nodes) + self.latency_s
+
     def halo_exchange_time(self, halo_bytes: int, n_nodes: int) -> float:
         """Per-step halo-exchange time for a 1D decomposition.
 

@@ -1,0 +1,36 @@
+"""Fault injection and resilience: the runtime as a robustness testbed.
+
+The paper's Kunpeng 916 story is about a *degraded* network; real AMT
+deployments (e.g. HPX on Raspberry Pi clusters) add outright faults on
+top.  This package turns the perfectly reliable simulated substrate into
+a lossy one -- deterministically -- and provides the HPX-style recovery
+APIs:
+
+* :class:`FaultInjector` -- seeded, virtual-time-aware source of parcel
+  faults (drop / corrupt / duplicate / delay-spike) and scheduled
+  locality outages, consulted by the parcelport and the runtime;
+* :class:`RetryPolicy` -- reliable parcel delivery on the lossy port:
+  ack-timeout retransmission with capped exponential backoff and a
+  dead-letter queue (see
+  :class:`~repro.runtime.parcel.parcelport.Parcelport`);
+* :func:`async_replay` / :func:`async_replicate` -- HPX resiliency task
+  APIs (``hpx::resiliency::experimental``), re-exported from
+  :mod:`repro.runtime.actions`.
+
+Everything is clocked on the DES virtual clock, so a faulty run is as
+deterministic and reproducible as a clean one: same seed, same faults,
+same retries, same makespan.
+"""
+
+from ..runtime.actions import async_replay, async_replicate
+from ..runtime.parcel.parcelport import RetryPolicy
+from .faults import FaultInjector, LocalityFailure, ParcelFate
+
+__all__ = [
+    "FaultInjector",
+    "LocalityFailure",
+    "ParcelFate",
+    "RetryPolicy",
+    "async_replay",
+    "async_replicate",
+]

@@ -40,7 +40,16 @@ from .futures import (
 from .lco import Latch, Barrier, Channel, CountingSemaphore, AndGate, dataflow
 from .threads.pool import ThreadPool
 from .threads.executor import PoolExecutor, BlockExecutor
-from .actions import action, async_, apply, sync, async_after, sleep_for
+from .actions import (
+    action,
+    async_,
+    apply,
+    sync,
+    async_after,
+    sleep_for,
+    async_replay,
+    async_replicate,
+)
 from .locality import Locality
 from .runtime import Runtime
 from . import perfcounters
@@ -80,6 +89,8 @@ __all__ = [
     "sync",
     "async_after",
     "sleep_for",
+    "async_replay",
+    "async_replicate",
     "perfcounters",
     "collectives",
     "Locality",

@@ -25,7 +25,10 @@ from typing import Any, Callable, Iterable, Sequence
 from ..errors import (
     BrokenPromiseError,
     FutureAlreadySetError,
+    FutureError,
     FutureNotReadyError,
+    FutureTimeoutError,
+    RuntimeStateError,
 )
 from . import context as ctx
 
@@ -77,15 +80,18 @@ class Future:
         return self._state.ready_time
 
     # Reading ----------------------------------------------------------------
-    def get(self) -> Any:
+    def get(self, timeout: float | None = None) -> Any:
         """Obtain the value, cooperatively waiting if necessary.
 
         Inside a runtime the calling task *helps the scheduler*: other
         runnable HPX-threads execute until this future is ready (HPX
         suspends the thread; helping is the cooperative equivalent).  The
         waiting task also inherits the producer's virtual finish time as
-        a dependency.
+        a dependency.  With ``timeout`` (virtual seconds) the wait is
+        bounded as in :meth:`wait_for`.
         """
+        if timeout is not None:
+            self.wait_for(timeout)
         state = self._state
         if not state.ready:
             self._help_until_ready()
@@ -131,6 +137,41 @@ class Future:
             raise FutureNotReadyError(
                 "future is not ready and no runnable work can make it so"
             )
+
+    def wait_for(self, timeout: float) -> None:
+        """Wait at most ``timeout`` *virtual* seconds for readiness.
+
+        The deadline is ``now + timeout`` on the caller's virtual clock.
+        Only work that can start at or before the deadline is helped, so
+        the wait cannot be satisfied by values produced after it -- a
+        future whose ``ready_time`` lands past the deadline still times
+        out.  On timeout the waiting task's clock advances to the
+        deadline (it observed the whole window pass) and
+        :class:`~repro.errors.FutureTimeoutError` is raised; readiness
+        exactly *at* the deadline counts as ready.
+        """
+        if timeout < 0:
+            raise FutureError(f"timeout must be non-negative, got {timeout!r}")
+        state = self._state
+        frame = ctx.current_or_none()
+        now = 0.0
+        if frame is not None and frame.pool is not None:
+            now = frame.pool.now
+        deadline = now + timeout
+        if not state.ready:
+            if frame is not None and frame.runtime is not None:
+                frame.runtime.progress_before(self.is_ready, deadline)
+            elif frame is not None and frame.pool is not None:
+                frame.pool.run_before(self.is_ready, deadline)
+        if state.ready and state.ready_time <= deadline:
+            return
+        task = ctx.current_task()
+        if task is not None:
+            task.note_dependency(deadline)
+        raise FutureTimeoutError(
+            f"future not ready within {timeout!r} virtual seconds "
+            f"(deadline t={deadline!r})"
+        )
 
     # Composition ------------------------------------------------------------
     def then(self, fn: Callable[["Future"], Any]) -> "Future":
@@ -242,28 +283,73 @@ def make_exceptional_future(exc: BaseException) -> Future:
     return promise.get_future()
 
 
-def when_all(futures: Iterable[Future]) -> Future:
+def when_all(futures: Iterable[Future], timeout: float | None = None) -> Future:
     """A future of the list of input futures, ready when all are.
 
     Mirrors HPX ``when_all``: the result value is the sequence of (ready)
     futures, so exceptions surface when the caller ``get``s the elements.
+    With ``timeout`` (virtual seconds, measured from the caller's current
+    virtual time) the returned future fails with
+    :class:`~repro.errors.FutureTimeoutError` if any input is still
+    pending at the deadline; inputs completing exactly at the deadline
+    count as ready.  A timeout needs an active pool to host the virtual
+    timer.
     """
     futs: Sequence[Future] = list(futures)
     promise = Promise()
-    remaining = len(futs)
-    if remaining == 0:
+    counter = {"n": len(futs), "done": False}
+    if counter["n"] == 0:
         promise.set_value([])
         return promise.get_future()
-    counter = {"n": remaining}
 
     def one_ready(_: Future) -> None:
         counter["n"] -= 1
-        if counter["n"] == 0:
+        if counter["n"] == 0 and not counter["done"]:
+            counter["done"] = True
             promise.set_value(list(futs))
 
     for fut in futs:
         fut._on_ready(one_ready)
+    if timeout is not None and not promise.is_ready():
+        _arm_timer(
+            promise,
+            counter,
+            timeout,
+            lambda: FutureTimeoutError(
+                f"when_all: {counter['n']} of {len(futs)} future(s) still "
+                f"pending after {timeout!r} virtual seconds"
+            ),
+        )
     return promise.get_future()
+
+
+def _arm_timer(promise: Promise, counter: dict, timeout: float, make_exc) -> None:
+    """Schedule a virtual-time timer that fails ``promise`` at the deadline
+    unless ``counter['done']`` flipped first."""
+    if timeout < 0:
+        raise FutureError(f"timeout must be non-negative, got {timeout!r}")
+    frame = ctx.current_or_none()
+    if frame is None or frame.pool is None:
+        raise RuntimeStateError(
+            "a timeout needs an active thread pool to host the virtual timer"
+        )
+    pool = frame.pool
+
+    def fire() -> None:
+        if not counter["done"]:
+            counter["done"] = True
+            promise.set_exception(make_exc())
+
+    # LOW priority: work completing exactly at the deadline is popped
+    # before the timer, so fire-at-deadline counts as ready.
+    from .threads.hpx_thread import ThreadPriority
+
+    pool.submit(
+        fire,
+        ready_time=pool.now + timeout,
+        description="when_all-timeout",
+        priority=ThreadPriority.LOW,
+    )
 
 
 def when_each(

@@ -11,7 +11,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Any
 
-from ...errors import ChannelClosedError
+from ...errors import ChannelClosedError, ChannelTimeoutError, RuntimeStateError
+from .. import context as ctx
 from ..futures import Future, Promise
 
 __all__ = ["Channel"]
@@ -44,8 +45,15 @@ class Channel:
         else:
             self._values.append(value)
 
-    def get(self) -> Future:
-        """A future for the next value (FIFO order among getters)."""
+    def get(self, timeout: float | None = None) -> Future:
+        """A future for the next value (FIFO order among getters).
+
+        With ``timeout`` (virtual seconds from the caller's current
+        virtual time) the future fails with
+        :class:`~repro.errors.ChannelTimeoutError` if no value matched it
+        by the deadline; a timeout needs an active pool to host the
+        virtual timer.
+        """
         promise = Promise()
         if self._values:
             promise.set_value(self._values.popleft())
@@ -55,11 +63,47 @@ class Channel:
             )
         else:
             self._waiters.append(promise)
+            if timeout is not None:
+                self._arm_timeout(promise, timeout)
         return promise.get_future()
 
-    def get_sync(self) -> Any:
+    def _arm_timeout(self, promise: Promise, timeout: float) -> None:
+        if timeout < 0:
+            raise RuntimeStateError(f"timeout must be non-negative, got {timeout!r}")
+        frame = ctx.current_or_none()
+        if frame is None or frame.pool is None:
+            raise RuntimeStateError(
+                "channel get(timeout=...) needs an active thread pool to "
+                "host the virtual timer"
+            )
+        pool = frame.pool
+
+        def fire() -> None:
+            if promise.is_ready():
+                return
+            try:
+                self._waiters.remove(promise)
+            except ValueError:  # pragma: no cover - matched concurrently
+                pass
+            promise.set_exception(
+                ChannelTimeoutError(
+                    f"channel {self.name!r}: no value within {timeout!r} "
+                    "virtual seconds"
+                )
+            )
+
+        from ..threads.hpx_thread import ThreadPriority
+
+        pool.submit(
+            fire,
+            ready_time=pool.now + timeout,
+            description=f"channel-timeout:{self.name}",
+            priority=ThreadPriority.LOW,
+        )
+
+    def get_sync(self, timeout: float | None = None) -> Any:
         """Cooperatively blocking receive."""
-        return self.get().get()
+        return self.get(timeout=timeout).get()
 
     def close(self) -> int:
         """Close the channel; returns the number of waiters that failed.

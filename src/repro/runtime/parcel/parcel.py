@@ -32,6 +32,9 @@ class Parcel:
     #: Virtual send time at the source.
     send_time: float = 0.0
     parcel_id: int = field(default_factory=lambda: next(_ids))
+    #: Transmissions so far (maintained by the parcelport; retries of a
+    #: lost parcel re-send the same object with a bumped count).
+    attempts: int = 0
 
     def __post_init__(self) -> None:
         if (self.target_gid is None) == (self.target_locality is None):

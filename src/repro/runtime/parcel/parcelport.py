@@ -11,44 +11,170 @@ spawns the handler task at that virtual time).  Two ports exist:
   the Kunpeng 916 case), the *sending task* is charged the transfer
   time, so communication eats into compute exactly as the paper
   describes.
+
+When a :class:`~repro.resilience.faults.FaultInjector` is installed the
+port becomes lossy: every transmission gets a fate (deliver, drop,
+corrupt, duplicate, delay-spike).  A :class:`RetryPolicy` layers
+reliable delivery on top -- lost parcels are retransmitted after an
+ack-timeout with capped exponential backoff, all on the virtual clock,
+and land in the dead-letter queue once attempts are exhausted.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
 
-from ...errors import ParcelError
+from ...errors import ConfigError, ParcelDeadLetterError, ParcelError
 from ...hardware.interconnect import Interconnect
 from .. import context as ctx
 from .parcel import Parcel
 
-__all__ = ["Parcelport", "LoopbackParcelport", "NetworkParcelport"]
+if TYPE_CHECKING:  # pragma: no cover
+    from ...resilience.faults import FaultInjector
+
+__all__ = ["RetryPolicy", "Parcelport", "LoopbackParcelport", "NetworkParcelport"]
 
 #: Router signature: (parcel, arrival_time) -> None.
 Router = Callable[[Parcel, float], None]
 
+#: Retry-scheduler signature: (parcel, retransmit_at_virtual_time) -> None.
+RetryScheduler = Callable[[Parcel, float], None]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Ack-timeout retransmission with capped exponential backoff.
+
+    ``attempt`` counts *transmissions already made*, so the wait before
+    retransmission ``k+1`` is ``min(base * backoff**(k-1), cap)``.  With
+    ``enabled=False`` the first loss dead-letters immediately (the
+    "retry disabled" ablation).
+    """
+
+    enabled: bool = True
+    max_attempts: int = 8
+    base_timeout_s: float = 1e-5
+    max_timeout_s: float = 64e-5
+    backoff: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError("max_attempts must be >= 1")
+        if self.base_timeout_s <= 0 or self.max_timeout_s <= 0:
+            raise ConfigError("retry timeouts must be positive")
+        if self.max_timeout_s < self.base_timeout_s:
+            raise ConfigError("max_timeout_s must be >= base_timeout_s")
+        if self.backoff < 1.0:
+            raise ConfigError("backoff factor must be >= 1.0")
+
+    def timeout(self, attempt: int) -> float:
+        """Ack-timeout after transmission number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ConfigError("attempt numbers are 1-based")
+        return min(self.base_timeout_s * self.backoff ** (attempt - 1), self.max_timeout_s)
+
 
 class Parcelport:
-    """Base parcelport: statistics plus the router hookup."""
+    """Base parcelport: statistics, the router hookup, and loss handling."""
 
     def __init__(self) -> None:
         self._router: Router | None = None
+        self._retry_scheduler: RetryScheduler | None = None
+        #: Installed by the runtime when fault injection is requested.
+        self.fault_injector: "FaultInjector | None" = None
+        self.retry_policy: RetryPolicy | None = None
         self.parcels_sent = 0
         self.bytes_sent = 0
+        self.parcels_dropped = 0
+        self.parcels_corrupted = 0
+        self.parcels_duplicated = 0
+        self.parcels_delayed = 0
+        self.parcels_retried = 0
+        self.parcels_dead_lettered = 0
+        #: Parcels given up on, as ``(parcel, reason)`` -- the dead-letter
+        #: queue.  The progress engine raises when a job stalls with
+        #: entries here; resilient applications may drain it and recover.
+        self.dead_letters: list[tuple[Parcel, str]] = []
 
     def install_router(self, router: Router) -> None:
         """The runtime installs its decode-and-dispatch callback here."""
         self._router = router
 
+    def install_retry_scheduler(self, scheduler: RetryScheduler) -> None:
+        """The runtime installs the virtual-time retransmission hook here."""
+        self._retry_scheduler = scheduler
+
     def send(self, parcel: Parcel) -> float:
-        """Ship a parcel; returns its arrival time."""
+        """Ship a parcel; returns its (nominal) arrival time."""
         if self._router is None:
             raise ParcelError("parcelport has no router installed (runtime not booted)")
+        return self._transmit(parcel)
+
+    def retransmit(self, parcel: Parcel) -> float:
+        """Re-send a lost parcel (called by the runtime's retry task)."""
+        return self._transmit(parcel)
+
+    def _transmit(self, parcel: Parcel) -> float:
         arrival = self._arrival_time(parcel)
+        parcel.attempts += 1
+        fate = None
+        if self.fault_injector is not None:
+            fate = self.fault_injector.parcel_fate(parcel, parcel.attempts)
+        if fate is not None and fate.lost:
+            # The parcel left the NIC but never usably arrived: it counts
+            # as sent, then the loss machinery decides retry vs dead-letter.
+            self.parcels_sent += 1
+            self.bytes_sent += parcel.size_bytes
+            if fate.kind == "corrupt":
+                self.parcels_corrupted += 1
+                self._handle_loss(parcel, "corrupted in flight")
+            else:
+                self.parcels_dropped += 1
+                self._handle_loss(parcel, "dropped in flight")
+            return arrival
+        if fate is not None and fate.kind == "delay":
+            arrival += fate.extra_delay_s
+        self._router(parcel, arrival)
+        # Statistics move only after the router accepted the parcel: a
+        # raising router must not leave phantom counts behind.
         self.parcels_sent += 1
         self.bytes_sent += parcel.size_bytes
-        self._router(parcel, arrival)
+        if fate is not None and fate.kind == "delay":
+            self.parcels_delayed += 1
+        if fate is not None and fate.kind == "duplicate":
+            self._router(parcel, arrival + fate.extra_delay_s)
+            self.parcels_sent += 1
+            self.bytes_sent += parcel.size_bytes
+            self.parcels_duplicated += 1
         return arrival
+
+    def report_loss(self, parcel: Parcel, reason: str) -> None:
+        """Runtime-side loss (e.g. the destination locality was down)."""
+        self.parcels_dropped += 1
+        self._handle_loss(parcel, reason)
+
+    def _handle_loss(self, parcel: Parcel, reason: str) -> None:
+        policy = self.retry_policy
+        if (
+            policy is not None
+            and policy.enabled
+            and parcel.attempts < policy.max_attempts
+            and self._retry_scheduler is not None
+        ):
+            self.parcels_retried += 1
+            retry_at = parcel.send_time + policy.timeout(parcel.attempts)
+            self._retry_scheduler(parcel, retry_at)
+            return
+        self.parcels_dead_lettered += 1
+        self.dead_letters.append((parcel, reason))
+        exc = ParcelDeadLetterError(
+            f"parcel #{parcel.parcel_id} gave up after {parcel.attempts} "
+            f"transmission(s): {reason}"
+        )
+        promise = getattr(parcel, "reply_promise", None)
+        if promise is not None and not promise.is_ready():
+            promise.set_exception(exc)
 
     def _arrival_time(self, parcel: Parcel) -> float:
         raise NotImplementedError

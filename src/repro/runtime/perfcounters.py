@@ -16,6 +16,13 @@ Supported counter types::
     /threads/idle-rate             idle fraction of the pool's makespan
     /parcels/count/sent            parcels sent (job-wide counter only)
     /parcels/data/sent             bytes sent   (job-wide counter only)
+    /parcels/count/dropped         parcels lost in flight (fault injection)
+    /parcels/count/corrupted       parcels corrupted in flight
+    /parcels/count/duplicated      parcels delivered twice by the network
+    /parcels/count/delayed         parcels hit by a delay spike
+    /parcels/count/retried         retransmissions scheduled by the retry layer
+    /parcels/count/dead-lettered   parcels abandoned after exhausting retries
+    /localities/count/failed       scheduled locality outages
     /runtime/uptime                virtual makespan (s)
 
 Instance syntax: ``{locality#N/total}`` selects one locality,
@@ -42,6 +49,16 @@ _PATH = re.compile(
 )
 
 _LOCALITY = re.compile(r"^locality#(?P<id>\d+)/total$")
+
+#: Fault/retry statistics: counter path suffix -> Parcelport attribute.
+_PARCEL_FAULT_COUNTERS = {
+    "count/dropped": "parcels_dropped",
+    "count/corrupted": "parcels_corrupted",
+    "count/duplicated": "parcels_duplicated",
+    "count/delayed": "parcels_delayed",
+    "count/retried": "parcels_retried",
+    "count/dead-lettered": "parcels_dead_lettered",
+}
 
 
 def _pool_counter(pool: "ThreadPool", counter: str) -> float:
@@ -91,11 +108,21 @@ def query(runtime: "Runtime", path: str) -> float:
     if obj == "parcels":
         if instance not in (None, "total"):
             raise RuntimeStateError("parcel counters are job-wide; use {total}")
+        port = runtime.parcelport
         if counter == "count/sent":
-            return float(runtime.parcelport.parcels_sent)
+            return float(port.parcels_sent)
         if counter == "data/sent":
-            return float(runtime.parcelport.bytes_sent)
+            return float(port.bytes_sent)
+        if counter in _PARCEL_FAULT_COUNTERS:
+            return float(getattr(port, _PARCEL_FAULT_COUNTERS[counter]))
         raise RuntimeStateError(f"unknown parcels counter {counter!r}")
+
+    if obj == "localities":
+        if instance not in (None, "total"):
+            raise RuntimeStateError("locality counters are job-wide; use {total}")
+        if counter == "count/failed":
+            return float(runtime.localities_failed)
+        raise RuntimeStateError(f"unknown localities counter {counter!r}")
 
     if obj == "runtime":
         if counter == "uptime":
@@ -121,5 +148,8 @@ def discover(runtime: "Runtime") -> list[str]:
             paths.append(f"/threads{{locality#{loc.locality_id}/total}}/{counter}")
     paths.append("/parcels{total}/count/sent")
     paths.append("/parcels{total}/data/sent")
+    for counter in _PARCEL_FAULT_COUNTERS:
+        paths.append(f"/parcels{{total}}/{counter}")
+    paths.append("/localities{total}/count/failed")
     paths.append("/runtime/uptime")
     return paths

@@ -16,10 +16,15 @@ including parcels that bounce work between nodes.
 from __future__ import annotations
 
 import sys
-from typing import Any, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from ..config import Config, default_config
-from ..errors import DeadlockError, ParcelError, RuntimeStateError
+from ..errors import (
+    DeadlockError,
+    ParcelDeadLetterError,
+    ParcelError,
+    RuntimeStateError,
+)
 from ..hardware.registry import MachineModel, machine as machine_lookup
 from . import context as ctx
 from .actions import get_action
@@ -29,9 +34,17 @@ from .agas.service import AgasService
 from .futures import Future, Promise
 from .locality import Locality
 from .parcel.parcel import Parcel
-from .parcel.parcelport import LoopbackParcelport, NetworkParcelport, Parcelport
+from .parcel.parcelport import (
+    LoopbackParcelport,
+    NetworkParcelport,
+    Parcelport,
+    RetryPolicy,
+)
 from .parcel.serialization import deserialize, serialize
 from .threads.pool import ThreadPool
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..resilience.faults import FaultInjector
 
 __all__ = ["Runtime"]
 
@@ -45,10 +58,13 @@ class Runtime:
         n_localities: int = 1,
         workers_per_locality: int | None = None,
         config: Config | None = None,
+        fault_injector: "FaultInjector | None" = None,
     ) -> None:
         if n_localities < 1:
             raise RuntimeStateError("need at least one locality")
         self.config = config or default_config()
+        self.fault_injector = fault_injector
+        self._delivered_parcels: set[int] = set()
         if isinstance(machine, str):
             machine = machine_lookup(machine)
         self.machine: Optional[MachineModel] = machine
@@ -103,7 +119,31 @@ class Runtime:
         else:
             self.parcelport = LoopbackParcelport()
         self.parcelport.install_router(self._route_parcel)
+        if fault_injector is not None:
+            self.parcelport.fault_injector = fault_injector
+            self.parcelport.retry_policy = self._retry_policy_from_config()
+            self.parcelport.install_retry_scheduler(self._schedule_parcel_retry)
         self._started = False
+
+    def _retry_policy_from_config(self) -> RetryPolicy:
+        """Reliable-delivery knobs, with the base ack-timeout derived from
+        the network's round-trip estimate unless pinned explicitly."""
+        base = self.config.get_float("parcel.retry_timeout_s")
+        if base <= 0:
+            if isinstance(self.parcelport, NetworkParcelport):
+                base = self.parcelport.interconnect.rto_estimate(256, self.n_localities)
+            else:
+                base = 1e-5
+        cap = self.config.get_float("parcel.retry_max_timeout_s")
+        if cap <= 0:
+            cap = 64.0 * base
+        return RetryPolicy(
+            enabled=self.config.get_bool("parcel.retry"),
+            max_attempts=self.config.get_int("parcel.retry_max_attempts"),
+            base_timeout_s=base,
+            max_timeout_s=cap,
+            backoff=self.config.get_float("parcel.retry_backoff"),
+        )
 
     # Lifecycle --------------------------------------------------------------
     def start(self) -> "Runtime":
@@ -164,28 +204,72 @@ class Runtime:
         return max(loc.pool.makespan for loc in self.localities)
 
     # Progress engine -------------------------------------------------------------
+    def _next_locality(self) -> tuple[Locality | None, float]:
+        """The locality whose queued work can start earliest, with the
+        (outage-deferred) start hint; ``(None, inf)`` when nothing is
+        queued anywhere."""
+        best: Locality | None = None
+        best_hint = float("inf")
+        for loc in self.localities:
+            pool = loc.pool
+            if pool.pending():
+                hint = pool.next_start_hint()
+                if self.fault_injector is not None:
+                    hint = self.fault_injector.defer_until_up(loc.locality_id, hint)
+                if hint < best_hint:
+                    best_hint = hint
+                    best = loc
+        return best, best_hint
+
+    def _step_locality(self, loc: Locality, hint: float) -> None:
+        pool = loc.pool
+        if hint > pool.next_start_hint():
+            # The node is rebooting after a scheduled outage: its cores
+            # become available again at the end of the window.
+            for worker in pool.workers:
+                worker.available_at = max(worker.available_at, hint)
+        pool.step_one()
+
+    def _raise_stalled(self) -> None:
+        dead = self.parcelport.dead_letters
+        if dead:
+            shown = ", ".join(
+                f"#{parcel.parcel_id} ({reason})" for parcel, reason in dead[:5]
+            )
+            raise ParcelDeadLetterError(
+                f"job stalled with {len(dead)} undeliverable parcel(s) in the "
+                f"dead-letter queue: {shown}"
+            )
+        raise DeadlockError(
+            "no runnable work on any locality while the awaited "
+            "condition is unsatisfied"
+        )
+
     def progress_until(self, predicate: Callable[[], bool]) -> None:
         """Run queued tasks anywhere in the job until ``predicate()``.
 
         Pools are stepped in earliest-virtual-start order, which keeps
-        cross-locality timing approximately causal.
+        cross-locality timing approximately causal.  A stall with parcels
+        in the dead-letter queue raises
+        :class:`~repro.errors.ParcelDeadLetterError`; a plain stall is a
+        :class:`~repro.errors.DeadlockError`.
         """
         while not predicate():
-            best: ThreadPool | None = None
-            best_hint = float("inf")
-            for loc in self.localities:
-                pool = loc.pool
-                if pool.pending():
-                    hint = pool.next_start_hint()
-                    if hint < best_hint:
-                        best_hint = hint
-                        best = pool
-            if best is None:
-                raise DeadlockError(
-                    "no runnable work on any locality while the awaited "
-                    "condition is unsatisfied"
-                )
-            best.step_one()
+            loc, hint = self._next_locality()
+            if loc is None:
+                self._raise_stalled()
+            self._step_locality(loc, hint)
+
+    def progress_before(self, predicate: Callable[[], bool], deadline: float) -> bool:
+        """Like :meth:`progress_until`, but only step work that can start
+        at or before virtual ``deadline``; returns the final predicate
+        value instead of raising on a stall (timeout machinery)."""
+        while not predicate():
+            loc, hint = self._next_locality()
+            if loc is None or hint > deadline:
+                return predicate()
+            self._step_locality(loc, hint)
+        return True
 
     def progress_all(self) -> float:
         """Drain every pool; returns the job makespan."""
@@ -311,9 +395,28 @@ class Runtime:
         self.parcelport.send(parcel)
         return promise.get_future()
 
+    def _duplicate_delivery(self, parcel: Parcel) -> bool:
+        """Receiver-side dedupe: with faults injected, delivery is
+        at-least-once on the wire but exactly-once at the action layer."""
+        if self.fault_injector is None:
+            return False
+        if parcel.parcel_id in self._delivered_parcels:
+            return True
+        self._delivered_parcels.add(parcel.parcel_id)
+        return False
+
     def _route_parcel(self, parcel: Parcel, arrival_time: float) -> None:
         """Decode a parcel and spawn its handler on the destination pool."""
         destination = self._destination_of(parcel)
+        if self.fault_injector is not None and self.fault_injector.locality_down(
+            destination, arrival_time
+        ):
+            # The destination node is inside an outage window when the
+            # parcel lands: it is lost (and retried, if policy allows).
+            self.parcelport.report_loss(
+                parcel, f"locality {destination} down at t={arrival_time:.3g}"
+            )
+            return
         dest_pool = self.localities[destination].pool
         promise: Promise = parcel.reply_promise  # type: ignore[attr-defined]
         by_ref = getattr(parcel, "by_ref_body", None)
@@ -330,12 +433,16 @@ class Runtime:
                         # forward the parcel to its new home (AGAS routing).
                         self._reship(parcel, promise)
                         return
+                    if self._duplicate_delivery(parcel):
+                        return
                     self.agas.pin(gid)
                     try:
                         result = component.act(method, *args, **kwargs)
                     finally:
                         self.agas.unpin(gid)
                 elif kind == "__plain__":
+                    if self._duplicate_delivery(parcel):
+                        return
                     fn = head[1]
                     if isinstance(fn, str):
                         fn = get_action(fn)
@@ -353,6 +460,32 @@ class Runtime:
         dest_pool.submit(
             handler, ready_time=arrival_time, description=f"parcel#{parcel.parcel_id}"
         )
+
+    def _schedule_parcel_retry(self, parcel: Parcel, at_time: float) -> None:
+        """Retransmit a lost parcel at virtual ``at_time`` (ack-timeout).
+
+        The retry runs as a tiny task on the *source* pool, so the
+        retransmission consumes sender-side time exactly like the
+        original send (including the overlap=False compute charge).
+        """
+        pool = self.localities[parcel.source_locality].pool
+
+        def retransmit() -> None:
+            parcel.send_time = pool.now
+            self.parcelport.retransmit(parcel)
+
+        pool.submit(
+            retransmit,
+            ready_time=at_time,
+            description=f"parcel-retry#{parcel.parcel_id}",
+        )
+
+    @property
+    def localities_failed(self) -> int:
+        """Number of scheduled locality outages (perfcounter source)."""
+        if self.fault_injector is None:
+            return 0
+        return len(self.fault_injector.locality_failures)
 
     def _reship(self, parcel: Parcel, promise: Promise) -> None:
         parcel.send_time = self._send_time()

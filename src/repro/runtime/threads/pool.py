@@ -226,6 +226,19 @@ class ThreadPool:
         finally:
             self._help_depth -= 1
 
+    def run_before(self, predicate: Callable[[], bool], deadline: float) -> bool:
+        """Execute queued tasks that can start at or before virtual
+        ``deadline`` until ``predicate()``; returns the final predicate
+        value instead of raising on a stall (timeout machinery)."""
+        while not predicate():
+            if self.next_start_hint() > deadline:
+                return predicate()
+            task, worker = self._next()
+            if task is None:
+                return predicate()
+            self._execute(task, worker)
+        return True
+
     def run_all(self) -> float:
         """Drain every queued task; returns the resulting makespan."""
         while len(self.scheduler):

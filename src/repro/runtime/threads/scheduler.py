@@ -49,8 +49,15 @@ class _PriorityDeques:
         return None
 
     def pop_back(self) -> Optional[HpxThread]:
-        """Thief pop: highest priority first, oldest within a level."""
-        for priority in _PRIORITIES:
+        """Thief pop: regular work only, oldest within a level.
+
+        LOW is background work (virtual-time timers); stealing it would
+        let a timer fire on an idle thief while regular tasks queued on
+        *other* victims are still runnable -- a priority inversion.  It
+        stays with its owner, which pops it only when it has nothing
+        better (:meth:`pop_front`).
+        """
+        for priority in (ThreadPriority.HIGH, ThreadPriority.NORMAL):
             queue = self._deques[priority]
             if queue:
                 return queue.pop()

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import ValidationError
+from ..errors import DeadlockError, ParcelDeadLetterError, ValidationError
 from ..runtime import context as ctx
 from ..runtime.agas.component import Component
 from ..runtime.algorithms import ExecutionPolicy, for_each, seq
@@ -164,10 +164,16 @@ class Heat1DPartition(Component):
         #: Virtual compute seconds one local step costs (cost model hook).
         self.cost_per_step = float(cost_per_step)
         self._halos: dict[tuple[int, str], Promise] = {}
+        #: Boundary values as sent per step, for fault recovery: a
+        #: neighbour that lost a halo parcel can ask for it again.
+        self._edge_log: dict[int, tuple[float, float]] = {}
         self._runtime: Runtime | None = None
         self._left_gid = None
         self._right_gid = None
         self.steps_done = 0
+        self._chain_until: int | None = None
+        #: Completion future of the most recently built chain.
+        self.final_future: Future = make_ready_future(0)
 
     # Wiring -----------------------------------------------------------------
     def connect(self, runtime: Runtime, left_gid, right_gid) -> None:
@@ -188,10 +194,17 @@ class Heat1DPartition(Component):
 
     # Remote surface ----------------------------------------------------------
     def deposit_halo(self, step: int, side: str, value: float) -> None:
-        """A neighbour's boundary value arriving (component action)."""
+        """A neighbour's boundary value arriving (component action).
+
+        Idempotent: redelivery (a duplicated parcel, or a recovery
+        resend) of an already-deposited halo is ignored -- the stencil is
+        deterministic, so the value is necessarily identical.
+        """
         if side not in ("left", "right"):
             raise ValidationError(f"halo side must be left/right, got {side!r}")
-        self._halo_promise(step, side).set_value(float(value))
+        promise = self._halo_promise(step, side)
+        if not promise.is_ready():
+            promise.set_value(float(value))
 
     def send_boundaries(self, step: int) -> None:
         """Ship this partition's current edges to both neighbours.
@@ -200,8 +213,25 @@ class Heat1DPartition(Component):
         versa.
         """
         runtime = self._require_runtime()
-        runtime.invoke_apply(self._left_gid, "deposit_halo", step, "right", float(self.u[0]))
-        runtime.invoke_apply(self._right_gid, "deposit_halo", step, "left", float(self.u[-1]))
+        left_edge, right_edge = float(self.u[0]), float(self.u[-1])
+        self._edge_log[step] = (left_edge, right_edge)
+        runtime.invoke_apply(self._left_gid, "deposit_halo", step, "right", left_edge)
+        runtime.invoke_apply(self._right_gid, "deposit_halo", step, "left", right_edge)
+
+    def resend_boundaries(self, step: int) -> bool:
+        """Re-ship the logged boundary values of ``step`` (fault recovery).
+
+        Returns False when this partition has not produced the values for
+        ``step`` yet -- its own chain will send them in due course.
+        """
+        logged = self._edge_log.get(step)
+        if logged is None:
+            return False
+        runtime = self._require_runtime()
+        left_edge, right_edge = logged
+        runtime.invoke_apply(self._left_gid, "deposit_halo", step, "right", left_edge)
+        runtime.invoke_apply(self._right_gid, "deposit_halo", step, "left", right_edge)
+        return True
 
     def advance(self, t: int, left: float, right: float) -> int:
         """Apply step ``t`` given its halos; send halos for ``t+1``."""
@@ -213,9 +243,11 @@ class Heat1DPartition(Component):
         if self.cost_per_step:
             ctx.add_cost(self.cost_per_step)
         self.steps_done += 1
-        # Drop the consumed promises so memory stays bounded over long runs.
+        # Drop the consumed promises so memory stays bounded over long runs,
+        # and keep only a bounded window of resendable edge history.
         self._halos.pop((t, "left"), None)
         self._halos.pop((t, "right"), None)
+        self._edge_log.pop(t - 64, None)
         self.send_boundaries(self.steps_done)
         return self.steps_done
 
@@ -227,14 +259,34 @@ class Heat1DPartition(Component):
         chain for step ``t`` fires when step ``t-1`` is done and both
         halos of ``t`` have arrived -- pure continuation flow.
         """
+        self.ensure_chain(self.steps_done + steps)
+
+    def ensure_chain(self, target: int) -> None:
+        """Build or extend the chain up to *absolute* step ``target``.
+
+        Idempotent and race-free under recovery: the target is absolute,
+        so a re-invocation that arrives after the partition has advanced
+        (or whose original request raced a concurrent resend) extends the
+        live chain exactly to ``target`` instead of overshooting.  A
+        chain already built to ``target`` or beyond is left alone.
+        """
         self._require_runtime()
-        start = self.steps_done
-        if start == 0:
-            self.send_boundaries(0)
-        # Resuming: the previous chain's last advance already sent the
-        # boundaries for step ``start``.
-        prev: Future = make_ready_future(start)
-        for t in range(start, start + steps):
+        if self._chain_until is not None and self._chain_until >= target:
+            return
+        if self._chain_until is None:
+            # Fresh chain (or resuming after a completed one): the last
+            # advance of the previous chain already sent the boundaries
+            # for step ``steps_done``; step 0 must seed them itself.
+            built = self.steps_done
+            if built == 0:
+                self.send_boundaries(0)
+            prev: Future = make_ready_future(built)
+        else:
+            # Live chain ending below target: append to its tail.
+            built = self._chain_until
+            prev = self.final_future
+        self._chain_until = target
+        for t in range(built, target):
             prev = dataflow(
                 lambda left, right, _done, t=t: self.advance(t, left, right),
                 self.halo_future(t, "left"),
@@ -317,6 +369,62 @@ class DistributedHeat1D:
             when_all(chains).get()  # chains are *built*; now wait for completion
             when_all([part.final_future for part in self._parts]).get()
         return self.solution()
+
+    def run_resilient(self, steps: int, max_recovery_rounds: int = 3) -> np.ndarray:
+        """Run ``steps`` steps, surviving parcel loss and locality outages.
+
+        The transparent retry layer already bridges transient faults;
+        this driver additionally recovers from *dead-lettered* work (a
+        halo or chain-build parcel abandoned after exhausting retries,
+        e.g. because its destination stayed down past the backoff
+        budget).  Each recovery round drains the dead-letter queue,
+        re-invokes ``start_chain`` for the remaining steps of every
+        unfinished partition (idempotent when the chain is alive), and
+        asks the neighbours of each stuck partition to re-send the halo
+        values it is waiting on.  After ``max_recovery_rounds`` fruitless
+        rounds the dead-letter error propagates.
+        """
+        if not self._parts:
+            raise ValidationError("call initialize() before run()")
+        if steps < 0:
+            raise ValidationError("steps must be non-negative")
+        if steps == 0:
+            return self.solution()
+        target = self._parts[0].steps_done + steps
+        n = self.n_partitions
+        fruitless = 0
+        while True:
+            progress = [part.steps_done for part in self._parts]
+            try:
+                chains = [
+                    self.runtime.invoke_async(gid, "ensure_chain", target)
+                    for p, gid in enumerate(self._gids)
+                    if self._parts[p].steps_done < target
+                ]
+                when_all(chains).get()
+                when_all([part.final_future for part in self._parts]).get()
+                return self.solution()
+            except (ParcelDeadLetterError, DeadlockError):
+                # A DeadlockError here is a lost halo whose dead-letter
+                # record was consumed by an earlier round (the partition
+                # advanced *into* the gap after the queue was drained);
+                # it is recoverable the same way.
+                if [part.steps_done for part in self._parts] == progress:
+                    fruitless += 1
+                    if fruitless > max_recovery_rounds:
+                        raise
+                else:
+                    fruitless = 0
+                # The abandoned parcels are being re-driven; consume them.
+                self.runtime.parcelport.dead_letters.clear()
+                for p, part in enumerate(self._parts):
+                    stuck_at = part.steps_done
+                    if stuck_at >= target:
+                        continue
+                    # Whichever neighbour already produced the halos this
+                    # partition waits on re-sends them (idempotent).
+                    self._parts[(p - 1) % n].resend_boundaries(stuck_at)
+                    self._parts[(p + 1) % n].resend_boundaries(stuck_at)
 
     def solution(self) -> np.ndarray:
         """Gather the global field (driver-side, for verification)."""

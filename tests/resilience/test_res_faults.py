@@ -1,0 +1,157 @@
+"""Unit tests for the fault injector and the retry policy."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.resilience import FaultInjector, LocalityFailure, ParcelFate, RetryPolicy
+from repro.runtime.parcel import Parcel
+
+
+def _parcel():
+    return Parcel(source_locality=0, payload=b"x" * 32, target_locality=1)
+
+
+# FaultInjector construction ---------------------------------------------------
+
+def test_rates_must_lie_in_unit_interval():
+    with pytest.raises(ConfigError):
+        FaultInjector(drop_rate=-0.1)
+    with pytest.raises(ConfigError):
+        FaultInjector(corrupt_rate=1.5)
+
+
+def test_rates_must_sum_to_at_most_one():
+    with pytest.raises(ConfigError):
+        FaultInjector(drop_rate=0.6, corrupt_rate=0.6)
+
+
+def test_delay_rate_needs_spike_scale():
+    with pytest.raises(ConfigError):
+        FaultInjector(delay_rate=0.1)
+    FaultInjector(delay_rate=0.1, delay_spike_s=1e-5)  # fine
+
+
+def test_negative_spike_rejected():
+    with pytest.raises(ConfigError):
+        FaultInjector(delay_spike_s=-1.0)
+
+
+# Parcel fates -----------------------------------------------------------------
+
+def test_zero_rates_always_deliver():
+    inj = FaultInjector(seed=1)
+    for _ in range(50):
+        assert inj.parcel_fate(_parcel(), attempt=1).kind == "deliver"
+
+
+def test_fate_is_pure_in_seed_sequence_attempt():
+    inj = FaultInjector(seed=9, drop_rate=0.3, delay_rate=0.2, delay_spike_s=1e-5)
+    parcel = _parcel()
+    first = inj.parcel_fate(parcel, attempt=1)
+    assert inj.parcel_fate(parcel, attempt=1) == first  # re-asking is stable
+
+
+def test_same_seed_same_schedule_across_injectors():
+    """Two injectors with one seed assign identical fates by arrival order,
+    even though the parcels have different global ids."""
+    inj_a = FaultInjector(seed=4, drop_rate=0.4)
+    inj_b = FaultInjector(seed=4, drop_rate=0.4)
+    fates_a = [inj_a.parcel_fate(_parcel(), 1).kind for _ in range(40)]
+    fates_b = [inj_b.parcel_fate(_parcel(), 1).kind for _ in range(40)]
+    assert fates_a == fates_b
+    assert "drop" in fates_a and "deliver" in fates_a
+
+
+def test_different_seeds_differ():
+    inj_a = FaultInjector(seed=0, drop_rate=0.5)
+    inj_b = FaultInjector(seed=1, drop_rate=0.5)
+    parcels = [_parcel() for _ in range(40)]
+    assert [inj_a.parcel_fate(p, 1).kind for p in parcels] != [
+        inj_b.parcel_fate(p, 1).kind for p in parcels
+    ]
+
+
+def test_retries_draw_fresh_fates():
+    inj = FaultInjector(seed=2, drop_rate=0.5)
+    parcel = _parcel()
+    kinds = {inj.parcel_fate(parcel, attempt=k).kind for k in range(1, 30)}
+    assert kinds == {"drop", "deliver"}  # not stuck on one outcome
+
+
+def test_lost_covers_drop_and_corrupt_only():
+    assert ParcelFate("drop").lost
+    assert ParcelFate("corrupt").lost
+    assert not ParcelFate("deliver").lost
+    assert not ParcelFate("duplicate", 1e-6).lost
+    assert not ParcelFate("delay", 1e-6).lost
+
+
+def test_delay_fate_carries_positive_spike():
+    inj = FaultInjector(seed=3, delay_rate=1.0, delay_spike_s=2e-5)
+    fate = inj.parcel_fate(_parcel(), 1)
+    assert fate.kind == "delay"
+    assert 1e-5 <= fate.extra_delay_s <= 3e-5  # 0.5..1.5 spikes
+
+
+# Locality failures ------------------------------------------------------------
+
+def test_failure_window_validation():
+    with pytest.raises(ConfigError):
+        LocalityFailure(-1, 0.0, 1.0)
+    with pytest.raises(ConfigError):
+        LocalityFailure(0, 2.0, 1.0)  # empty interval
+    with pytest.raises(ConfigError):
+        LocalityFailure(0, -1.0, 1.0)
+
+
+def test_window_is_half_open():
+    window = LocalityFailure(0, 1.0, 2.0)
+    assert not window.covers(0.999)
+    assert window.covers(1.0)
+    assert window.covers(1.999)
+    assert not window.covers(2.0)
+
+
+def test_locality_down_respects_id_and_time():
+    inj = FaultInjector().fail_locality(1, at=1.0, until=2.0)
+    assert inj.locality_down(1, 1.5)
+    assert not inj.locality_down(0, 1.5)
+    assert not inj.locality_down(1, 2.5)
+
+
+def test_defer_until_up_chains_overlapping_windows():
+    inj = (
+        FaultInjector()
+        .fail_locality(0, at=1.0, until=2.0)
+        .fail_locality(0, at=1.5, until=3.0)
+    )
+    assert inj.defer_until_up(0, 1.2) == 3.0
+    assert inj.defer_until_up(0, 0.5) == 0.5  # before the outage: no defer
+    assert inj.defer_until_up(0, 3.0) == 3.0
+
+
+# RetryPolicy ------------------------------------------------------------------
+
+def test_retry_policy_validation():
+    with pytest.raises(ConfigError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ConfigError):
+        RetryPolicy(base_timeout_s=0.0)
+    with pytest.raises(ConfigError):
+        RetryPolicy(base_timeout_s=2.0, max_timeout_s=1.0)
+    with pytest.raises(ConfigError):
+        RetryPolicy(backoff=0.5)
+
+
+def test_backoff_schedule_doubles_then_caps():
+    policy = RetryPolicy(base_timeout_s=1e-5, max_timeout_s=4e-5, backoff=2.0)
+    assert policy.timeout(1) == pytest.approx(1e-5)
+    assert policy.timeout(2) == pytest.approx(2e-5)
+    assert policy.timeout(3) == pytest.approx(4e-5)
+    assert policy.timeout(4) == pytest.approx(4e-5)  # capped
+    assert policy.timeout(10) == pytest.approx(4e-5)
+
+
+def test_attempt_numbers_are_one_based():
+    with pytest.raises(ConfigError):
+        RetryPolicy().timeout(0)

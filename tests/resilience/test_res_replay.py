@@ -1,0 +1,180 @@
+"""HPX-style resiliency task APIs: async_replay and async_replicate."""
+
+import pytest
+
+from repro.errors import ReplayExhaustedError, ReplicateError, RuntimeStateError
+from repro.resilience import async_replay, async_replicate
+
+
+class Flaky:
+    """Raises for the first ``fail_first`` calls, then returns ``value``."""
+
+    def __init__(self, fail_first, value="ok"):
+        self.fail_first = fail_first
+        self.value = value
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.fail_first:
+            raise RuntimeError(f"transient failure #{self.calls}")
+        return self.value
+
+
+# async_replay -----------------------------------------------------------------
+
+def test_replay_needs_positive_n(rt):
+    def main():
+        with pytest.raises(RuntimeStateError):
+            async_replay(0, lambda: 1)
+        return True
+
+    assert rt.run(main)
+
+
+def test_replay_first_attempt_success_runs_once(rt):
+    flaky = Flaky(fail_first=0)
+
+    def main():
+        return async_replay(3, flaky).get()
+
+    assert rt.run(main) == "ok"
+    assert flaky.calls == 1
+
+
+def test_replay_retries_until_success(rt):
+    flaky = Flaky(fail_first=2)
+
+    def main():
+        return async_replay(5, flaky).get()
+
+    assert rt.run(main) == "ok"
+    assert flaky.calls == 3
+
+
+def test_replay_exhaustion_reraises_last_exception(rt):
+    flaky = Flaky(fail_first=10)
+
+    def main():
+        return async_replay(3, flaky).get()
+
+    with pytest.raises(RuntimeError, match="transient failure #3"):
+        rt.run(main)
+    assert flaky.calls == 3
+
+
+def test_replay_validate_rejects_until_acceptable(rt):
+    counter = {"n": 0}
+
+    def body():
+        counter["n"] += 1
+        return counter["n"]
+
+    def main():
+        return async_replay(5, body, validate=lambda v: v >= 3).get()
+
+    assert rt.run(main) == 3
+
+
+def test_replay_validate_never_satisfied(rt):
+    def main():
+        return async_replay(3, lambda: -1, validate=lambda v: v > 0).get()
+
+    with pytest.raises(ReplayExhaustedError):
+        rt.run(main)
+
+
+def test_replay_passes_arguments(rt):
+    def main():
+        return async_replay(2, lambda a, b: a + b, 1, b=2).get()
+
+    assert rt.run(main) == 3
+
+
+def test_replay_unwraps_future_returning_bodies(rt):
+    from repro.runtime import async_
+
+    attempts = {"n": 0}
+
+    def remote_ish():
+        attempts["n"] += 1
+        if attempts["n"] < 2:
+            return async_(lambda: (_ for _ in ()).throw(RuntimeError("remote")))
+        return async_(lambda: "remote ok")
+
+    def main():
+        return async_replay(4, remote_ish).get()
+
+    assert rt.run(main) == "remote ok"
+    assert attempts["n"] == 2
+
+
+# async_replicate --------------------------------------------------------------
+
+def test_replicate_needs_positive_n(rt):
+    def main():
+        with pytest.raises(RuntimeStateError):
+            async_replicate(0, lambda: 1)
+        return True
+
+    assert rt.run(main)
+
+
+def test_replicate_launches_all_replicas(rt):
+    calls = {"n": 0}
+
+    def body():
+        calls["n"] += 1
+        return calls["n"]
+
+    def main():
+        return async_replicate(4, body).get()
+
+    result = rt.run(main)
+    assert calls["n"] == 4  # all replicas ran (no short-circuit)
+    assert result in (1, 2, 3, 4)
+
+
+def test_replicate_first_valid_wins(rt):
+    def main():
+        return async_replicate(
+            5,
+            lambda: 1,
+            validate=lambda v: v == 1,
+        ).get()
+
+    assert rt.run(main) == 1
+
+
+def test_replicate_all_raise_propagates(rt):
+    def main():
+        def bad():
+            raise ValueError("every replica is broken")
+
+        return async_replicate(3, bad).get()
+
+    with pytest.raises(ValueError, match="every replica is broken"):
+        rt.run(main)
+
+
+def test_replicate_successes_but_none_valid(rt):
+    def main():
+        return async_replicate(3, lambda: 0, validate=lambda v: v > 10).get()
+
+    with pytest.raises(ReplicateError):
+        rt.run(main)
+
+
+def test_replicate_tolerates_partial_failures(rt):
+    state = {"n": 0}
+
+    def sometimes():
+        state["n"] += 1
+        if state["n"] % 2 == 1:
+            raise RuntimeError("odd replica dies")
+        return state["n"]
+
+    def main():
+        return async_replicate(4, sometimes).get()
+
+    assert rt.run(main) % 2 == 0  # a surviving (even) replica's value
