@@ -12,6 +12,7 @@ import pytest
 
 from repro.exhibits import fig3_1d_scaling, render_fig3
 from repro.hardware import machine
+from repro.observability import collect_metrics, latency_histograms
 from repro.perf.cost import (
     STRONG_SCALING_POINTS,
     scaling_factor,
@@ -19,6 +20,7 @@ from repro.perf.cost import (
     stencil1d_time,
 )
 from repro.runtime import Runtime
+from repro.runtime.trace import Tracer
 from repro.stencil import DistributedHeat1D, Heat1DParams, analytic_heat_profile
 
 
@@ -38,7 +40,9 @@ def test_fig3_paper_values(benchmark):
 
 
 @pytest.mark.parametrize("name", ["xeon-e5-2660v3", "kunpeng916"])
-def test_fig3_runtime_simulation_matches_model_shape(benchmark, name, save_exhibit):
+def test_fig3_runtime_simulation_matches_model_shape(
+    benchmark, name, save_exhibit, save_metrics
+):
     """Drive the real futurized solver at 1 and 4 virtual nodes and check
     the virtual-time speedup against the analytic model."""
     m = machine(name)
@@ -48,17 +52,23 @@ def test_fig3_runtime_simulation_matches_model_shape(benchmark, name, save_exhib
     steps = 60
     points = 512  # numerical grid is tiny; *costs* are the real ones
 
+    metrics: dict = {}
+
     def simulate(n_nodes: int) -> float:
         # Per-partition per-step cost from the calibrated node rate.
         local_points = STRONG_SCALING_POINTS // n_nodes
         rate = stencil1d_node_glups(m) * 1e9
         cost_per_step = local_points / rate + m.calibration.per_step_overhead_s
+        tracer = Tracer()
         with Runtime(machine=m.name, n_localities=n_nodes, workers_per_locality=2) as rt:
             solver = DistributedHeat1D(
                 rt, points, Heat1DParams(), cost_per_step=cost_per_step
             )
             solver.initialize(analytic_heat_profile(points))
-            rt.run(lambda: solver.run(steps))
+            with tracer.attach(rt):
+                rt.run(lambda: solver.run(steps))
+            metrics["counters"] = collect_metrics(rt)["counters"]
+            metrics["histograms"] = latency_histograms(tracer)
             return rt.makespan
 
     t1 = simulate(1)
@@ -77,4 +87,10 @@ def test_fig3_runtime_simulation_matches_model_shape(benchmark, name, save_exhib
         f"fig3_runtime_{name}",
         f"{m.spec.name}: DES speedup(4 nodes) = {simulated_speedup:.2f} "
         f"(analytic model: {model_speedup:.2f}) over {steps} steps",
+    )
+    save_metrics(
+        f"fig3_runtime_{name}",
+        counters=metrics["counters"],
+        histograms=metrics["histograms"],
+        meta={"machine": name, "nodes": 4, "steps": steps},
     )

@@ -30,3 +30,21 @@ def save_exhibit(exhibit_dir):
         print(f"\n{text}\n")
 
     return save
+
+
+@pytest.fixture
+def save_metrics(exhibit_dir):
+    """Write a run's metrics artifact (counters + histogram summaries)
+    next to the exhibit text -- ``benchmarks/out/<name>.metrics.json``."""
+
+    def save(name: str, *, counters=None, histograms=None, meta=None) -> None:
+        from repro.reporting import write_metrics_json
+
+        write_metrics_json(
+            exhibit_dir / f"{name}.metrics.json",
+            counters=counters,
+            histograms=histograms,
+            meta=meta,
+        )
+
+    return save

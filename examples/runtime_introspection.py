@@ -9,13 +9,18 @@ reproductions on a distributed run:
 1. render the machine tree and the worker pinning (``hwloc-ls`` view),
 2. run the distributed heat solver under the tracer and show the
    virtual-time Gantt chart (latency hiding, visibly),
-3. read the HPX-style performance counters for the run.
+3. read the HPX-style performance counters for the run,
+4. export the timeline as Chrome trace-event JSON (open it in
+   https://ui.perfetto.dev) and print latency-histogram summaries,
+5. re-run while *sampling* counters every virtual second
+   (``--hpx:print-counter-interval`` analogue).
 
 Run:  python examples/runtime_introspection.py
 """
 
 from repro.hardware import machine
 from repro.hardware.topology_render import render_machine, render_pinning
+from repro.observability import latency_histograms, sample_counters
 from repro.runtime import Runtime, perfcounters
 from repro.runtime.trace import Tracer
 from repro.stencil import DistributedHeat1D, Heat1DParams, analytic_heat_profile
@@ -53,13 +58,46 @@ def main() -> None:
         for path in (
             "/threads{total}/count/cumulative",
             "/threads{locality#0/total}/count/cumulative",
+            "/threads{locality#0/worker#0}/time/busy",
             "/threads{total}/count/stolen",
             "/threads{total}/idle-rate",
             "/parcels{total}/count/sent",
             "/parcels{total}/data/sent",
+            "/parcels{total}/time/average-latency",
             "/runtime/uptime",
         ):
-            print(f"  {path:<48} = {perfcounters.query(rt, path):,.3f}")
+            print(f"  {path:<48} = {perfcounters.query(rt, path):,.6f}")
+
+    print("\n=== 4. Perfetto export + latency histograms ===")
+    out = "runtime_introspection.trace.json"
+    tracer.export_chrome_trace(out)
+    print(f"wrote {out} -- open it at https://ui.perfetto.dev")
+    for name, histogram in latency_histograms(tracer).items():
+        summary = histogram.summary()
+        print(
+            f"  {name:<16} n={summary['count']:<4} mean={summary['mean']:.4f}s "
+            f"p50={summary['p50']:.4f}s p95={summary['p95']:.4f}s "
+            f"p99={summary['p99']:.4f}s"
+        )
+
+    print("\n=== 5. Counter sampling every 1.0 virtual seconds ===")
+    with Runtime(machine=MACHINE, n_localities=NODES, workers_per_locality=WORKERS) as rt:
+        solver = DistributedHeat1D(
+            rt, 128, Heat1DParams(), partitions_per_locality=WORKERS,
+            cost_per_step=1.0,
+        )
+        solver.initialize(analytic_heat_profile(128))
+        series = sample_counters(
+            rt,
+            lambda: solver.run(STEPS),
+            paths=[
+                "/threads{total}/count/cumulative",
+                "/threads{total}/idle-rate",
+                "/parcels{total}/count/sent",
+            ],
+            interval=1.0,
+        )
+    print(series.to_csv().rstrip())
 
 
 if __name__ == "__main__":

@@ -7,10 +7,17 @@ Commands mirror the evaluation workflow:
 * ``stream --machine M``          -- STREAM COPY curve for one machine
 * ``stencil1d --machine M``       -- Fig 3 rows for one machine
 * ``stencil2d --machine M``       -- Fig 4-8 curve for one machine
-* ``counters --machine M``        -- the machine's counter table
+* ``counters --machine M``        -- the machine's counter table; with
+                                     ``--sample-interval DT`` instead
+                                     sample *runtime* counters every DT
+                                     virtual seconds over the
+                                     distributed demo (CSV/JSON)
 * ``trace``                       -- run the distributed demo and print a
                                      virtual-time Gantt chart (latency
-                                     hiding, visibly)
+                                     hiding, visibly); ``--export F``
+                                     writes Chrome trace-event JSON for
+                                     Perfetto, ``--metrics F`` a metrics
+                                     artifact (counters + histograms)
 """
 
 from __future__ import annotations
@@ -88,14 +95,47 @@ def build_parser() -> argparse.ArgumentParser:
     p_2d.add_argument("--dtype", default="float32", choices=("float32", "float64"))
     p_2d.add_argument("--mode", default="simd", choices=("auto", "simd"))
 
-    p_cnt = sub.add_parser("counters", help="hardware-counter table")
+    p_cnt = sub.add_parser(
+        "counters",
+        help="hardware-counter table, or runtime-counter sampling "
+        "with --sample-interval",
+    )
     machine_arg(p_cnt)
+    p_cnt.add_argument(
+        "--sample-interval",
+        type=float,
+        metavar="DT",
+        help="sample runtime counters every DT virtual seconds over the "
+        "distributed 1D stencil demo instead of printing the hardware table",
+    )
+    p_cnt.add_argument("--nodes", type=int, default=2)
+    p_cnt.add_argument("--steps", type=int, default=6)
+    p_cnt.add_argument(
+        "--paths",
+        nargs="+",
+        metavar="PATH",
+        help="counter paths to sample (default: a standard set)",
+    )
+    p_cnt.add_argument("--format", default="csv", choices=("csv", "json"))
+    p_cnt.add_argument(
+        "--output", metavar="FILE", help="write the series here instead of stdout"
+    )
 
     p_trace = sub.add_parser(
         "trace", help="run the distributed demo and print a Gantt chart"
     )
     p_trace.add_argument("--nodes", type=int, default=2)
     p_trace.add_argument("--steps", type=int, default=6)
+    p_trace.add_argument(
+        "--export",
+        metavar="FILE",
+        help="also write Chrome trace-event JSON (Perfetto / chrome://tracing)",
+    )
+    p_trace.add_argument(
+        "--metrics",
+        metavar="FILE",
+        help="also write a metrics artifact (counters + latency histograms)",
+    )
 
     return parser
 
@@ -175,7 +215,14 @@ def _cmd_stencil2d(machine_name: str, dtype: str, mode: str) -> str:
     )
 
 
-def _cmd_trace(n_nodes: int, steps: int) -> str:
+def _cmd_trace(
+    n_nodes: int,
+    steps: int,
+    export: str | None = None,
+    metrics: str | None = None,
+) -> str:
+    from .observability import collect_metrics
+    from .reporting import write_metrics_json
     from .runtime import Runtime
     from .runtime.trace import Tracer
     from .stencil import DistributedHeat1D, Heat1DParams, analytic_heat_profile
@@ -190,12 +237,74 @@ def _cmd_trace(n_nodes: int, steps: int) -> str:
         solver.initialize(analytic_heat_profile(64 * n_nodes))
         with tracer.attach(rt):
             rt.run(lambda: solver.run(steps))
+        footer = ""
+        if export:
+            tracer.export_chrome_trace(export)
+            footer += (
+                f"\nwrote Chrome trace-event JSON to {export} "
+                "(open in https://ui.perfetto.dev or chrome://tracing)"
+            )
+        if metrics:
+            collected = collect_metrics(rt, tracer)
+            write_metrics_json(
+                metrics,
+                counters=collected["counters"],
+                histograms=collected["histograms"],
+                meta={"nodes": n_nodes, "steps": steps},
+            )
+            footer += f"\nwrote metrics artifact to {metrics}"
     header = (
         f"Distributed 1D stencil, {n_nodes} localities x 2 workers, "
         f"{steps} steps of 1 (virtual) second each.\n"
         "Solid lanes: halo exchange is fully hidden under compute.\n"
     )
-    return header + tracer.render_gantt(min_duration=0.5, exclude="hpx_main")
+    return header + tracer.render_gantt(min_duration=0.5, exclude="hpx_main") + footer
+
+
+#: Default paths for ``counters --sample-interval``.
+_SAMPLE_PATHS = (
+    "/threads{total}/count/cumulative",
+    "/threads{total}/queue/length",
+    "/threads{total}/idle-rate",
+    "/parcels{total}/count/sent",
+)
+
+
+def _cmd_counters_sampled(
+    machine_name: str,
+    n_nodes: int,
+    steps: int,
+    interval: float,
+    paths: Sequence[str] | None,
+    fmt: str,
+    output: str | None,
+) -> str:
+    from .observability import sample_counters
+    from .runtime import Runtime
+    from .stencil import DistributedHeat1D, Heat1DParams, analytic_heat_profile
+
+    with Runtime(
+        machine=machine_name, n_localities=n_nodes, workers_per_locality=2
+    ) as rt:
+        solver = DistributedHeat1D(
+            rt, 64 * n_nodes, Heat1DParams(), cost_per_step=1.0
+        )
+        solver.initialize(analytic_heat_profile(64 * n_nodes))
+        series = sample_counters(
+            rt,
+            lambda: solver.run(steps),
+            paths=list(paths) if paths else list(_SAMPLE_PATHS),
+            interval=interval,
+        )
+    text = series.to_csv() if fmt == "csv" else series.to_json(indent=2)
+    if output:
+        with open(output, "w", encoding="utf-8") as fh:
+            fh.write(text if text.endswith("\n") else text + "\n")
+        return (
+            f"wrote {len(series)} samples x {len(series.paths)} counters "
+            f"({fmt}) to {output}"
+        )
+    return text.rstrip("\n")
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -211,9 +320,22 @@ def main(argv: Sequence[str] | None = None) -> int:
     elif args.command == "stencil2d":
         print(_cmd_stencil2d(args.machine, args.dtype, args.mode))
     elif args.command == "counters":
-        print(exhibits.render_counter_table(args.machine))
+        if args.sample_interval is not None:
+            print(
+                _cmd_counters_sampled(
+                    args.machine,
+                    args.nodes,
+                    args.steps,
+                    args.sample_interval,
+                    args.paths,
+                    args.format,
+                    args.output,
+                )
+            )
+        else:
+            print(exhibits.render_counter_table(args.machine))
     elif args.command == "trace":
-        print(_cmd_trace(args.nodes, args.steps))
+        print(_cmd_trace(args.nodes, args.steps, args.export, args.metrics))
     else:  # pragma: no cover - argparse guards
         return 2
     return 0

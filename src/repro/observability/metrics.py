@@ -1,0 +1,59 @@
+"""One-call metrics collection: counters + histogram summaries.
+
+Benchmarks (and the CLI) want a single JSON-ready artifact per run --
+the runtime counters that explain the result plus the latency
+distributions behind them.  :func:`collect_metrics` assembles it; the
+actual file writing lives in :func:`repro.reporting.write_metrics_json`
+so every artifact in ``benchmarks/out/`` has the same shape.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from ..runtime import perfcounters
+from .histograms import latency_histograms
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.runtime import Runtime
+    from ..runtime.trace import Tracer
+
+__all__ = ["STANDARD_COUNTERS", "collect_metrics"]
+
+#: The counters every metrics artifact reports by default: enough to
+#: reconstruct the paper's utilization/latency arguments for a run.
+STANDARD_COUNTERS = (
+    "/threads{total}/count/cumulative",
+    "/threads{total}/count/stolen",
+    "/threads{total}/time/average",
+    "/threads{total}/time/busy",
+    "/threads{total}/idle-rate",
+    "/parcels{total}/count/sent",
+    "/parcels{total}/data/sent",
+    "/parcels{total}/count/delivered",
+    "/parcels{total}/time/average-latency",
+    "/runtime/uptime",
+)
+
+
+def collect_metrics(
+    runtime: "Runtime",
+    tracer: "Tracer | None" = None,
+    counters: Sequence[str] | None = None,
+) -> dict:
+    """Snapshot a runtime's counters (and a tracer's distributions).
+
+    Returns a JSON-ready dict: ``{"counters": {path: value},
+    "histograms": {name: summary}}`` -- histograms only when a tracer
+    that observed the run is supplied.
+    """
+    paths = list(counters) if counters is not None else list(STANDARD_COUNTERS)
+    payload: dict = {
+        "counters": {path: perfcounters.query(runtime, path) for path in paths}
+    }
+    if tracer is not None:
+        payload["histograms"] = {
+            name: histogram.summary()
+            for name, histogram in latency_histograms(tracer).items()
+        }
+    return payload

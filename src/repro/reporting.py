@@ -4,17 +4,29 @@ The paper's exhibits are tables and line plots; in a terminal-only
 reproduction both become aligned text: :func:`format_table` renders a
 Table I/III-VI-style grid, :class:`Series`/:func:`format_figure` render
 a figure's data as one column per series (the numbers a plotting script
-would consume).
+would consume).  :func:`write_metrics_json` writes the machine-readable
+companion artifact -- runtime counters and latency-histogram summaries
+-- that benchmarks emit next to their rendered figures (see
+``docs/observability.md``).
 """
 
 from __future__ import annotations
 
+import json
+import pathlib
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from .errors import ValidationError
 
-__all__ = ["format_table", "Series", "format_figure", "format_scientific"]
+__all__ = [
+    "format_table",
+    "Series",
+    "format_figure",
+    "format_scientific",
+    "metrics_payload",
+    "write_metrics_json",
+]
 
 
 def format_scientific(value: float, digits: int = 3) -> str:
@@ -89,3 +101,49 @@ def format_figure(
         rows.append(row)
     body = format_table(headers, rows)
     return f"{title}\n[{ylabel}]\n{body}"
+
+
+def _summarized(histograms: Mapping[str, object]) -> dict:
+    """Accept ``Histogram``-likes (anything with ``summary()``) or plain
+    dicts, so this module stays independent of ``repro.observability``."""
+    out = {}
+    for name, histogram in histograms.items():
+        summary = getattr(histogram, "summary", None)
+        out[name] = summary() if callable(summary) else dict(histogram)
+    return out
+
+
+def metrics_payload(
+    counters: Mapping[str, float] | None = None,
+    histograms: Mapping[str, object] | None = None,
+    meta: Mapping[str, object] | None = None,
+) -> dict:
+    """The canonical metrics-artifact shape (all sections optional)."""
+    if counters is None and histograms is None:
+        raise ValidationError("metrics artifact needs counters or histograms")
+    payload: dict = {"schema": "repro-metrics-v1"}
+    if meta:
+        payload["meta"] = dict(meta)
+    if counters is not None:
+        payload["counters"] = {k: float(v) for k, v in counters.items()}
+    if histograms is not None:
+        payload["histograms"] = _summarized(histograms)
+    return payload
+
+
+def write_metrics_json(
+    path: str | pathlib.Path,
+    counters: Mapping[str, float] | None = None,
+    histograms: Mapping[str, object] | None = None,
+    meta: Mapping[str, object] | None = None,
+) -> pathlib.Path:
+    """Write a metrics artifact; returns the path written.
+
+    ``histograms`` values may be :class:`repro.observability.Histogram`
+    instances (their ``summary()`` is stored) or already-summarized
+    dicts.
+    """
+    path = pathlib.Path(path)
+    payload = metrics_payload(counters=counters, histograms=histograms, meta=meta)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

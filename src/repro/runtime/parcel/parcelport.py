@@ -86,11 +86,17 @@ class Parcelport:
         self.retry_policy: RetryPolicy | None = None
         self.parcels_sent = 0
         self.bytes_sent = 0
+        #: Transmissions the router accepted (wire-level deliveries; a
+        #: duplicated parcel counts twice, dedupe happens at the action
+        #: layer) and their accumulated send-to-arrival virtual latency.
+        self.parcels_delivered = 0
+        self.latency_total_s = 0.0
         self.parcels_dropped = 0
         self.parcels_corrupted = 0
         self.parcels_duplicated = 0
         self.parcels_delayed = 0
         self.parcels_retried = 0
+        self.parcels_retransmitted = 0
         self.parcels_dead_lettered = 0
         #: Parcels given up on, as ``(parcel, reason)`` -- the dead-letter
         #: queue.  The progress engine raises when a job stalls with
@@ -113,6 +119,7 @@ class Parcelport:
 
     def retransmit(self, parcel: Parcel) -> float:
         """Re-send a lost parcel (called by the runtime's retry task)."""
+        self.parcels_retransmitted += 1
         return self._transmit(parcel)
 
     def _transmit(self, parcel: Parcel) -> float:
@@ -140,12 +147,17 @@ class Parcelport:
         # raising router must not leave phantom counts behind.
         self.parcels_sent += 1
         self.bytes_sent += parcel.size_bytes
+        self.parcels_delivered += 1
+        self.latency_total_s += max(0.0, arrival - parcel.send_time)
         if fate is not None and fate.kind == "delay":
             self.parcels_delayed += 1
         if fate is not None and fate.kind == "duplicate":
-            self._router(parcel, arrival + fate.extra_delay_s)
+            dup_arrival = arrival + fate.extra_delay_s
+            self._router(parcel, dup_arrival)
             self.parcels_sent += 1
             self.bytes_sent += parcel.size_bytes
+            self.parcels_delivered += 1
+            self.latency_total_s += max(0.0, dup_arrival - parcel.send_time)
             self.parcels_duplicated += 1
         return arrival
 

@@ -13,20 +13,30 @@ Supported counter types::
     /threads/count/stolen          successful steals (work-stealing only)
     /threads/queue/length          tasks currently queued
     /threads/time/average          average attributed cost per task (s)
+    /threads/time/busy             attributed compute seconds
     /threads/idle-rate             idle fraction of the pool's makespan
     /parcels/count/sent            parcels sent (job-wide counter only)
     /parcels/data/sent             bytes sent   (job-wide counter only)
+    /parcels/count/delivered       parcels handed to the destination router
+    /parcels/time/average-latency  mean send-to-arrival virtual latency (s)
     /parcels/count/dropped         parcels lost in flight (fault injection)
     /parcels/count/corrupted       parcels corrupted in flight
     /parcels/count/duplicated      parcels delivered twice by the network
     /parcels/count/delayed         parcels hit by a delay spike
     /parcels/count/retried         retransmissions scheduled by the retry layer
+    /parcels/count/retries-in-flight  retransmissions scheduled but not yet sent
     /parcels/count/dead-lettered   parcels abandoned after exhausting retries
     /localities/count/failed       scheduled locality outages
     /runtime/uptime                virtual makespan (s)
 
 Instance syntax: ``{locality#N/total}`` selects one locality,
-``{total}`` (or no braces) aggregates over the job.
+``{locality#N/worker#W}`` selects one worker of one locality (thread
+counters only), ``{total}`` (or no braces) aggregates over the job.
+
+Job-wide ``time/average`` and ``idle-rate`` are *weighted* aggregates:
+total busy time over total task count (resp. total capacity), so a
+locality that ran 10k tasks carries 10k times the weight of one that
+ran a single task.
 """
 
 from __future__ import annotations
@@ -49,6 +59,7 @@ _PATH = re.compile(
 )
 
 _LOCALITY = re.compile(r"^locality#(?P<id>\d+)/total$")
+_WORKER = re.compile(r"^locality#(?P<id>\d+)/worker#(?P<worker>\d+)$")
 
 #: Fault/retry statistics: counter path suffix -> Parcelport attribute.
 _PARCEL_FAULT_COUNTERS = {
@@ -60,6 +71,9 @@ _PARCEL_FAULT_COUNTERS = {
     "count/dead-lettered": "parcels_dead_lettered",
 }
 
+#: Thread counters valid per worker (``{locality#N/worker#W}``).
+_WORKER_COUNTERS = ("count/cumulative", "time/busy", "idle-rate")
+
 
 def _pool_counter(pool: "ThreadPool", counter: str) -> float:
     if counter == "count/cumulative":
@@ -68,6 +82,8 @@ def _pool_counter(pool: "ThreadPool", counter: str) -> float:
         return float(pool.steals)
     if counter == "queue/length":
         return float(pool.pending())
+    if counter == "time/busy":
+        return sum(w.busy_time for w in pool.workers)
     if counter == "time/average":
         if pool.tasks_executed == 0:
             return 0.0
@@ -83,6 +99,50 @@ def _pool_counter(pool: "ThreadPool", counter: str) -> float:
     raise RuntimeStateError(f"unknown threads counter {counter!r}")
 
 
+def _worker_counter(pool: "ThreadPool", worker_id: int, counter: str) -> float:
+    if not 0 <= worker_id < pool.n_workers:
+        raise RuntimeStateError(
+            f"worker {worker_id} out of range [0, {pool.n_workers})"
+        )
+    worker = pool.workers[worker_id]
+    if counter == "count/cumulative":
+        return float(worker.tasks_run)
+    if counter == "time/busy":
+        return worker.busy_time
+    if counter == "idle-rate":
+        makespan = pool.makespan
+        if makespan == 0.0:
+            return 0.0
+        return max(0.0, 1.0 - worker.busy_time / makespan)
+    raise RuntimeStateError(
+        f"threads counter {counter!r} has no per-worker instance"
+    )
+
+
+def _aggregate_threads(pools: list["ThreadPool"], counter: str) -> float:
+    """Job-wide thread counters, weighted by each pool's actual load.
+
+    ``time/average`` is total busy seconds over total tasks;
+    ``idle-rate`` is one minus total busy seconds over total capacity
+    (the job makespan times every worker in view).  Additive counters
+    are summed.
+    """
+    if counter == "time/average":
+        total_busy = sum(_pool_counter(p, "time/busy") for p in pools)
+        total_tasks = sum(p.tasks_executed for p in pools)
+        if total_tasks == 0:
+            return 0.0
+        return total_busy / total_tasks
+    if counter == "idle-rate":
+        span = max(p.makespan for p in pools)
+        if span == 0.0:
+            return 0.0
+        total_busy = sum(_pool_counter(p, "time/busy") for p in pools)
+        capacity = span * sum(p.n_workers for p in pools)
+        return max(0.0, 1.0 - total_busy / capacity)
+    return float(sum(_pool_counter(pool, counter) for pool in pools))
+
+
 def query(runtime: "Runtime", path: str) -> float:
     """Evaluate one counter path against a runtime."""
     match = _PATH.match(path)
@@ -95,15 +155,20 @@ def query(runtime: "Runtime", path: str) -> float:
     if obj == "threads":
         pools = [loc.pool for loc in runtime.localities]
         if instance and instance != "total":
+            worker_match = _WORKER.match(instance)
+            if worker_match:
+                pool = runtime.locality(int(worker_match.group("id"))).pool
+                return _worker_counter(
+                    pool, int(worker_match.group("worker")), counter
+                )
             loc_match = _LOCALITY.match(instance)
             if not loc_match:
                 raise RuntimeStateError(f"malformed instance {instance!r}")
             loc_id = int(loc_match.group("id"))
             pools = [runtime.locality(loc_id).pool]
-        values = [_pool_counter(pool, counter) for pool in pools]
-        if counter in ("time/average", "idle-rate"):
-            return sum(values) / len(values)
-        return float(sum(values))
+        if len(pools) == 1:
+            return float(_pool_counter(pools[0], counter))
+        return _aggregate_threads(pools, counter)
 
     if obj == "parcels":
         if instance not in (None, "total"):
@@ -113,6 +178,14 @@ def query(runtime: "Runtime", path: str) -> float:
             return float(port.parcels_sent)
         if counter == "data/sent":
             return float(port.bytes_sent)
+        if counter == "count/delivered":
+            return float(port.parcels_delivered)
+        if counter == "time/average-latency":
+            if port.parcels_delivered == 0:
+                return 0.0
+            return port.latency_total_s / port.parcels_delivered
+        if counter == "count/retries-in-flight":
+            return float(port.parcels_retried - port.parcels_retransmitted)
         if counter in _PARCEL_FAULT_COUNTERS:
             return float(getattr(port, _PARCEL_FAULT_COUNTERS[counter]))
         raise RuntimeStateError(f"unknown parcels counter {counter!r}")
@@ -140,14 +213,25 @@ def discover(runtime: "Runtime") -> list[str]:
         "count/stolen",
         "queue/length",
         "time/average",
+        "time/busy",
         "idle-rate",
     )
     for counter in thread_counters:
         paths.append(f"/threads{{total}}/{counter}")
         for loc in runtime.localities:
             paths.append(f"/threads{{locality#{loc.locality_id}/total}}/{counter}")
+    for counter in _WORKER_COUNTERS:
+        for loc in runtime.localities:
+            for worker in loc.pool.workers:
+                paths.append(
+                    f"/threads{{locality#{loc.locality_id}"
+                    f"/worker#{worker.worker_id}}}/{counter}"
+                )
     paths.append("/parcels{total}/count/sent")
     paths.append("/parcels{total}/data/sent")
+    paths.append("/parcels{total}/count/delivered")
+    paths.append("/parcels{total}/time/average-latency")
+    paths.append("/parcels{total}/count/retries-in-flight")
     for counter in _PARCEL_FAULT_COUNTERS:
         paths.append(f"/parcels{{total}}/{counter}")
     paths.append("/localities{total}/count/failed")

@@ -1,0 +1,65 @@
+"""Property-based tests for performance-counter discovery.
+
+The contract behind ``discover()`` is that every path it lists is
+*live*: querying it on the same runtime returns a float, whatever the
+scheduler, topology, or workload.  This is what keeps dashboards and
+the counter-sampling layer from ever hitting a path that lists but
+does not evaluate.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import Config
+from repro.runtime import Runtime, async_, perfcounters
+from repro.runtime import context as ctx
+
+SCHEDULERS = ("fifo", "static", "work-stealing")
+
+
+@given(
+    scheduler=st.sampled_from(SCHEDULERS),
+    n_localities=st.integers(min_value=1, max_value=2),
+    workers=st.integers(min_value=1, max_value=3),
+    n_tasks=st.integers(min_value=0, max_value=8),
+    remote=st.booleans(),
+)
+@settings(max_examples=40, deadline=None)
+def test_every_discovered_path_queries(
+    scheduler, n_localities, workers, n_tasks, remote
+):
+    config = Config.from_mapping({"threads.scheduler": scheduler})
+    with Runtime(
+        n_localities=n_localities, workers_per_locality=workers, config=config
+    ) as rt:
+
+        def main():
+            futures = [async_(lambda: ctx.add_cost(0.5)) for _ in range(n_tasks)]
+            if remote and n_localities > 1:
+                futures.append(rt.async_at(1, abs, -1))
+            for future in futures:
+                future.get()
+
+        rt.run(main)
+        paths = perfcounters.discover(rt)
+        assert len(paths) == len(set(paths))  # no duplicates
+        for path in paths:
+            value = perfcounters.query(rt, path)
+            assert isinstance(value, float)
+            assert value == value  # never NaN
+
+
+@given(scheduler=st.sampled_from(SCHEDULERS))
+@settings(max_examples=3, deadline=None)
+def test_discovery_covers_every_worker_instance(scheduler):
+    config = Config.from_mapping({"threads.scheduler": scheduler})
+    with Runtime(
+        n_localities=2, workers_per_locality=2, config=config
+    ) as rt:
+        paths = perfcounters.discover(rt)
+        for loc in (0, 1):
+            for worker in (0, 1):
+                assert (
+                    f"/threads{{locality#{loc}/worker#{worker}}}/time/busy"
+                    in paths
+                )

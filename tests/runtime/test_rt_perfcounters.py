@@ -68,11 +68,102 @@ def test_time_average(rt):
     assert avg > 0.0
 
 
+def test_time_average_weights_localities_by_task_count():
+    """Regression: the job-wide average used to be the unweighted mean of
+    per-locality means.  Three 1s tasks on locality 0 and one 5s task on
+    locality 1 must average (3+5)/4 = 2s, not (1+5)/2 = 3s."""
+    with Runtime(n_localities=2, workers_per_locality=1) as rt:
+        for _ in range(3):
+            rt.localities[0].pool.submit(lambda: ctx.add_cost(1.0))
+        rt.localities[1].pool.submit(lambda: ctx.add_cost(5.0))
+        rt.progress_all()
+        loc0 = perfcounters.query(rt, "/threads{locality#0/total}/time/average")
+        loc1 = perfcounters.query(rt, "/threads{locality#1/total}/time/average")
+        assert loc0 == pytest.approx(1.0)
+        assert loc1 == pytest.approx(5.0)
+        job = perfcounters.query(rt, "/threads{total}/time/average")
+        assert job == pytest.approx(2.0)
+
+
+def test_idle_rate_weights_localities_by_capacity():
+    """Regression: job-wide idle-rate used to average per-locality rates,
+    hiding imbalance.  Both localities are 0% idle on their *own* clock,
+    but the job ends when the slow one does: 8 busy seconds out of
+    2 workers x 5s capacity = 20% idle."""
+    with Runtime(n_localities=2, workers_per_locality=1) as rt:
+        for _ in range(3):
+            rt.localities[0].pool.submit(lambda: ctx.add_cost(1.0))
+        rt.localities[1].pool.submit(lambda: ctx.add_cost(5.0))
+        rt.progress_all()
+        loc0 = perfcounters.query(rt, "/threads{locality#0/total}/idle-rate")
+        loc1 = perfcounters.query(rt, "/threads{locality#1/total}/idle-rate")
+        assert loc0 == pytest.approx(0.0)
+        assert loc1 == pytest.approx(0.0)
+        job = perfcounters.query(rt, "/threads{total}/idle-rate")
+        assert job == pytest.approx(0.2)
+
+
+def test_per_worker_counters():
+    from repro.config import Config
+
+    # Static scheduler keeps the work pinned to worker 0.
+    config = Config.from_mapping({"threads.scheduler": "static"})
+    with Runtime(n_localities=1, workers_per_locality=2, config=config) as rt:
+        pool = rt.localities[0].pool
+        for _ in range(3):
+            pool.submit(lambda: ctx.add_cost(2.0), worker=0)
+        rt.progress_all()
+        _assert_worker_counters(rt)
+
+
+def _assert_worker_counters(rt):
+    w0_count = perfcounters.query(rt, "/threads{locality#0/worker#0}/count/cumulative")
+    w1_count = perfcounters.query(rt, "/threads{locality#0/worker#1}/count/cumulative")
+    assert w0_count == 3.0
+    assert w1_count == 0.0
+    w0_busy = perfcounters.query(rt, "/threads{locality#0/worker#0}/time/busy")
+    assert w0_busy == pytest.approx(6.0)
+    w0_idle = perfcounters.query(rt, "/threads{locality#0/worker#0}/idle-rate")
+    w1_idle = perfcounters.query(rt, "/threads{locality#0/worker#1}/idle-rate")
+    assert w0_idle == pytest.approx(0.0)
+    assert w1_idle == pytest.approx(1.0)
+
+
 def test_parcel_counters():
     with Runtime(machine="xeon-e5-2660v3", n_localities=2, workers_per_locality=1) as rt:
         rt.run(lambda: rt.async_at(1, abs, -3).get())
         assert perfcounters.query(rt, "/parcels{total}/count/sent") >= 1.0
         assert perfcounters.query(rt, "/parcels{total}/data/sent") > 0.0
+
+
+def test_parcel_latency_counters():
+    with Runtime(machine="xeon-e5-2660v3", n_localities=2, workers_per_locality=1) as rt:
+        rt.run(lambda: [rt.async_at(1, abs, -i).get() for i in range(4)] and None)
+        delivered = perfcounters.query(rt, "/parcels{total}/count/delivered")
+        sent = perfcounters.query(rt, "/parcels{total}/count/sent")
+        assert delivered == sent  # clean network: everything arrives
+        latency = perfcounters.query(rt, "/parcels{total}/time/average-latency")
+        assert latency > 0.0  # the modelled network is not instantaneous
+        in_flight = perfcounters.query(rt, "/parcels{total}/count/retries-in-flight")
+        assert in_flight == 0.0
+
+
+def test_retries_in_flight_settles_to_zero_after_drops():
+    from repro.resilience.faults import FaultInjector
+
+    injector = FaultInjector(seed=5, drop_rate=0.3)
+    with Runtime(
+        machine="xeon-e5-2660v3",
+        n_localities=2,
+        workers_per_locality=1,
+        fault_injector=injector,
+    ) as rt:
+        rt.run(lambda: [rt.async_at(1, abs, -i).get() for i in range(10)] and None)
+        retried = perfcounters.query(rt, "/parcels{total}/count/retried")
+        assert retried > 0.0  # the fault schedule did drop parcels
+        # Every scheduled retry has been retransmitted by the end of the run.
+        in_flight = perfcounters.query(rt, "/parcels{total}/count/retries-in-flight")
+        assert in_flight == 0.0
 
 
 def test_uptime_is_makespan(rt):

@@ -79,6 +79,55 @@ def test_trace(capsys):
     assert "#" in out
 
 
+def test_trace_export_and_metrics(capsys, tmp_path):
+    import json
+
+    trace_path = tmp_path / "demo.trace.json"
+    metrics_path = tmp_path / "demo.metrics.json"
+    code, out = run_cli(
+        capsys, "trace", "--nodes", "2", "--steps", "4",
+        "--export", str(trace_path), "--metrics", str(metrics_path),
+    )
+    assert code == 0
+    assert str(trace_path) in out and str(metrics_path) in out
+    trace = json.loads(trace_path.read_text())
+    phases = {event["ph"] for event in trace["traceEvents"]}
+    assert {"M", "X", "s", "f"} <= phases
+    metrics = json.loads(metrics_path.read_text())
+    assert metrics["schema"] == "repro-metrics-v1"
+    assert metrics["meta"] == {"nodes": 2, "steps": 4}
+    assert metrics["counters"]["/threads{total}/count/cumulative"] > 0
+    assert metrics["histograms"]["task_duration"]["count"] > 0
+
+
+def test_counters_sampled_csv(capsys):
+    code, out = run_cli(
+        capsys, "counters", "--machine", "xeon-e5-2660v3",
+        "--sample-interval", "1.0", "--steps", "4",
+    )
+    assert code == 0
+    lines = out.strip().splitlines()
+    assert lines[0].startswith("time,/threads{total}/count/cumulative")
+    assert len(lines) >= 4  # header + one row per sampled second
+
+
+def test_counters_sampled_json_to_file(capsys, tmp_path):
+    import json
+
+    out_path = tmp_path / "series.json"
+    code, out = run_cli(
+        capsys, "counters", "--machine", "xeon-e5-2660v3",
+        "--sample-interval", "1.0", "--steps", "4",
+        "--format", "json", "--output", str(out_path),
+        "--paths", "/runtime/uptime", "/threads{total}/idle-rate",
+    )
+    assert code == 0
+    assert str(out_path) in out
+    document = json.loads(out_path.read_text())
+    assert document["paths"] == ["/runtime/uptime", "/threads{total}/idle-rate"]
+    assert document["samples"]
+
+
 def test_unknown_machine_rejected():
     with pytest.raises(SystemExit):
         main(["stream", "--machine", "epyc"])

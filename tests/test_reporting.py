@@ -3,7 +3,14 @@
 import pytest
 
 from repro.errors import ValidationError
-from repro.reporting import Series, format_figure, format_scientific, format_table
+from repro.reporting import (
+    Series,
+    format_figure,
+    format_scientific,
+    format_table,
+    metrics_payload,
+    write_metrics_json,
+)
 
 
 def test_format_table_alignment():
@@ -53,3 +60,43 @@ def test_format_figure_needs_series():
 def test_format_scientific():
     assert format_scientific(0) == "0"
     assert "e10" in format_scientific(3.153e10)
+
+
+def test_metrics_payload_shapes():
+    payload = metrics_payload(counters={"/runtime/uptime": 2})
+    assert payload == {
+        "schema": "repro-metrics-v1",
+        "counters": {"/runtime/uptime": 2.0},
+    }
+    with pytest.raises(ValidationError):
+        metrics_payload()
+
+
+def test_metrics_payload_summarizes_histogram_likes():
+    class FakeHistogram:
+        def summary(self):
+            return {"count": 3, "mean": 1.0}
+
+    payload = metrics_payload(
+        histograms={"obj": FakeHistogram(), "plain": {"count": 1}},
+        meta={"run": "demo"},
+    )
+    assert payload["histograms"] == {
+        "obj": {"count": 3, "mean": 1.0},
+        "plain": {"count": 1},
+    }
+    assert payload["meta"] == {"run": "demo"}
+
+
+def test_write_metrics_json(tmp_path):
+    import json
+
+    path = write_metrics_json(
+        tmp_path / "run.metrics.json",
+        counters={"/runtime/uptime": 1.5},
+        meta={"nodes": 2},
+    )
+    document = json.loads(path.read_text())
+    assert document["schema"] == "repro-metrics-v1"
+    assert document["counters"] == {"/runtime/uptime": 1.5}
+    assert document["meta"] == {"nodes": 2}
