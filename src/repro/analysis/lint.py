@@ -1,0 +1,419 @@
+"""Repro-specific static lint pass (``python -m repro.analysis.lint``).
+
+The runtime simulates a distributed machine on *virtual* time with
+cooperative HPX-threads, which makes several ordinary Python idioms
+model violations: wall-clock reads break determinism, OS threading
+primitives bypass the scheduler, and a blocking ``.get()`` inside an
+action handler can re-enter the scheduler and deadlock a locality.
+These constraints are invisible to generic linters, so this module
+walks the AST and enforces them with repro-specific error codes:
+
+======  ================================================================
+code    rule
+======  ================================================================
+PX101   no wall-clock time (``time.time``/``sleep``/``datetime.now``
+        and friends) inside the ``repro`` package -- virtual time only
+PX102   no unseeded randomness (module-level ``random.*`` functions or
+        ``random.Random()`` without a seed) -- determinism
+PX201   no OS ``threading``/``multiprocessing``/``concurrent.futures``
+        primitives outside the scheduler -- HPX-threads only
+PX301   no blocking ``.get()`` inside a component action handler --
+        suspension re-enters the scheduler on the locality's own pool
+PX401   no LCO/promise ``set`` after retirement (``break_promise`` /
+        ``close`` earlier in the same function)
+PX501   no mutable default arguments (``[]``/``{}``/``set()``/...)
+PX601   no unused imports
+======  ================================================================
+
+Any finding can be suppressed with a trailing
+``# repro-lint: disable=PX101`` comment (comma-separated codes, or
+``all``) on the offending line, or for a whole file with a
+``# repro-lint: disable-file=...`` comment anywhere in the file.
+``--json`` emits machine-readable findings for CI tooling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import os
+import re
+import sys
+import tokenize
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterable, Iterator, List, Sequence, Set
+
+__all__ = ["Finding", "lint_file", "lint_paths", "main"]
+
+_DISABLE_LINE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9,\s]+)")
+_DISABLE_FILE = re.compile(r"#\s*repro-lint:\s*disable-file=([A-Za-z0-9,\s]+)")
+
+_WALL_CLOCK_TIME = {
+    "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+    "perf_counter_ns", "process_time", "process_time_ns", "sleep",
+}
+_WALL_CLOCK_DATETIME = {"now", "utcnow", "today"}
+_OS_THREADING_MODULES = {"threading", "multiprocessing", "_thread"}
+_MUTABLE_DEFAULT_CALLS = {"list", "dict", "set", "bytearray", "defaultdict", "deque"}
+_RETIRING_METHODS = {"break_promise", "close"}
+_SETTING_METHODS = {"set_value", "set_exception", "set"}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint violation."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+def _parse_codes(text: str) -> Set[str]:
+    return {part.strip().upper() for part in text.split(",") if part.strip()}
+
+
+def _collect_disables(source: str) -> tuple[Dict[int, Set[str]], Set[str]]:
+    """Per-line and whole-file suppressed codes from lint comments."""
+    per_line: Dict[int, Set[str]] = {}
+    per_file: Set[str] = set()
+    try:
+        tokens = tokenize.generate_tokens(iter(source.splitlines(True)).__next__)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            file_match = _DISABLE_FILE.search(tok.string)
+            if file_match:
+                per_file |= _parse_codes(file_match.group(1))
+                continue
+            line_match = _DISABLE_LINE.search(tok.string)
+            if line_match:
+                codes = _parse_codes(line_match.group(1))
+                per_line.setdefault(tok.start[0], set()).update(codes)
+    except tokenize.TokenError:  # pragma: no cover - half-written files
+        pass
+    return per_line, per_file
+
+
+def _in_repro_package(path: str) -> bool:
+    parts = os.path.abspath(path).replace(os.sep, "/").split("/")
+    return "repro" in parts
+
+
+def _call_name(node: ast.Call) -> str:
+    """Dotted name of the called object ('' when not a plain name chain)."""
+    parts: List[str] = []
+    func: ast.expr = node.func
+    while isinstance(func, ast.Attribute):
+        parts.append(func.attr)
+        func = func.value
+    if isinstance(func, ast.Name):
+        parts.append(func.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+class _Checker(ast.NodeVisitor):
+    def __init__(self, path: str, apply_model_rules: bool) -> None:
+        self.path = path
+        self.model_rules = apply_model_rules
+        self.findings: List[Finding] = []
+        self._class_stack: List[bool] = []  # "is a Component subclass"
+        self._imported: Dict[str, tuple[int, int, str]] = {}
+        self._used_names: Set[str] = set()
+        self._has_all_export = False
+
+    def report(self, node: ast.AST, code: str, message: str) -> None:
+        self.findings.append(
+            Finding(
+                path=self.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                code=code,
+                message=message,
+            )
+        )
+
+    # Imports (PX201, PX601) ------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            root = alias.name.split(".")[0]
+            if self.model_rules and root in _OS_THREADING_MODULES:
+                self.report(
+                    node, "PX201",
+                    f"OS concurrency module '{alias.name}' bypasses the "
+                    f"cooperative scheduler; use HPX-threads/LCOs",
+                )
+            bound = alias.asname or root
+            self._imported[bound] = (node.lineno, node.col_offset + 1, alias.name)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        root = module.split(".")[0]
+        if self.model_rules and (
+            root in _OS_THREADING_MODULES
+            or module == "concurrent.futures"
+        ):
+            self.report(
+                node, "PX201",
+                f"OS concurrency import from '{module}' bypasses the "
+                f"cooperative scheduler; use HPX-threads/LCOs",
+            )
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            # Explicit re-export idiom ("import x as x") is intentional.
+            if alias.asname is not None and alias.asname == alias.name:
+                continue
+            bound = alias.asname or alias.name
+            self._imported[bound] = (
+                node.lineno, node.col_offset + 1, f"{module}.{alias.name}"
+            )
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self._used_names.add(node.id)
+        elif node.id == "__all__":
+            self._has_all_export = True
+        self.generic_visit(node)
+
+    # Wall clock / randomness (PX101, PX102) --------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _call_name(node)
+        if self.model_rules and name:
+            head, _, tail = name.partition(".")
+            if head == "time" and tail in _WALL_CLOCK_TIME:
+                self.report(
+                    node, "PX101",
+                    f"wall-clock call '{name}()' breaks virtual-time "
+                    f"determinism; use the pool clock / add_cost",
+                )
+            elif name.endswith(tuple(f"datetime.{m}" for m in _WALL_CLOCK_DATETIME)):
+                self.report(
+                    node, "PX101",
+                    f"wall-clock call '{name}()' breaks virtual-time "
+                    f"determinism; timestamps must come from virtual time",
+                )
+            elif head == "random" and tail and tail != "Random":
+                self.report(
+                    node, "PX102",
+                    f"'{name}()' uses the global unseeded RNG; construct "
+                    f"random.Random(seed) so runs are reproducible",
+                )
+            elif name in ("random.Random", "Random") and not node.args:
+                seeded = any(kw.arg in ("x", "seed") for kw in node.keywords)
+                if not seeded:
+                    self.report(
+                        node, "PX102",
+                        "random.Random() without a seed is nondeterministic; "
+                        "pass an explicit seed",
+                    )
+        self.generic_visit(node)
+
+    # Component action handlers (PX301, PX401) ------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        def base_name(b: ast.expr) -> str:
+            if isinstance(b, ast.Name):
+                return b.id
+            if isinstance(b, ast.Attribute):
+                return b.attr
+            return ""
+
+        is_component = any(
+            base_name(b) == "Component" or base_name(b).endswith("Component")
+            for b in node.bases
+        )
+        self._class_stack.append(is_component)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def _check_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        # PX501: mutable defaults.
+        for default in list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]:
+            mutable = isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                isinstance(default, ast.Call)
+                and _call_name(default).split(".")[-1] in _MUTABLE_DEFAULT_CALLS
+            )
+            if mutable:
+                self.report(
+                    default, "PX501",
+                    f"mutable default argument in '{node.name}()' is shared "
+                    f"across calls; default to None and construct inside",
+                )
+
+        calls = sorted(
+            (n for n in ast.walk(node) if isinstance(n, ast.Call)),
+            key=lambda n: (n.lineno, n.col_offset),
+        )
+
+        # PX401: set after retirement on the same receiver name.
+        retired: Set[str] = set()
+        for call in calls:
+            func = call.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            receiver = ""
+            if isinstance(func.value, ast.Name):
+                receiver = func.value.id
+            elif isinstance(func.value, ast.Attribute) and isinstance(
+                func.value.value, ast.Name
+            ):
+                receiver = f"{func.value.value.id}.{func.value.attr}"
+            if not receiver:
+                continue
+            if func.attr in _RETIRING_METHODS:
+                retired.add(receiver)
+            elif func.attr in _SETTING_METHODS and receiver in retired:
+                self.report(
+                    call, "PX401",
+                    f"'{receiver}.{func.attr}()' after '{receiver}' was "
+                    f"retired earlier in '{node.name}()'; a retired "
+                    f"LCO/promise must not be set again",
+                )
+
+        # PX301: blocking future.get() inside a component action handler.
+        if (
+            self.model_rules
+            and self._class_stack
+            and self._class_stack[-1]
+            and not node.name.startswith("_")
+        ):
+            for call in calls:
+                func = call.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "get"
+                    and not call.args
+                    and not call.keywords
+                ):
+                    self.report(
+                        call, "PX301",
+                        f"blocking '.get()' inside action handler "
+                        f"'{node.name}' re-enters the scheduler on the "
+                        f"locality's pool; chain with .then()/dataflow or "
+                        f"suppress if suspension is intended",
+                    )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_function(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_function(node)
+        self.generic_visit(node)
+
+    # PX601 epilogue --------------------------------------------------------
+    def finish(self, tree: ast.Module) -> None:
+        if self._has_all_export or os.path.basename(self.path) == "__init__.py":
+            return
+        exported: Set[str] = set()
+        for stmt in tree.body:
+            if (
+                isinstance(stmt, ast.Assign)
+                and any(
+                    isinstance(t, ast.Name) and t.id == "__all__"
+                    for t in stmt.targets
+                )
+            ):
+                return  # explicit export list: imports may be re-exports
+        for bound, (line, col, original) in self._imported.items():
+            if bound in self._used_names or bound in exported:
+                continue
+            if bound.startswith("_"):
+                continue
+            if original.startswith("__future__."):
+                continue  # compiler directives, never "used" (ruff parity)
+            self.findings.append(
+                Finding(
+                    path=self.path, line=line, col=col, code="PX601",
+                    message=f"'{original}' imported but unused",
+                )
+            )
+
+
+def lint_source(source: str, path: str) -> List[Finding]:
+    """Lint one file's source text; returns surviving findings."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path, line=exc.lineno or 1, col=(exc.offset or 0) + 1,
+                code="PX000", message=f"syntax error: {exc.msg}",
+            )
+        ]
+    checker = _Checker(path, apply_model_rules=_in_repro_package(path))
+    checker.visit(tree)
+    checker.finish(tree)
+    per_line, per_file = _collect_disables(source)
+    kept: List[Finding] = []
+    for finding in checker.findings:
+        if "ALL" in per_file or finding.code in per_file:
+            continue
+        line_codes = per_line.get(finding.line, set())
+        if "ALL" in line_codes or finding.code in line_codes:
+            continue
+        kept.append(finding)
+    return kept
+
+
+def lint_file(path: str) -> List[Finding]:
+    with open(path, "r", encoding="utf-8") as fh:
+        return lint_source(fh.read(), path)
+
+
+def _iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+        else:
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(
+                    d for d in dirs
+                    if d not in ("__pycache__", ".git", ".ruff_cache")
+                )
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        yield os.path.join(root, name)
+
+
+def lint_paths(paths: Sequence[str]) -> List[Finding]:
+    findings: List[Finding] = []
+    for path in _iter_python_files(paths):
+        findings.extend(lint_file(path))
+    return findings
+
+
+def main(argv: Iterable[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="Repro-specific static lint for the ParalleX model.",
+    )
+    parser.add_argument("paths", nargs="+", help="files or directories to lint")
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit findings as a JSON array instead of text",
+    )
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    findings = lint_paths(args.paths)
+    if args.json:
+        print(json.dumps([asdict(f) for f in findings], indent=2))
+    else:
+        for finding in findings:
+            print(finding.render())
+        if findings:
+            print(f"{len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,93 @@
+"""Vector clocks over HPX-thread ids.
+
+The race detector tracks happens-before with one logical clock component
+per HPX-thread (keyed by ``tid``; the synthetic main context is tid 0).
+Clocks are sparse dicts: a task's clock maps every thread whose causal
+past it has absorbed to the latest event counter it has seen from that
+thread.
+
+An *epoch* ``(tid, count)`` names one event of one thread; epoch ``e``
+happened-before a clock ``C`` iff ``C[e.tid] >= e.count`` -- the classic
+FastTrack check, sufficient here because a thread's accesses carry its
+own monotonically increasing component.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+__all__ = ["VectorClock", "Epoch"]
+
+#: One event of one thread: ``(tid, that thread's clock component)``.
+Epoch = Tuple[int, int]
+
+
+class VectorClock:
+    """A sparse vector clock; missing components are implicitly 0."""
+
+    __slots__ = ("_c",)
+
+    def __init__(self, components: Dict[int, int] | None = None) -> None:
+        self._c: Dict[int, int] = dict(components) if components else {}
+
+    # Construction ----------------------------------------------------------
+    def copy(self) -> "VectorClock":
+        return VectorClock(self._c)
+
+    # Core operations -------------------------------------------------------
+    def tick(self, tid: int) -> int:
+        """Advance ``tid``'s own component; returns the new value."""
+        value = self._c.get(tid, 0) + 1
+        self._c[tid] = value
+        return value
+
+    def join(self, other: "VectorClock") -> None:
+        """Pointwise maximum (absorb ``other``'s causal past), in place."""
+        mine = self._c
+        for tid, count in other._c.items():
+            if count > mine.get(tid, 0):
+                mine[tid] = count
+
+    def epoch(self, tid: int) -> Epoch:
+        """The epoch of ``tid``'s latest event as seen by this clock."""
+        return (tid, self._c.get(tid, 0))
+
+    def dominates(self, epoch: Epoch) -> bool:
+        """True iff the event named by ``epoch`` happened-before this clock."""
+        tid, count = epoch
+        return self._c.get(tid, 0) >= count
+
+    # Introspection ---------------------------------------------------------
+    def get(self, tid: int) -> int:
+        return self._c.get(tid, 0)
+
+    def __getitem__(self, tid: int) -> int:
+        return self._c.get(tid, 0)
+
+    def __len__(self) -> int:
+        return len(self._c)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._c)
+
+    def __le__(self, other: "VectorClock") -> bool:
+        """Pointwise ``<=`` (this clock's past is contained in ``other``'s)."""
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        theirs = other._c
+        return all(count <= theirs.get(tid, 0) for tid, count in self._c.items())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        # Zero components are not observable; normalise before comparing.
+        mine = {t: c for t, c in self._c.items() if c}
+        theirs = {t: c for t, c in other._c.items() if c}
+        return mine == theirs
+
+    def __hash__(self) -> None:  # type: ignore[override]
+        raise TypeError("VectorClock is mutable and unhashable")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        inner = ", ".join(f"{t}:{c}" for t, c in sorted(self._c.items()))
+        return f"VC({{{inner}}})"

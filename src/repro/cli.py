@@ -18,6 +18,11 @@ Commands mirror the evaluation workflow:
                                      writes Chrome trace-event JSON for
                                      Perfetto, ``--metrics F`` a metrics
                                      artifact (counters + histograms)
+* ``analyze``                     -- the ParalleX sanitizer suite:
+                                     ``--races`` / ``--deadlocks`` run the
+                                     distributed demo under the dynamic
+                                     detectors, ``--lint`` the static
+                                     pass (default: all three)
 """
 
 from __future__ import annotations
@@ -135,6 +140,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics",
         metavar="FILE",
         help="also write a metrics artifact (counters + latency histograms)",
+    )
+
+    p_an = sub.add_parser(
+        "analyze",
+        help="ParalleX sanitizers: race/deadlock detection over the "
+        "distributed demo, plus the repro-specific lint pass",
+    )
+    p_an.add_argument(
+        "--races",
+        action="store_true",
+        help="happens-before race detection over the distributed demo",
+    )
+    p_an.add_argument(
+        "--deadlocks",
+        action="store_true",
+        help="wait-for-graph deadlock detection over the distributed demo",
+    )
+    p_an.add_argument(
+        "--lint",
+        action="store_true",
+        help="static lint pass (python -m repro.analysis.lint)",
+    )
+    p_an.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="paths for --lint (default: src)",
+    )
+    p_an.add_argument(
+        "--json", action="store_true", help="machine-readable lint findings"
+    )
+    p_an.add_argument("--nodes", type=int, default=2)
+    p_an.add_argument("--steps", type=int, default=4)
+    p_an.add_argument(
+        "--scheduler",
+        default="work-stealing",
+        choices=("work-stealing", "static", "fifo"),
+        help="scheduler policy for the demo run",
     )
 
     return parser
@@ -261,6 +304,80 @@ def _cmd_trace(
     return header + tracer.render_gantt(min_duration=0.5, exclude="hpx_main") + footer
 
 
+def _cmd_analyze_dynamic(
+    races: bool,
+    deadlocks: bool,
+    n_nodes: int,
+    steps: int,
+    scheduler: str,
+) -> tuple[str, int]:
+    """Run the distributed 1D demo under the dynamic sanitizers."""
+    from . import analysis
+    from .config import Config
+    from .errors import DataRaceError, DeadlockError
+    from .runtime import Runtime
+    from .stencil import DistributedHeat1D, Heat1DParams, analytic_heat_profile
+
+    demo = f"{n_nodes}x2 heat1d demo, {scheduler} scheduler, {steps} steps"
+    lines: list[str] = []
+    status = 0
+    config = Config(threads__scheduler=scheduler, runtime__quiescence="raise")
+    with analysis.attach(
+        races=races, deadlocks=deadlocks, report="collect"
+    ) as sanitizers:
+        try:
+            with Runtime(
+                machine="xeon-e5-2660v3",
+                n_localities=n_nodes,
+                workers_per_locality=2,
+                config=config,
+            ) as rt:
+                solver = DistributedHeat1D(
+                    rt, 64 * n_nodes, Heat1DParams(), cost_per_step=1.0
+                )
+                solver.initialize(analytic_heat_profile(64 * n_nodes))
+                rt.run(lambda: solver.run(steps))
+        except DeadlockError as exc:
+            status = 1
+            lines.append(f"DEADLOCK ({demo}):\n  {str(exc)}")
+        else:
+            if deadlocks:
+                lines.append(f"deadlocks: none -- {demo} quiesced cleanly")
+        if races and sanitizers.race is not None:
+            found: Sequence[DataRaceError] = sanitizers.race.findings()
+            if found:
+                status = 1
+                lines.append(f"races: {len(found)} unordered conflicting access(es)")
+                for race in found:
+                    lines.append("  " + str(race).replace("\n", "\n  "))
+            else:
+                lines.append(f"races: none -- {demo} is happens-before clean")
+    return "\n".join(lines), status
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    want_races = args.races
+    want_deadlocks = args.deadlocks
+    want_lint = args.lint
+    if not (want_races or want_deadlocks or want_lint):
+        want_races = want_deadlocks = want_lint = True
+    status = 0
+    if want_races or want_deadlocks:
+        text, rc = _cmd_analyze_dynamic(
+            want_races, want_deadlocks, args.nodes, args.steps, args.scheduler
+        )
+        print(text)
+        status |= rc
+    if want_lint:
+        from .analysis import lint as lint_pass
+
+        lint_argv = list(args.paths) or ["src"]
+        if args.json:
+            lint_argv.append("--json")
+        status |= lint_pass.main(lint_argv)
+    return status
+
+
 #: Default paths for ``counters --sample-interval``.
 _SAMPLE_PATHS = (
     "/threads{total}/count/cumulative",
@@ -336,6 +453,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(exhibits.render_counter_table(args.machine))
     elif args.command == "trace":
         print(_cmd_trace(args.nodes, args.steps, args.export, args.metrics))
+    elif args.command == "analyze":
+        return _cmd_analyze(args)
     else:  # pragma: no cover - argparse guards
         return 2
     return 0

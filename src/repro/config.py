@@ -39,12 +39,16 @@ _DEFAULTS: dict[str, Any] = {
     "algorithms.min_chunk": 1,
     # NUMA placement.
     "numa.first_touch": True,  # block allocator, OpenMP schedule(static)-like
+    # Quiescence policy: what to do when the job drains with demanded
+    # futures (dataflow/when_* targets, channel reads) left unfulfilled.
+    "runtime.quiescence": "warn",  # warn | raise | ignore
     # Determinism.
     "seed": 0,
 }
 
 _VALID_SCHEDULERS = ("work-stealing", "static", "fifo")
 _VALID_CHUNKERS = ("auto", "static")
+_VALID_QUIESCENCE = ("warn", "raise", "ignore")
 
 
 class Config(Mapping[str, Any]):
@@ -87,6 +91,12 @@ class Config(Mapping[str, Any]):
         if chunker not in _VALID_CHUNKERS:
             raise ConfigError(
                 f"algorithms.chunker must be one of {_VALID_CHUNKERS}, got {chunker!r}"
+            )
+        quiescence = self._values["runtime.quiescence"]
+        if quiescence not in _VALID_QUIESCENCE:
+            raise ConfigError(
+                f"runtime.quiescence must be one of {_VALID_QUIESCENCE}, "
+                f"got {quiescence!r}"
             )
         if int(self._values["threads.per_core"]) < 1:
             raise ConfigError("threads.per_core must be >= 1")

@@ -40,12 +40,15 @@ class VectorSegment(Component):
         self.data = np.array(data, dtype=np.float64, copy=True)
 
     def get_element(self, local_index: int) -> float:
+        self.mark_read("data")
         return float(self.data[local_index])
 
     def set_element(self, local_index: int, value: float) -> None:
+        self.mark_write("data")
         self.data[local_index] = value
 
     def fill(self, value: float) -> None:
+        self.mark_write("data")
         self.data[...] = value
 
     def apply(self, fn: Callable[[np.ndarray], np.ndarray] | str) -> None:
@@ -54,6 +57,7 @@ class VectorSegment(Component):
             from ..runtime.actions import get_action
 
             fn = get_action(fn)
+        self.mark_write("data")
         result = np.asarray(fn(self.data), dtype=np.float64)
         if result.shape != self.data.shape:
             raise ValidationError(
@@ -66,9 +70,11 @@ class VectorSegment(Component):
             from ..runtime.actions import get_action
 
             fn = get_action(fn)
+        self.mark_read("data")
         return float(fn(self.data))
 
     def read_all(self) -> np.ndarray:
+        self.mark_read("data")
         return np.array(self.data, copy=True)
 
 

@@ -37,6 +37,9 @@ __all__ = [
     "SimulationError",
     "ConfigError",
     "ValidationError",
+    "AnalysisError",
+    "DataRaceError",
+    "QuiescenceWarning",
 ]
 
 
@@ -167,3 +170,41 @@ class ConfigError(ReproError):
 
 class ValidationError(ReproError):
     """A numerical validation check failed (stencil verification)."""
+
+
+class AnalysisError(ReproError):
+    """Base class for sanitizer findings (race/deadlock analysis)."""
+
+
+class DataRaceError(AnalysisError):
+    """Two unordered accesses to shared state, at least one a write.
+
+    Raised by the happens-before race detector
+    (:class:`repro.analysis.race.RaceDetector`).  ``location`` names the
+    racing field; ``current`` and ``previous`` are the two
+    :class:`~repro.analysis.race.AccessRecord`\\ s, each carrying the
+    access site.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        location: str = "",
+        current: object = None,
+        previous: object = None,
+    ) -> None:
+        super().__init__(message)
+        self.location = location
+        self.current = current
+        self.previous = previous
+
+
+class QuiescenceWarning(ReproError, UserWarning):
+    """The job drained with demanded futures still unfulfilled.
+
+    Emitted (or escalated to :class:`DeadlockError` under
+    ``runtime.quiescence = "raise"``) when a run ends while some
+    continuation target -- a dataflow stage, combinator result, or
+    channel read -- can never become ready: the silent-hang failure
+    mode.
+    """

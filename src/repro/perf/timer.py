@@ -26,7 +26,7 @@ class HighResolutionTimer:
     def _now(self) -> float:
         if self._pool is not None:
             return self._pool.makespan
-        return time.perf_counter()
+        return time.perf_counter()  # repro-lint: disable=PX101 -- wall fallback off-pool
 
     def elapsed(self) -> float:
         """Seconds since construction or the last restart."""

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Any
 
 from ...errors import AgasError
+from .. import instrument
 from .gid import Gid
 
 __all__ = ["Component"]
@@ -52,6 +53,28 @@ class Component:
     def on_migrated(self, to_locality: int) -> None:
         """AGAS moved this object; update the cached home."""
         self._home = to_locality
+
+    # Sanitizer hooks --------------------------------------------------------
+    def mark_read(self, field: str) -> None:
+        """Report a read of mutable shared state named ``field``.
+
+        Call from component actions (and local helpers) that consume
+        state other tasks may mutate.  With a race detector attached
+        (``repro.analysis.attach()``), two accesses to the same field
+        that are not ordered by a future/LCO/parcel edge raise
+        :class:`~repro.errors.DataRaceError`; without one this is a
+        single predicate check.
+        """
+        probe = instrument.probe
+        if probe is not None:
+            probe.access(self, field, "read")
+
+    def mark_write(self, field: str) -> None:
+        """Report a write of mutable shared state named ``field``
+        (see :meth:`mark_read`)."""
+        probe = instrument.probe
+        if probe is not None:
+            probe.access(self, field, "write")
 
     # Remote-callable surface ------------------------------------------------------
     def act(self, method: str, *args: Any, **kwargs: Any) -> Any:

@@ -16,11 +16,19 @@ Semantics follow HPX/C++ ``std::future``/``promise``:
 Virtual time: a promise records the virtual time at which it was
 fulfilled; a task that reads the future inherits that as a dependency,
 so makespans respect data flow.
+
+Sanitizer integration: fulfilment, reads, combinator links and blocking
+waits are reported through :mod:`repro.runtime.instrument`, and every
+*demanded* state (a combinator or continuation target that some code is
+counting on) is registered in a weak set so the runtime can detect the
+silent-hang case -- quiescing while a demanded future can never become
+ready (see :func:`pending_demands`).
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Sequence
+import weakref
+from typing import Any, Callable, Dict, Iterable, List, Sequence
 
 from ..errors import (
     BrokenPromiseError,
@@ -31,6 +39,7 @@ from ..errors import (
     RuntimeStateError,
 )
 from . import context as ctx
+from . import instrument
 
 __all__ = [
     "Future",
@@ -41,13 +50,23 @@ __all__ = [
     "when_any",
     "when_each",
     "unwrap",
+    "demand",
+    "pending_demands",
 ]
 
 
 class _SharedState:
     """State shared between one promise and any number of futures."""
 
-    __slots__ = ("value", "exception", "ready", "ready_time", "callbacks", "broken")
+    __slots__ = (
+        "value",
+        "exception",
+        "ready",
+        "ready_time",
+        "callbacks",
+        "broken",
+        "__weakref__",
+    )
 
     def __init__(self) -> None:
         self.value: Any = None
@@ -55,7 +74,35 @@ class _SharedState:
         self.ready = False
         self.broken = False
         self.ready_time = 0.0
-        self.callbacks: list[Callable[["Future"], None]] = []
+        self.callbacks: List[Callable[[Future], None]] = []
+
+
+#: States some continuation is counting on, with a human-readable label.
+#: Weakly keyed: a demanded state that becomes garbage was never going to
+#: resolve anyone's wait, so it drops out of the silent-hang check.
+_demanded: "weakref.WeakKeyDictionary[_SharedState, str]" = weakref.WeakKeyDictionary()
+
+
+def demand(state: _SharedState, label: str) -> None:
+    """Register ``state`` as *demanded*: code downstream expects it to
+    become ready.  Fulfilment clears the registration automatically."""
+    _demanded[state] = label
+
+
+def pending_demands() -> List[str]:
+    """Labels of demanded states that are still unfulfilled.
+
+    A non-empty result at quiescence means some continuation chain can
+    never fire -- the silent-hang failure mode the quiescence check (see
+    ``runtime.quiescence`` config) warns about or raises on.
+    """
+    return sorted(label for state, label in _demanded.items() if not state.ready)
+
+
+def pending_demand_states() -> List[tuple[_SharedState, str]]:
+    """Unfulfilled demanded states with labels (runtime-internal: lets
+    the quiescence check ignore demands that pre-date this run)."""
+    return [(s, label) for s, label in _demanded.items() if not s.ready]
 
 
 class Future:
@@ -94,11 +141,21 @@ class Future:
             self.wait_for(timeout)
         state = self._state
         if not state.ready:
-            self._help_until_ready()
+            probe = instrument.probe
+            if probe is not None:
+                probe.wait_enter(state, "future.get")
+            try:
+                self._help_until_ready()
+            finally:
+                if probe is not None:
+                    probe.wait_exit(state)
             if not state.ready:
                 raise FutureNotReadyError(
                     "future is not ready and no runnable work can make it so"
                 )
+        probe = instrument.probe
+        if probe is not None:
+            probe.state_read(state)
         task = ctx.current_task()
         if task is not None:
             task.note_dependency(state.ready_time)
@@ -111,6 +168,9 @@ class Future:
         state = self._state
         if not state.ready:
             raise FutureNotReadyError("future is not ready")
+        probe = instrument.probe
+        if probe is not None:
+            probe.state_read(state)
         task = ctx.current_task()
         if task is not None:
             task.note_dependency(state.ready_time)
@@ -131,12 +191,23 @@ class Future:
 
     def wait(self) -> None:
         """Wait for readiness without consuming the value."""
-        if not self.is_ready():
-            self._help_until_ready()
-        if not self.is_ready():
+        state = self._state
+        if not state.ready:
+            probe = instrument.probe
+            if probe is not None:
+                probe.wait_enter(state, "future.wait")
+            try:
+                self._help_until_ready()
+            finally:
+                if probe is not None:
+                    probe.wait_exit(state)
+        if not state.ready:
             raise FutureNotReadyError(
                 "future is not ready and no runnable work can make it so"
             )
+        probe = instrument.probe
+        if probe is not None:
+            probe.state_read(state)
 
     def wait_for(self, timeout: float) -> None:
         """Wait at most ``timeout`` *virtual* seconds for readiness.
@@ -159,11 +230,21 @@ class Future:
             now = frame.pool.now
         deadline = now + timeout
         if not state.ready:
-            if frame is not None and frame.runtime is not None:
-                frame.runtime.progress_before(self.is_ready, deadline)
-            elif frame is not None and frame.pool is not None:
-                frame.pool.run_before(self.is_ready, deadline)
+            probe = instrument.probe
+            if probe is not None:
+                probe.wait_enter(state, f"future.wait_for({timeout!r})")
+            try:
+                if frame is not None and frame.runtime is not None:
+                    frame.runtime.progress_before(self.is_ready, deadline)
+                elif frame is not None and frame.pool is not None:
+                    frame.pool.run_before(self.is_ready, deadline)
+            finally:
+                if probe is not None:
+                    probe.wait_exit(state)
         if state.ready and state.ready_time <= deadline:
+            probe = instrument.probe
+            if probe is not None:
+                probe.state_read(state)
             return
         task = ctx.current_task()
         if task is not None:
@@ -174,7 +255,7 @@ class Future:
         )
 
     # Composition ------------------------------------------------------------
-    def then(self, fn: Callable[["Future"], Any]) -> "Future":
+    def then(self, fn: Callable[[Future], Any]) -> "Future":
         """Attach a continuation; returns the continuation's future.
 
         ``fn`` receives *this* (ready) future, mirroring HPX's
@@ -182,8 +263,13 @@ class Future:
         the current pool (or inline when no runtime is active).
         """
         promise = Promise()
+        name = getattr(fn, "__name__", "continuation")
+        demand(promise._state, f"then({name})")
+        probe = instrument.probe
+        if probe is not None:
+            probe.state_linked([self._state], promise._state, f"then({name})")
 
-        def run_continuation(_: "Future") -> None:
+        def run_continuation(_: Future) -> None:
             frame = ctx.current_or_none()
 
             def body() -> None:
@@ -200,7 +286,7 @@ class Future:
         self._on_ready(run_continuation)
         return promise.get_future()
 
-    def _on_ready(self, callback: Callable[["Future"], None]) -> None:
+    def _on_ready(self, callback: Callable[[Future], None]) -> None:
         state = self._state
         if state.ready:
             callback(self)
@@ -234,6 +320,10 @@ class Promise:
         frame = ctx.current_or_none()
         if frame is not None and frame.pool is not None:
             state.ready_time = frame.pool.now
+        _demanded.pop(state, None)
+        probe = instrument.probe
+        if probe is not None:
+            probe.state_fulfilled(state)
         callbacks, state.callbacks = state.callbacks, []
         future = Future(state)
         for callback in callbacks:
@@ -297,12 +387,25 @@ def when_all(futures: Iterable[Future], timeout: float | None = None) -> Future:
     """
     futs: Sequence[Future] = list(futures)
     promise = Promise()
-    counter = {"n": len(futs), "done": False}
+    counter: Dict[str, Any] = {"n": len(futs), "done": False}
     if counter["n"] == 0:
         promise.set_value([])
         return promise.get_future()
+    demand(promise._state, f"when_all({len(futs)})")
+    probe = instrument.probe
+    if probe is not None:
+        probe.state_linked(
+            [f._state for f in futs], promise._state, f"when_all({len(futs)})"
+        )
 
-    def one_ready(_: Future) -> None:
+    def one_ready(fut: Future) -> None:
+        # Each input's release clock joins the result, so a reader of the
+        # when_all future is ordered after *every* producer, not just the
+        # one that happened to complete last.
+        probe = instrument.probe
+        if probe is not None:
+            probe.state_read(fut._state)
+            probe.state_contribute(promise._state)
         counter["n"] -= 1
         if counter["n"] == 0 and not counter["done"]:
             counter["done"] = True
@@ -323,7 +426,12 @@ def when_all(futures: Iterable[Future], timeout: float | None = None) -> Future:
     return promise.get_future()
 
 
-def _arm_timer(promise: Promise, counter: dict, timeout: float, make_exc) -> None:
+def _arm_timer(
+    promise: Promise,
+    counter: Dict[str, Any],
+    timeout: float,
+    make_exc: Callable[[], BaseException],
+) -> None:
     """Schedule a virtual-time timer that fails ``promise`` at the deadline
     unless ``counter['done']`` flipped first."""
     if timeout < 0:
@@ -366,13 +474,23 @@ def when_each(
     if not futs:
         promise.set_value(None)
         return promise.get_future()
-    remaining = {"n": len(futs)}
+    remaining: Dict[str, int] = {"n": len(futs)}
+    demand(promise._state, f"when_each({len(futs)})")
+    probe = instrument.probe
+    if probe is not None:
+        probe.state_linked(
+            [f._state for f in futs], promise._state, f"when_each({len(futs)})"
+        )
 
     def make_handler(index: int) -> Callable[[Future], None]:
         def handler(future: Future) -> None:
             try:
                 callback(index, future)
             finally:
+                probe = instrument.probe
+                if probe is not None:
+                    probe.state_read(future._state)
+                    probe.state_contribute(promise._state)
                 remaining["n"] -= 1
                 if remaining["n"] == 0:
                     promise.set_value(None)
@@ -391,6 +509,10 @@ def unwrap(future: Future) -> Future:
     out.  Exceptions at either level propagate to the result.
     """
     promise = Promise()
+    demand(promise._state, "unwrap")
+    probe = instrument.probe
+    if probe is not None:
+        probe.state_linked([future._state], promise._state, "unwrap")
 
     def outer_ready(outer: Future) -> None:
         try:
@@ -401,6 +523,9 @@ def unwrap(future: Future) -> Future:
         if not isinstance(inner, Future):
             promise.set_value(inner)  # already flat: pass through
             return
+        probe = instrument.probe
+        if probe is not None:
+            probe.state_linked([inner._state], promise._state, "unwrap(inner)")
 
         def inner_ready(resolved: Future) -> None:
             try:
@@ -420,12 +545,22 @@ def when_any(futures: Iterable[Future]) -> Future:
     if not futs:
         raise ValueError("when_any needs at least one future")
     promise = Promise()
-    done = {"fired": False}
+    done: Dict[str, bool] = {"fired": False}
+    demand(promise._state, f"when_any({len(futs)})")
+    probe = instrument.probe
+    if probe is not None:
+        probe.state_linked(
+            [f._state for f in futs], promise._state,
+            f"when_any({len(futs)})", mode="any",
+        )
 
     def make_callback(index: int) -> Callable[[Future], None]:
-        def fired(_: Future) -> None:
+        def fired(fut: Future) -> None:
             if not done["fired"]:
                 done["fired"] = True
+                probe = instrument.probe
+                if probe is not None:
+                    probe.state_read(fut._state)
                 promise.set_value((index, futs))
 
         return fired

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Any
 
 from ...errors import RuntimeStateError
+from .. import instrument
 from ..futures import Future, Promise
 
 __all__ = ["AndGate"]
@@ -41,6 +42,15 @@ class AndGate:
         self._filled[slot] = True
         self._values[slot] = value
         self._remaining -= 1
+        probe = instrument.probe
+        if probe is not None:
+            # Each slot fill contributes its clock: the fired gate is
+            # ordered after every contributor, not just the last setter.
+            probe.state_contribute(self._promise._state)
+            probe.lco_labelled(
+                self._promise._state,
+                f"and_gate({self.n_slots - self._remaining}/{self.n_slots} slots set)",
+            )
         if self._remaining == 0:
             self._promise.set_value(list(self._values))
 

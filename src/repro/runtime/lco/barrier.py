@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from ...errors import RuntimeStateError
+from .. import instrument
 from ..futures import Future, Promise
 
 __all__ = ["Barrier"]
@@ -44,6 +45,15 @@ class Barrier:
         self._arrived += 1
         if self._arrived > self.n_parties:  # pragma: no cover - guarded below
             raise RuntimeStateError("barrier arrival overflow")
+        probe = instrument.probe
+        if probe is not None:
+            # Each arrival contributes its clock: the released generation
+            # is ordered after every party, not just the last arriver.
+            probe.state_contribute(promise._state)
+            probe.lco_labelled(
+                promise._state,
+                f"barrier(gen {generation}, {self._arrived}/{self.n_parties} arrived)",
+            )
         future = promise.get_future()
         if self._arrived == self.n_parties:
             # Reset *before* firing: released tasks may immediately re-arrive.
@@ -55,4 +65,5 @@ class Barrier:
 
     def arrive_and_wait(self) -> int:
         """Arrive and cooperatively wait for the generation to complete."""
-        return self.arrive().get()
+        completed: int = self.arrive().get()
+        return completed

@@ -13,7 +13,8 @@ from typing import Any
 
 from ...errors import ChannelClosedError, ChannelTimeoutError, RuntimeStateError
 from .. import context as ctx
-from ..futures import Future, Promise
+from .. import instrument
+from ..futures import Future, Promise, demand
 
 __all__ = ["Channel"]
 
@@ -41,8 +42,15 @@ class Channel:
         if self._closed:
             raise ChannelClosedError(f"channel {self.name!r} is closed")
         if self._waiters:
+            # Direct hand-off: fulfilment in the sender's context is the
+            # happens-before edge.
             self._waiters.popleft().set_value(value)
         else:
+            probe = instrument.probe
+            if probe is not None:
+                # Buffered value: it carries the sender's clock until a
+                # matching get withdraws it.
+                probe.token_put(self)
             self._values.append(value)
 
     def get(self, timeout: float | None = None) -> Future:
@@ -56,12 +64,21 @@ class Channel:
         """
         promise = Promise()
         if self._values:
+            probe = instrument.probe
+            if probe is not None:
+                probe.token_get(self)
             promise.set_value(self._values.popleft())
         elif self._closed:
             promise.set_exception(
                 ChannelClosedError(f"channel {self.name!r} is closed and drained")
             )
         else:
+            # An unmatched get is a demanded future: if the job quiesces
+            # before a value (or close) arrives, the read was lost.
+            demand(promise._state, f"channel.get({self.name!r})")
+            probe = instrument.probe
+            if probe is not None:
+                probe.lco_labelled(promise._state, f"channel.get({self.name!r})")
             self._waiters.append(promise)
             if timeout is not None:
                 self._arm_timeout(promise, timeout)

@@ -13,7 +13,8 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from .. import context as ctx
-from ..futures import Future, Promise, when_all
+from .. import instrument
+from ..futures import Future, Promise, demand, when_all
 
 __all__ = ["dataflow"]
 
@@ -29,6 +30,13 @@ def dataflow(fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Future:
     deps: list[Future] = [a for a in args if isinstance(a, Future)]
     deps += [v for v in kwargs.values() if isinstance(v, Future)]
     promise = Promise()
+    name = getattr(fn, "__name__", "fn")
+    demand(promise._state, f"dataflow({name})")
+    probe = instrument.probe
+    if probe is not None:
+        probe.state_linked(
+            [d._state for d in deps], promise._state, f"dataflow({name})"
+        )
 
     def launch(_: Future) -> None:
         frame = ctx.current_or_none()

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from ...errors import RuntimeStateError
+from .. import instrument
 from ..futures import Future, Promise
 
 __all__ = ["Latch"]
@@ -15,7 +16,11 @@ class Latch:
         if count < 0:
             raise RuntimeStateError(f"latch count must be >= 0, got {count}")
         self._count = count
+        self._initial = count
         self._promise = Promise()
+        probe = instrument.probe
+        if probe is not None:
+            probe.lco_labelled(self._promise._state, f"latch(0/{count} arrived)")
         if count == 0:
             self._promise.set_value(None)
 
@@ -32,6 +37,15 @@ class Latch:
                 f"latch over-released: count={self._count}, count_down({n})"
             )
         self._count -= n
+        probe = instrument.probe
+        if probe is not None:
+            # Every count-down is a release contribution: the opened
+            # latch is ordered after *all* arrivals, not just the last.
+            probe.state_contribute(self._promise._state)
+            probe.lco_labelled(
+                self._promise._state,
+                f"latch({self._initial - self._count}/{self._initial} arrived)",
+            )
         if self._count == 0:
             self._promise.set_value(None)
 

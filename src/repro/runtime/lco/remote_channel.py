@@ -14,6 +14,7 @@ from typing import Any
 
 from ...errors import ChannelClosedError
 from ..agas.component import Component
+from ..agas.gid import Gid
 from ..futures import Future
 from ..runtime import Runtime
 from .channel import Channel
@@ -37,12 +38,12 @@ class ChannelComponent(Component):
         The handler task suspends cooperatively until a value arrives --
         other parcels (including the matching ``ch_set``) keep flowing.
         """
-        return self._channel.get().get()
+        return self._channel.get().get()  # repro-lint: disable=PX301 -- suspension intended
 
     def ch_try_get(self) -> tuple[bool, Any]:
         """Non-blocking receive: ``(True, value)`` or ``(False, None)``."""
         if len(self._channel):
-            return True, self._channel.get().get()
+            return True, self._channel.get().get()  # repro-lint: disable=PX301 -- buffered, cannot block
         return False, None
 
     def ch_close(self) -> int:
@@ -55,7 +56,7 @@ class ChannelComponent(Component):
 class RemoteChannel:
     """Location-transparent handle to a channel component."""
 
-    def __init__(self, runtime: Runtime, gid) -> None:
+    def __init__(self, runtime: Runtime, gid: Gid) -> None:
         self.runtime = runtime
         self.gid = gid
 
@@ -85,12 +86,13 @@ class RemoteChannel:
 
     def try_get(self) -> tuple[bool, Any]:
         """Non-blocking receive across the network."""
-        return self.runtime.invoke(self.gid, "ch_try_get")
+        result: tuple[bool, Any] = self.runtime.invoke(self.gid, "ch_try_get")
+        return result
 
     def close(self) -> int:
         """Close the hosted channel; pending remote getters fail with
         :class:`ChannelClosedError` just like local ones."""
-        return self.runtime.invoke(self.gid, "ch_close")
+        return int(self.runtime.invoke(self.gid, "ch_close"))
 
     def __len__(self) -> int:
         return int(self.runtime.invoke(self.gid, "ch_len"))

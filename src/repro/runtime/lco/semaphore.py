@@ -5,6 +5,7 @@ from __future__ import annotations
 from collections import deque
 
 from ...errors import RuntimeStateError
+from .. import instrument
 from ..futures import Future, Promise
 
 __all__ = ["CountingSemaphore"]
@@ -40,8 +41,19 @@ class CountingSemaphore:
         promise = Promise()
         if self._count > 0:
             self._count -= 1
+            probe = instrument.probe
+            if probe is not None:
+                # A banked permit carries the clock of the release that
+                # deposited it (if any -- initial permits carry none).
+                probe.token_get(self)
             promise.set_value(None)
         else:
+            probe = instrument.probe
+            if probe is not None:
+                probe.lco_labelled(
+                    promise._state,
+                    f"semaphore.acquire({len(self._waiters) + 1} waiting)",
+                )
             self._waiters.append(promise)
         return promise.get_future()
 
@@ -53,6 +65,9 @@ class CountingSemaphore:
         """Non-blocking acquire; True on success."""
         if self._count > 0:
             self._count -= 1
+            probe = instrument.probe
+            if probe is not None:
+                probe.token_get(self)
             return True
         return False
 
@@ -62,10 +77,15 @@ class CountingSemaphore:
             raise RuntimeStateError(f"release needs n >= 1, got {n}")
         for _ in range(n):
             if self._waiters:
+                # Direct grant: fulfilment in the releaser's context is
+                # the happens-before edge.
                 self._waiters.popleft().set_value(None)
             else:
                 if self._max is not None and self._count >= self._max:
                     raise RuntimeStateError(
                         f"semaphore over-released beyond max_count={self._max}"
                     )
+                probe = instrument.probe
+                if probe is not None:
+                    probe.token_put(self)
                 self._count += 1

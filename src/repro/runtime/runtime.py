@@ -16,6 +16,7 @@ including parcels that bounce work between nodes.
 from __future__ import annotations
 
 import sys
+import warnings
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from ..config import Config, default_config
@@ -23,10 +24,13 @@ from ..errors import (
     DeadlockError,
     ParcelDeadLetterError,
     ParcelError,
+    QuiescenceWarning,
     RuntimeStateError,
 )
 from ..hardware.registry import MachineModel, machine as machine_lookup
 from . import context as ctx
+from . import instrument
+from .futures import pending_demand_states
 from .actions import get_action
 from .agas.component import Component
 from .agas.gid import Gid
@@ -161,16 +165,26 @@ class Runtime:
                 pool=self.localities[0].pool,
             )
         )
+        # Demands created before this run (e.g. by an earlier runtime in
+        # the same process) are not this job's lost continuations.
+        self._preexisting_demands = {id(s) for s, _ in pending_demand_states()}
         self._started = True
         return self
 
     def stop(self) -> None:
-        """Shut down: drain remaining work and pop the base context."""
+        """Shut down: drain remaining work and pop the base context.
+
+        The base context is popped even when the drain raises (e.g. the
+        quiescence check found lost continuations) -- a failed shutdown
+        must not wedge the global context stack.
+        """
         if not self._started:
             raise RuntimeStateError("runtime is not started")
-        self.progress_all()
-        ctx.pop()
-        self._started = False
+        try:
+            self.progress_all()
+        finally:
+            ctx.pop()
+            self._started = False
 
     def __enter__(self) -> "Runtime":
         return self.start()
@@ -231,6 +245,11 @@ class Runtime:
         pool.step_one()
 
     def _raise_stalled(self) -> None:
+        probe = instrument.probe
+        if probe is not None:
+            # A deadlock detector raises its own richer error (rendered
+            # wait cycle) from this hook; fall through otherwise.
+            probe.stalled(self)
         dead = self.parcelport.dead_letters
         if dead:
             shown = ", ".join(
@@ -272,14 +291,52 @@ class Runtime:
         return True
 
     def progress_all(self) -> float:
-        """Drain every pool; returns the job makespan."""
+        """Drain every pool; returns the job makespan.
+
+        After the drain, checks for the *silent hang*: demanded futures
+        (combinator/continuation targets, channel reads) that can never
+        become ready now that no work remains.  Per the
+        ``runtime.quiescence`` config this warns (default,
+        :class:`~repro.errors.QuiescenceWarning`), raises
+        :class:`~repro.errors.DeadlockError`, or is skipped
+        (``"ignore"``).  An attached deadlock detector raises its own
+        richer error with the rendered wait graph.
+        """
 
         def quiescent() -> bool:
             return all(not loc.pool.pending() for loc in self.localities)
 
         if not quiescent():
             self.progress_until(quiescent)
+        self._check_quiescence()
         return self.makespan
+
+    def _check_quiescence(self) -> None:
+        probe = instrument.probe
+        if probe is not None:
+            probe.quiesced(self)
+        mode = self.config.get_str("runtime.quiescence")
+        if mode == "ignore":
+            return
+        skip = getattr(self, "_preexisting_demands", set())
+        pending = sorted(
+            label for state, label in pending_demand_states()
+            if id(state) not in skip
+        )
+        if not pending:
+            return
+        shown = ", ".join(pending[:8])
+        if len(pending) > 8:
+            shown += f", ... ({len(pending) - 8} more)"
+        message = (
+            f"job quiesced with {len(pending)} demanded future(s) that can "
+            f"never become ready: {shown} -- a continuation chain was lost "
+            f"(unfired dataflow/when_* target or abandoned channel read); "
+            f"attach repro.analysis for the full wait graph"
+        )
+        if mode == "raise":
+            raise DeadlockError(message)
+        warnings.warn(message, QuiescenceWarning, stacklevel=3)
 
     def run(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
         """Run ``fn`` as the main HPX-thread on locality 0 and wait."""

@@ -22,8 +22,9 @@ from typing import Any, Callable, Optional
 
 from ...errors import DeadlockError, RuntimeStateError
 from .. import context as ctx
+from .. import instrument
 from ..futures import Future
-from .hpx_thread import HpxThread, ThreadState
+from .hpx_thread import HpxThread, ThreadPriority, ThreadState
 from .scheduler import Scheduler, WorkStealingScheduler, make_scheduler
 
 __all__ = ["ThreadPool"]
@@ -114,11 +115,11 @@ class ThreadPool:
         self,
         fn: Callable[..., Any],
         *args: Any,
-        kwargs: dict | None = None,
+        kwargs: dict[str, Any] | None = None,
         worker: int | None = None,
         ready_time: float | None = None,
         description: str = "",
-        priority=None,
+        priority: ThreadPriority | None = None,
     ) -> Future:
         """Queue ``fn(*args)`` as a new HPX-thread; returns its future.
 
@@ -137,6 +138,9 @@ class ThreadPool:
             ready_time=self.now if ready_time is None else ready_time,
             priority=priority,
         )
+        probe = instrument.probe
+        if probe is not None:
+            probe.task_created(ctx.current_task(), task)
         self.scheduler.push(task, worker_hint=worker)
         return task.get_future()
 
@@ -164,6 +168,9 @@ class ThreadPool:
         ctx.push(frame)
         self._in_flight += 1
         try:
+            probe = instrument.probe
+            if probe is not None:
+                probe.task_started(task)
             try:
                 result = task.fn(*task.args, **task.kwargs)
             except BaseException as exc:  # noqa: BLE001 - forwarded via future
@@ -175,6 +182,9 @@ class ThreadPool:
                 task.state = ThreadState.TERMINATED
                 task.finish_time = task.current_virtual_time()
                 task.promise.set_value(result)
+            probe = instrument.probe
+            if probe is not None:
+                probe.task_finished(task)
         finally:
             self._in_flight -= 1
             ctx.pop()
@@ -218,6 +228,11 @@ class ThreadPool:
             while not predicate():
                 task, worker = self._next()
                 if task is None:
+                    probe = instrument.probe
+                    if probe is not None:
+                        # A deadlock detector raises its own richer error
+                        # (rendered wait cycle) from this hook.
+                        probe.stalled(self)
                     raise DeadlockError(
                         "no runnable work while tasks wait on unsatisfied "
                         "dependencies (cooperative deadlock)"

@@ -61,7 +61,9 @@ class TraceEvent:
     """One discrete runtime event on the virtual timeline.
 
     ``kind`` is one of ``steal | parcel_send | parcel_recv |
-    parcel_retry | parcel_drop | outage``.  ``pool``/``worker_id``
+    parcel_retry | parcel_drop | outage`` -- plus ``race`` and
+    ``deadlock``, emitted by the :mod:`repro.analysis` sanitizers when
+    they are attached with a tracer.  ``pool``/``worker_id``
     locate the event when known (parcel events carry the locality pool
     of their sender/receiver); ``parcel_id`` correlates the send and
     receive sides of one parcel, which is what the Chrome-trace flow

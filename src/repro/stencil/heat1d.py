@@ -213,6 +213,7 @@ class Heat1DPartition(Component):
         versa.
         """
         runtime = self._require_runtime()
+        self.mark_read("u")
         left_edge, right_edge = float(self.u[0]), float(self.u[-1])
         self._edge_log[step] = (left_edge, right_edge)
         runtime.invoke_apply(self._left_gid, "deposit_halo", step, "right", left_edge)
@@ -239,6 +240,7 @@ class Heat1DPartition(Component):
             raise ValidationError(
                 f"advance({t}) out of order; partition is at step {self.steps_done}"
             )
+        self.mark_write("u")
         self.u = _update_interior(self.u, left, right, self.params.k)
         if self.cost_per_step:
             ctx.add_cost(self.cost_per_step)
@@ -296,6 +298,7 @@ class Heat1DPartition(Component):
         self.final_future = prev
 
     def local_solution(self) -> np.ndarray:
+        self.mark_read("u")
         return np.array(self.u, copy=True)
 
     def _require_runtime(self) -> Runtime:

@@ -84,6 +84,7 @@ class Jacobi2DPartition(Component):
     def send_edges(self, step: int) -> None:
         """Ship current edge rows to the neighbours that exist."""
         runtime = self._require_runtime()
+        self.mark_read("u")
         if self._up_gid is not None:
             # My top interior row is the *down* halo of the block above.
             runtime.invoke_apply(self._up_gid, "deposit_halo_row", step, "down", self.u[1])
@@ -96,6 +97,7 @@ class Jacobi2DPartition(Component):
             raise ValidationError(
                 f"advance({t}) out of order; partition is at step {self.steps_done}"
             )
+        self.mark_write("u")
         if up_row is not None:
             self.u[0, :] = up_row
         if down_row is not None:
@@ -133,10 +135,12 @@ class Jacobi2DPartition(Component):
 
     def interior(self) -> np.ndarray:
         """This partition's owned rows (without halo rows)."""
+        self.mark_read("u")
         return np.array(self.u[1:-1, :], copy=True)
 
     def local_residual(self) -> float:
         """Sum of squared Jacobi residuals over owned interior cells."""
+        self.mark_read("u")
         sweep = 0.25 * (
             self.u[2:, 1:-1] + self.u[:-2, 1:-1] + self.u[1:-1, 2:] + self.u[1:-1, :-2]
         )

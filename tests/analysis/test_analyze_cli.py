@@ -1,0 +1,49 @@
+"""The ``repro analyze`` CLI surface."""
+
+import json
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+def test_analyze_races_and_deadlocks_clean_demo(capsys):
+    code, out = run_cli(
+        capsys, "analyze", "--races", "--deadlocks", "--nodes", "2", "--steps", "3"
+    )
+    assert code == 0
+    assert "races: none" in out
+    assert "deadlocks: none" in out
+
+
+def test_analyze_scheduler_flag(capsys):
+    code, out = run_cli(
+        capsys, "analyze", "--races", "--scheduler", "fifo", "--steps", "2"
+    )
+    assert code == 0
+    assert "fifo scheduler" in out
+
+
+def test_analyze_lint_clean_tree(capsys):
+    code, out = run_cli(capsys, "analyze", "--lint", "src")
+    assert code == 0
+
+
+def test_analyze_lint_findings_exit_nonzero(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def f(x=[]):\n    return x\n")
+    code, out = run_cli(capsys, "analyze", "--lint", str(bad))
+    assert code == 1
+    assert "PX501" in out
+
+
+def test_analyze_lint_json(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def f(x=[]):\n    return x\n")
+    code, out = run_cli(capsys, "analyze", "--lint", "--json", str(bad))
+    assert code == 1
+    assert json.loads(out)[0]["code"] == "PX501"

@@ -1,0 +1,73 @@
+"""Unit tests for the sparse vector clocks behind the race detector."""
+
+from repro.analysis import VectorClock
+
+
+def test_fresh_clock_is_empty():
+    clock = VectorClock()
+    assert len(clock) == 0
+    assert clock.get(3) == 0
+    assert clock[3] == 0
+
+
+def test_tick_advances_own_component_only():
+    clock = VectorClock()
+    clock.tick(1)
+    clock.tick(1)
+    clock.tick(2)
+    assert clock[1] == 2
+    assert clock[2] == 1
+    assert clock[7] == 0
+
+
+def test_join_is_componentwise_max():
+    a = VectorClock()
+    a.tick(1)
+    a.tick(1)
+    b = VectorClock()
+    b.tick(2)
+    a.join(b)
+    assert a[1] == 2 and a[2] == 1
+    # Join must not mutate the argument.
+    assert b[1] == 0 and b[2] == 1
+
+
+def test_copy_is_independent():
+    a = VectorClock()
+    a.tick(1)
+    b = a.copy()
+    b.tick(1)
+    assert a[1] == 1 and b[1] == 2
+
+
+def test_epoch_and_dominates():
+    a = VectorClock()
+    a.tick(1)
+    epoch = a.epoch(1)
+    assert epoch == (1, 1)
+
+    b = VectorClock()
+    assert not b.dominates(epoch)
+    b.join(a)
+    assert b.dominates(epoch)
+    # A later epoch from the same thread is not dominated.
+    a.tick(1)
+    assert not b.dominates(a.epoch(1))
+
+
+def test_ordering_and_equality():
+    a = VectorClock()
+    a.tick(1)
+    b = a.copy()
+    assert a == b
+    b.tick(2)
+    assert a <= b
+    assert not b <= a
+    assert a != b
+
+
+def test_zero_entries_do_not_break_equality():
+    a = VectorClock()
+    b = VectorClock()
+    b.join(a)
+    assert a == b

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import TopologyError
-from repro.hardware import DomainBandwidthModel, MemorySystem, machine
+from repro.hardware import DomainBandwidthModel, machine
 
 
 def test_domain_model_linear_then_flat():

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import PinningError, TopologyError
-from repro.hardware import CpuSet, Machine, machine
+from repro.hardware import CpuSet, machine
 
 
 def test_cpuset_preserves_order_and_dedups():

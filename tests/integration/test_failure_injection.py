@@ -10,7 +10,6 @@ from repro.errors import (
     ValidationError,
 )
 from repro.runtime import Channel, Runtime, async_, dataflow, when_all
-from repro.runtime import context as ctx
 from repro.runtime.agas import Component
 from repro.stencil import DistributedHeat1D, Heat1DParams, analytic_heat_profile
 

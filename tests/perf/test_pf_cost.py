@@ -14,7 +14,6 @@ from repro.perf import (
     stencil2d_time,
 )
 from repro.perf.cost import (
-    PAPER_GRID_2D,
     PAPER_GRID_2D_LARGE,
     transfers_per_update,
 )

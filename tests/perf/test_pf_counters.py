@@ -10,7 +10,7 @@ from repro.hardware import (
     STALL_FRONTEND,
     machine,
 )
-from repro.perf import COUNTER_GRID, COUNTER_STEPS, CounterModel
+from repro.perf import COUNTER_STEPS, CounterModel
 from repro.perf.counters import counter_lups
 
 
@@ -109,8 +109,6 @@ def test_counter_names_per_machine():
 def test_effective_vector_width_plausible(any_machine):
     """Implied widths must be positive and bounded by 2x the ISA lanes
     (dual pipes can retire two packs per cycle-equivalent)."""
-    import numpy as np
-
     model = CounterModel(any_machine)
     for dtype, elem in (("float32", 4), ("float64", 8)):
         lanes = any_machine.spec.simd_lanes(elem)

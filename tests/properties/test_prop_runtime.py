@@ -6,7 +6,7 @@ import operator
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.runtime import Promise, Runtime, par, seq, when_all
+from repro.runtime import Promise, Runtime, par, when_all
 from repro.runtime import context as ctx
 from repro.runtime.algorithms import inclusive_scan, reduce_, transform
 from repro.runtime.algorithms.partitioner import auto_chunk_size, partition

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import RuntimeStateError
-from repro.runtime import Runtime, async_
+from repro.runtime import Runtime
 from repro.runtime import context as ctx
 from repro.runtime.threads.pool import ThreadPool
 from repro.runtime.trace import Tracer

@@ -9,7 +9,6 @@ from repro.stencil import (
     DistributedJacobi2D,
     Heat1DParams,
     Heat1DPartition,
-    analytic_heat_profile,
 )
 from repro.stencil.jacobi2d_dist import Jacobi2DPartition
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ValidationError
-from repro.runtime import Runtime, par
+from repro.runtime import par
 from repro.simd.isa import AVX2, NEON, sve
 from repro.stencil import Jacobi2D, jacobi_dense_solution, jacobi_reference_step, max_error
 
