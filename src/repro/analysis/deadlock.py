@@ -177,6 +177,13 @@ class DeadlockDetector(Probe):
     def lco_labelled(self, state: Any, label: str) -> None:
         self._labels[self._pin(state)] = label
 
+    def forgiven(self, context: Any = None) -> None:
+        """A checkpoint rollback abandoned every pending continuation by
+        design: count their targets as settled so the exit verdict only
+        reports chains lost *after* the recovery point."""
+        for link in self._links:
+            self._fulfilled.add(link.target)
+
     def wait_enter(self, state: Any, detail: str = "") -> None:
         self._waits.append((ctx.current_task(), self._pin(state), detail))
 

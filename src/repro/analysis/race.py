@@ -225,6 +225,22 @@ class RaceDetector(Probe):
         if queue:
             self._clock_of(self._current_tid()).join(queue.popleft())
 
+    def stalled(self, context: Any = None) -> None:
+        """A stall is a global synchronisation point: join every clock.
+
+        The progress engine fires this only after proving *no* runnable
+        work exists anywhere, so every other task has terminated (or can
+        never run again).  Whatever the stalled context does next --
+        crash-recovery rollback re-reading partition fields, a test
+        inspecting state after a DeadlockError -- is genuinely ordered
+        after all of it, even where no future/LCO edge was recorded
+        (e.g. chains abandoned by a rollback).  Without this join the
+        recovery path would be flagged as racing with the dead timeline.
+        """
+        current = self._clock_of(self._current_tid())
+        for clock in self._clocks.values():
+            current.join(clock)
+
     # Race checking ---------------------------------------------------------
     def access(self, owner: Any, field: str, kind: str) -> None:
         tid = self._current_tid()

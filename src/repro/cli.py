@@ -23,6 +23,14 @@ Commands mirror the evaluation workflow:
                                      distributed demo under the dynamic
                                      detectors, ``--lint`` the static
                                      pass (default: all three)
+* ``run``                         -- run a distributed stencil end-to-end,
+                                     optionally under a seeded fault
+                                     schedule (``--crash LOC@T``,
+                                     ``--drop-rate``) with checkpoint
+                                     restart (``--checkpoint-every K``);
+                                     verifies the result is bit-identical
+                                     to a fault-free run and prints the
+                                     resilience counters
 """
 
 from __future__ import annotations
@@ -178,6 +186,42 @@ def build_parser() -> argparse.ArgumentParser:
         default="work-stealing",
         choices=("work-stealing", "static", "fifo"),
         help="scheduler policy for the demo run",
+    )
+
+    p_run = sub.add_parser(
+        "run",
+        help="run a distributed stencil under a seeded fault schedule with "
+        "checkpoint restart, and verify bit-identical recovery",
+    )
+    p_run.add_argument(
+        "--app",
+        default="heat1d",
+        choices=("heat1d", "jacobi2d"),
+        help="which distributed stencil to run",
+    )
+    p_run.add_argument("--nodes", type=int, default=4)
+    p_run.add_argument("--steps", type=int, default=40)
+    p_run.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="K",
+        help="coordinated checkpoint epoch length in steps "
+        "(0: checkpoint only when the fault schedule demands one)",
+    )
+    p_run.add_argument(
+        "--crash",
+        action="append",
+        default=[],
+        metavar="LOC@T",
+        help="permanently crash locality LOC at virtual time T (repeatable)",
+    )
+    p_run.add_argument("--seed", type=int, default=0, help="fault-injection seed")
+    p_run.add_argument(
+        "--drop-rate",
+        type=float,
+        default=0.0,
+        help="additionally drop this fraction of parcels (transient faults)",
     )
 
     return parser
@@ -378,6 +422,94 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return status
 
 
+#: Counters printed after a ``repro run`` (resilience at a glance).
+_RUN_COUNTER_PATHS = (
+    "/checkpoints{total}/count/saved",
+    "/checkpoints{total}/count/restored",
+    "/checkpoints{total}/count/fallbacks",
+    "/checkpoints{total}/data/saved",
+    "/checkpoints{total}/time/save",
+    "/checkpoints{total}/time/restore",
+    "/localities{total}/count/failed",
+    "/localities{total}/count/decommissioned",
+    "/parcels{total}/count/dropped",
+    "/parcels{total}/count/retried",
+    "/parcels{total}/count/dead-lettered",
+    "/runtime/uptime",
+)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    """Faulted resilient run vs fault-free reference run; compare bits."""
+    from .resilience import FaultInjector
+    from .runtime import Runtime
+    from .runtime.perfcounters import query
+    from .stencil import DistributedHeat1D, Heat1DParams, analytic_heat_profile
+    from .stencil.jacobi2d_dist import DistributedJacobi2D
+
+    crashes: list[tuple[int, float]] = []
+    for spec in args.crash:
+        try:
+            loc_text, time_text = spec.split("@", 1)
+            crashes.append((int(loc_text), float(time_text)))
+        except ValueError:
+            print(f"malformed --crash {spec!r}; expected LOC@T", file=sys.stderr)
+            return 2
+
+    def execute(faulted: bool) -> tuple[np.ndarray, "Runtime"]:
+        injector = None
+        if faulted and (crashes or args.drop_rate > 0):
+            injector = FaultInjector(seed=args.seed, drop_rate=args.drop_rate)
+            for loc, at in crashes:
+                injector.fail_locality(loc, at=at, permanent=True)
+        with Runtime(
+            n_localities=args.nodes,
+            workers_per_locality=2,
+            fault_injector=injector,
+        ) as rt:
+            if args.app == "heat1d":
+                nx = 16 * args.nodes
+                solver = DistributedHeat1D(
+                    rt, nx, Heat1DParams(), cost_per_step=1e-3
+                )
+                solver.initialize(analytic_heat_profile(nx))
+            else:
+                ny = 4 * args.nodes + 2
+                solver = DistributedJacobi2D(rt, ny, 16, cost_per_step=1e-3)
+                rng = np.random.default_rng(args.seed)
+                solver.initialize(rng.random((ny, 16)))
+            if faulted:
+                out = rt.run(
+                    lambda: solver.run_resilient(
+                        args.steps, checkpoint_every=args.checkpoint_every
+                    )
+                )
+            else:
+                out = rt.run(lambda: solver.run(args.steps))
+            return out, rt
+
+    faulted_out, faulted_rt = execute(faulted=True)
+    reference_out, _ = execute(faulted=False)
+    identical = bool(np.array_equal(faulted_out, reference_out))
+
+    lines = [
+        f"{args.app}: {args.nodes} localities x 2 workers, {args.steps} steps, "
+        f"checkpoint_every={args.checkpoint_every}, seed={args.seed}",
+    ]
+    if crashes:
+        lines.append(
+            "crash schedule: "
+            + ", ".join(f"locality {loc} at t={at:g}" for loc, at in crashes)
+        )
+    if args.drop_rate > 0:
+        lines.append(f"drop rate: {args.drop_rate:g}")
+    for path in _RUN_COUNTER_PATHS:
+        lines.append(f"{path:<46} {query(faulted_rt, path):g}")
+    lines.append(f"bit-identical with fault-free run: {identical}")
+    print("\n".join(lines))
+    return 0 if identical else 1
+
+
 #: Default paths for ``counters --sample-interval``.
 _SAMPLE_PATHS = (
     "/threads{total}/count/cumulative",
@@ -455,6 +587,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(_cmd_trace(args.nodes, args.steps, args.export, args.metrics))
     elif args.command == "analyze":
         return _cmd_analyze(args)
+    elif args.command == "run":
+        return _cmd_run(args)
     else:  # pragma: no cover - argparse guards
         return 2
     return 0

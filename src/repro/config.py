@@ -39,6 +39,12 @@ _DEFAULTS: dict[str, Any] = {
     "algorithms.min_chunk": 1,
     # NUMA placement.
     "numa.first_touch": True,  # block allocator, OpenMP schedule(static)-like
+    # Checkpoint/restart (consulted by the resilient stencil drivers and
+    # repro.resilience.checkpoint.CheckpointStore).
+    "checkpoint.interval": 0,  # epoch length in app steps; 0 = crash-triggered only
+    "checkpoint.keep": 2,  # retained epochs (>= 2 enables corruption fallback)
+    "checkpoint.cost_base_s": 1e-6,  # fixed virtual cost per save/restore
+    "checkpoint.cost_per_byte_s": 1e-9,  # virtual seconds per serialized byte
     # Quiescence policy: what to do when the job drains with demanded
     # futures (dataflow/when_* targets, channel reads) left unfulfilled.
     "runtime.quiescence": "warn",  # warn | raise | ignore
@@ -112,6 +118,14 @@ class Config(Mapping[str, Any]):
             raise ConfigError("parcel.retry_max_timeout_s must be non-negative")
         if float(self._values["parcel.retry_backoff"]) < 1.0:
             raise ConfigError("parcel.retry_backoff must be >= 1.0")
+        if int(self._values["checkpoint.interval"]) < 0:
+            raise ConfigError("checkpoint.interval must be >= 0 (0 disables)")
+        if int(self._values["checkpoint.keep"]) < 1:
+            raise ConfigError("checkpoint.keep must be >= 1")
+        if float(self._values["checkpoint.cost_base_s"]) < 0:
+            raise ConfigError("checkpoint.cost_base_s must be non-negative")
+        if float(self._values["checkpoint.cost_per_byte_s"]) < 0:
+            raise ConfigError("checkpoint.cost_per_byte_s must be non-negative")
 
     def replace(self, **overrides: Any) -> "Config":
         """Return a new config with ``overrides`` applied."""

@@ -196,3 +196,26 @@ class PartitionedVector:
         if not 0 <= seg_index < self.n_segments:
             raise ValidationError(f"segment {seg_index} out of range")
         self.runtime.agas.migrate(self._gids[seg_index], to_locality)
+
+    # Checkpoint / crash recovery --------------------------------------------------
+    def checkpoint_state(self) -> list[dict[str, Any]]:
+        """Snapshot every segment, so ``save_checkpoint(vec)`` captures
+        the whole vector as one object."""
+        return [segment.checkpoint_state() for segment in self._segments]
+
+    def restore_state(self, state: list[dict[str, Any]]) -> None:
+        """Restore all segments from a :meth:`checkpoint_state` snapshot."""
+        if len(state) != len(self._segments):
+            raise ValidationError(
+                f"checkpoint has {len(state)} segments, vector has "
+                f"{len(self._segments)}"
+            )
+        for segment, seg_state in zip(self._segments, state):
+            segment.restore_state(seg_state)
+
+    def segment_homes(self) -> list[int]:
+        """Current home locality of every segment (follows migration --
+        after :meth:`~repro.runtime.agas.service.AgasService.evacuate`
+        re-homes a crashed locality's segments, this shows where the
+        data now lives)."""
+        return [self.runtime.agas.home_of(gid) for gid in self._gids]

@@ -29,6 +29,8 @@ __all__ = [
     "ResilienceError",
     "ReplayExhaustedError",
     "ReplicateError",
+    "CheckpointError",
+    "CheckpointCorruptionError",
     "TopologyError",
     "PinningError",
     "SimdError",
@@ -138,6 +140,19 @@ class ReplayExhaustedError(ResilienceError):
 
 class ReplicateError(ResilienceError):
     """``async_replicate`` found no replica result passing validation."""
+
+
+class CheckpointError(ResilienceError):
+    """A checkpoint could not be saved, decoded, or restored."""
+
+
+class CheckpointCorruptionError(CheckpointError):
+    """A checkpoint failed checksum verification on restore.
+
+    The coordinated-snapshot store reacts by falling back to the newest
+    older epoch that still verifies; this error escapes only when *no*
+    retained checkpoint is intact.
+    """
 
 
 class TopologyError(ReproError):

@@ -15,7 +15,12 @@ APIs:
   :class:`~repro.runtime.parcel.parcelport.Parcelport`);
 * :func:`async_replay` / :func:`async_replicate` -- HPX resiliency task
   APIs (``hpx::resiliency::experimental``), re-exported from
-  :mod:`repro.runtime.actions`.
+  :mod:`repro.runtime.actions`;
+* :func:`save_checkpoint` / :func:`restore_checkpoint` /
+  :class:`CheckpointStore` -- HPX-style checkpoint/restart
+  (``hpx::util::checkpoint``): versioned, checksummed snapshots with a
+  coordinated epoch protocol, corruption fallback, and cost-model
+  accounting (see :mod:`repro.resilience.checkpoint`).
 
 Everything is clocked on the DES virtual clock, so a faulty run is as
 deterministic and reproducible as a clean one: same seed, same faults,
@@ -24,13 +29,23 @@ same retries, same makespan.
 
 from ..runtime.actions import async_replay, async_replicate
 from ..runtime.parcel.parcelport import RetryPolicy
+from .checkpoint import (
+    Checkpoint,
+    CheckpointStore,
+    restore_checkpoint,
+    save_checkpoint,
+)
 from .faults import FaultInjector, LocalityFailure, ParcelFate
 
 __all__ = [
+    "Checkpoint",
+    "CheckpointStore",
     "FaultInjector",
     "LocalityFailure",
     "ParcelFate",
     "RetryPolicy",
     "async_replay",
     "async_replicate",
+    "restore_checkpoint",
+    "save_checkpoint",
 ]

@@ -59,11 +59,18 @@ _DELIVER = ParcelFate("deliver")
 
 @dataclass(frozen=True)
 class LocalityFailure:
-    """One scheduled node outage: down during ``[at, until)`` virtual s."""
+    """One scheduled node outage: down during ``[at, until)`` virtual s.
+
+    ``permanent=True`` marks a crash rather than a reboot window: the
+    node never comes back (``until`` must stay at the default infinity),
+    and recovery requires AGAS re-homing plus a checkpoint restart
+    instead of waiting out the window.
+    """
 
     locality_id: int
     at: float
     until: float
+    permanent: bool = False
 
     def __post_init__(self) -> None:
         if self.locality_id < 0:
@@ -72,6 +79,8 @@ class LocalityFailure:
             raise ConfigError(
                 f"failure window [{self.at}, {self.until}) is not a valid interval"
             )
+        if self.permanent and self.until != float("inf"):
+            raise ConfigError("a permanent failure cannot have an end time")
 
     def covers(self, time: float) -> bool:
         return self.at <= time < self.until
@@ -112,10 +121,23 @@ class FaultInjector:
 
     # Locality outages -------------------------------------------------------
     def fail_locality(
-        self, locality_id: int, at: float, until: float = float("inf")
+        self,
+        locality_id: int,
+        at: float,
+        until: float = float("inf"),
+        permanent: bool = False,
     ) -> "FaultInjector":
-        """Schedule a node outage; returns self for chaining."""
-        self.locality_failures.append(LocalityFailure(locality_id, at, until))
+        """Schedule a node outage; returns self for chaining.
+
+        With ``permanent=True`` the locality crashes at ``at`` and never
+        recovers; the resilient drivers detect this (ack-timeout
+        escalation in the parcelport) and respond by decommissioning the
+        node, re-homing its components, and restarting from the last
+        checkpoint epoch rather than waiting for a reboot.
+        """
+        self.locality_failures.append(
+            LocalityFailure(locality_id, at, until, permanent=permanent)
+        )
         return self
 
     def locality_down(self, locality_id: int, time: float) -> bool:
@@ -124,6 +146,18 @@ class FaultInjector:
             f.locality_id == locality_id and f.covers(time)
             for f in self.locality_failures
         )
+
+    def permanently_down(self, locality_id: int, time: float) -> bool:
+        """Has ``locality_id`` suffered a permanent crash by ``time``?"""
+        return any(
+            f.permanent and f.locality_id == locality_id and f.covers(time)
+            for f in self.locality_failures
+        )
+
+    @property
+    def has_permanent_failures(self) -> bool:
+        """Does the schedule contain any permanent crash?"""
+        return any(f.permanent for f in self.locality_failures)
 
     def defer_until_up(self, locality_id: int, time: float) -> float:
         """Earliest virtual time >= ``time`` at which the locality is up.

@@ -54,6 +54,24 @@ class Component:
         """AGAS moved this object; update the cached home."""
         self._home = to_locality
 
+    # Checkpoint protocol ----------------------------------------------------
+    #: Extra attribute names the default snapshot skips, for subclasses
+    #: whose transient machinery (promises, live chains) must not be
+    #: serialized.  AGAS wiring is always skipped: a restored component
+    #: keeps its current GID/home (re-homing is AGAS's job, not the
+    #: checkpoint's).
+    _checkpoint_exclude: tuple[str, ...] = ()
+
+    def checkpoint_state(self) -> dict[str, Any]:
+        """Picklable snapshot of the durable state
+        (see :mod:`repro.resilience.checkpoint`)."""
+        skip = {"_gid", "_home", *self._checkpoint_exclude}
+        return {k: v for k, v in self.__dict__.items() if k not in skip}
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        """Rebuild from a :meth:`checkpoint_state` snapshot, in place."""
+        self.__dict__.update(state)
+
     # Sanitizer hooks --------------------------------------------------------
     def mark_read(self, field: str) -> None:
         """Report a read of mutable shared state named ``field``.

@@ -10,7 +10,7 @@ tests exercise.
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
 
 from ...errors import AgasError, MigrationError, UnknownGidError
 from .gid import Gid
@@ -126,6 +126,44 @@ class AgasService:
         if hasattr(obj, "on_migrated"):
             obj.on_migrated(to_locality)
         return entry.home
+
+    def gids_homed_at(self, locality: int) -> list[Gid]:
+        """All GIDs currently homed at ``locality``, in registration order.
+
+        GIDs are allocated ``(home locality, counter)``, so sorting gives
+        a deterministic order independent of dict insertion history.
+        """
+        self._check_locality(locality)
+        return sorted(gid for gid, entry in self._table.items() if entry.home == locality)
+
+    def evacuate(
+        self, from_locality: int, survivors: Sequence[int]
+    ) -> list[tuple[Gid, int]]:
+        """Re-home everything on ``from_locality`` onto ``survivors``.
+
+        The permanent-crash recovery primitive: every GID homed at the
+        dead locality is migrated round-robin across the survivors (in
+        deterministic GID order, so a seeded run re-homes identically
+        every time).  Reference counts and GIDs are preserved by
+        :meth:`migrate`; a pinned object raises
+        :class:`~repro.errors.MigrationError`, which at recovery time
+        means state was lost mid-action -- the caller must restore from
+        a checkpoint anyway.  Returns ``[(gid, new_home), ...]``.
+        """
+        if not survivors:
+            raise AgasError("evacuation needs at least one surviving locality")
+        for survivor in survivors:
+            self._check_locality(survivor)
+            if survivor == from_locality:
+                raise AgasError(
+                    f"locality {from_locality} cannot survive its own evacuation"
+                )
+        moved: list[tuple[Gid, int]] = []
+        for i, gid in enumerate(self.gids_homed_at(from_locality)):
+            new_home = survivors[i % len(survivors)]
+            self.migrate(gid, new_home)
+            moved.append((gid, new_home))
+        return moved
 
     # Internals --------------------------------------------------------------------
     def _lookup(self, gid: Gid) -> _Entry:

@@ -6,6 +6,16 @@ global decisions (convergence tests, load statistics).  These
 implementations ride entirely on the public runtime surface --
 ``async_at`` parcels plus ``when_all`` -- so collective *costs* are
 modelled by the same interconnect as everything else.
+
+Every collective accepts ``timeout=`` (virtual seconds from the caller's
+current virtual time).  A collective over a hung or silent participant
+then fails fast with :class:`~repro.errors.FutureTimeoutError` (part of
+the :class:`~repro.errors.TimeoutError` subtree) instead of waiting for
+work that will never finish -- the pattern resilient drivers use to
+bound their recovery rounds.  (A *permanently dead* destination instead
+surfaces :class:`~repro.errors.ParcelDeadLetterError` from the retry
+layer, which exhausts its backoff budget long before any realistic
+deadline.)
 """
 
 from __future__ import annotations
@@ -25,7 +35,24 @@ def _all_locality_ids(runtime: Runtime) -> list[int]:
     return [loc.locality_id for loc in runtime.localities]
 
 
-def broadcast(runtime: Runtime, fn: Callable[..., Any] | str, *args: Any) -> list[Any]:
+def _collect(futures: list[Future], timeout: float | None) -> list[Any]:
+    """Join a fan-out, optionally bounded by a virtual-time deadline.
+
+    The bound rides on :meth:`Future.wait_for` (a deadline-aware help
+    loop) rather than ``when_all(timeout=)``'s low-priority timer task,
+    so a straggling participant cannot starve the deadline check."""
+    joined = when_all(futures)
+    if timeout is not None:
+        joined.wait_for(timeout)
+    return [f.get() for f in joined.get()]
+
+
+def broadcast(
+    runtime: Runtime,
+    fn: Callable[..., Any] | str,
+    *args: Any,
+    timeout: float | None = None,
+) -> list[Any]:
     """Run ``fn(*args)`` on every locality; returns results by locality id.
 
     (HPX ``broadcast`` ships a value; shipping the producing action is
@@ -35,11 +62,14 @@ def broadcast(runtime: Runtime, fn: Callable[..., Any] | str, *args: Any) -> lis
     futures = [
         runtime.async_at(loc_id, fn, *args) for loc_id in _all_locality_ids(runtime)
     ]
-    return [f.get() for f in when_all(futures).get()]
+    return _collect(futures, timeout)
 
 
 def scatter(
-    runtime: Runtime, fn: Callable[..., Any] | str, per_locality_args: list[tuple]
+    runtime: Runtime,
+    fn: Callable[..., Any] | str,
+    per_locality_args: list[tuple],
+    timeout: float | None = None,
 ) -> list[Any]:
     """Run ``fn(*per_locality_args[i])`` on locality ``i``."""
     if len(per_locality_args) != runtime.n_localities:
@@ -51,13 +81,18 @@ def scatter(
         runtime.async_at(loc_id, fn, *per_locality_args[loc_id])
         for loc_id in _all_locality_ids(runtime)
     ]
-    return [f.get() for f in when_all(futures).get()]
+    return _collect(futures, timeout)
 
 
-def gather(runtime: Runtime, fn: Callable[..., Any] | str, *args: Any) -> list[Any]:
+def gather(
+    runtime: Runtime,
+    fn: Callable[..., Any] | str,
+    *args: Any,
+    timeout: float | None = None,
+) -> list[Any]:
     """Alias of :func:`broadcast` that reads local state back to the
     caller -- the name states intent at call sites."""
-    return broadcast(runtime, fn, *args)
+    return broadcast(runtime, fn, *args, timeout=timeout)
 
 
 def all_reduce(
@@ -65,13 +100,14 @@ def all_reduce(
     fn: Callable[..., T] | str,
     op: Callable[[T, T], T],
     *args: Any,
+    timeout: float | None = None,
 ) -> T:
     """Evaluate ``fn`` on every locality and fold the results with ``op``.
 
     ``op`` must be associative; results combine in locality order, so
     non-commutative (but associative) reductions are deterministic.
     """
-    values = broadcast(runtime, fn, *args)
+    values = broadcast(runtime, fn, *args, timeout=timeout)
     if not values:
         raise RuntimeStateError("all_reduce over zero localities")
     result = values[0]
@@ -84,10 +120,10 @@ def _noop() -> None:
     return None
 
 
-def global_barrier(runtime: Runtime) -> None:
+def global_barrier(runtime: Runtime, timeout: float | None = None) -> None:
     """Block until every locality has processed a barrier parcel.
 
     The round trip guarantees all previously *sent* work to each
     locality has been enqueued behind the barrier handler.
     """
-    broadcast(runtime, _noop)
+    broadcast(runtime, _noop, timeout=timeout)

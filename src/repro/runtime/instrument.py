@@ -43,6 +43,8 @@ event                  fired when
 ``access``             an instrumented read/write of shared component state
 ``stalled``            the progress engine ran out of runnable work
 ``quiesced``           the job drained with no awaited condition pending
+``forgiven``           the runtime abandoned all pending continuations by
+                       design (checkpoint rollback)
 =====================  ========================================================
 """
 
@@ -122,6 +124,11 @@ class Probe:
     def quiesced(self, context: Any = None) -> None:
         """The job drained normally; a probe may raise if it tracked
         work that can no longer complete."""
+
+    def forgiven(self, context: Any = None) -> None:
+        """The runtime deliberately abandoned every currently-pending
+        continuation (checkpoint rollback discards in-flight chains);
+        probes tracking lost continuations should stop expecting them."""
 
 
 #: The active probe, or ``None`` (the fast path).  With several probes

@@ -60,3 +60,32 @@ class AndGate:
 
     def is_ready(self) -> bool:
         return self._remaining == 0
+
+    # Checkpoint protocol ----------------------------------------------------
+    def checkpoint_state(self) -> dict[str, Any]:
+        """Snapshot the slot values and which slots are filled."""
+        return {
+            "n_slots": self.n_slots,
+            "values": list(self._values),
+            "filled": list(self._filled),
+        }
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        """Rebuild from a :meth:`checkpoint_state` snapshot, in place.
+
+        The promise is replaced (futures handed out before the restore
+        belong to the abandoned timeline); a gate restored with every
+        slot filled is fired immediately with the restored values.
+        """
+        self.n_slots = int(state["n_slots"])
+        self._values = list(state["values"])
+        self._filled = [bool(f) for f in state["filled"]]
+        if len(self._values) != self.n_slots or len(self._filled) != self.n_slots:
+            raise RuntimeStateError(
+                f"and-gate snapshot is inconsistent: {self.n_slots} slots, "
+                f"{len(self._values)} values, {len(self._filled)} fill flags"
+            )
+        self._remaining = self.n_slots - sum(self._filled)
+        self._promise = Promise()
+        if self._remaining == 0:
+            self._promise.set_value(list(self._values))

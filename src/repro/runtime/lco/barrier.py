@@ -67,3 +67,25 @@ class Barrier:
         """Arrive and cooperatively wait for the generation to complete."""
         completed: int = self.arrive().get()
         return completed
+
+    # Checkpoint protocol ----------------------------------------------------
+    def checkpoint_state(self) -> dict[str, int]:
+        """Snapshot the party count and completed-generation counter.
+
+        Mid-generation arrivals are not captured: a coordinated
+        checkpoint is taken at quiescence, where a sane barrier has no
+        parties waiting (they could never be released after a restore).
+        """
+        return {"n_parties": self.n_parties, "generation": self._generation}
+
+    def restore_state(self, state: dict[str, int]) -> None:
+        """Rebuild from a :meth:`checkpoint_state` snapshot, in place."""
+        if self._arrived:
+            raise RuntimeStateError(
+                f"cannot restore into a barrier with {self._arrived} "
+                "parties waiting"
+            )
+        self.n_parties = int(state["n_parties"])
+        self._generation = int(state["generation"])
+        self._arrived = 0
+        self._promise = Promise()

@@ -138,6 +138,31 @@ class Channel:
             )
         return failed
 
+    # Checkpoint protocol ----------------------------------------------------
+    def checkpoint_state(self) -> dict[str, Any]:
+        """Snapshot the buffered values and closed flag.
+
+        Pending ``get``s (waiting promises) are deliberately not
+        captured: coordinated checkpoints are taken at quiescence, and a
+        restored channel starts with no waiters.
+        """
+        return {
+            "name": self.name,
+            "values": list(self._values),
+            "closed": self._closed,
+        }
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        """Rebuild from a :meth:`checkpoint_state` snapshot, in place."""
+        if self._waiters:
+            raise RuntimeStateError(
+                f"cannot restore into channel {self.name!r} with "
+                f"{len(self._waiters)} pending get(s)"
+            )
+        self.name = str(state["name"])
+        self._values = deque(state["values"])
+        self._closed = bool(state["closed"])
+
     def __len__(self) -> int:
         """Number of buffered (sent, unreceived) values."""
         return len(self._values)

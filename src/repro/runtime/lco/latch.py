@@ -64,3 +64,21 @@ class Latch:
         """Count down once, then wait for the remaining parties."""
         self.count_down()
         self.wait()
+
+    # Checkpoint protocol ----------------------------------------------------
+    def checkpoint_state(self) -> dict[str, int]:
+        """Snapshot the current and initial counts."""
+        return {"count": self._count, "initial": self._initial}
+
+    def restore_state(self, state: dict[str, int]) -> None:
+        """Rebuild from a :meth:`checkpoint_state` snapshot, in place.
+
+        The promise is replaced: futures handed out before the restore
+        belong to the abandoned timeline.  A latch restored at zero is
+        already open, exactly as after :meth:`count_down` reached zero.
+        """
+        self._count = int(state["count"])
+        self._initial = int(state["initial"])
+        self._promise = Promise()
+        if self._count == 0:
+            self._promise.set_value(None)

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from collections import deque
+from typing import Any
 
 from ...errors import RuntimeStateError
 from .. import instrument
@@ -89,3 +90,19 @@ class CountingSemaphore:
                 if probe is not None:
                     probe.token_put(self)
                 self._count += 1
+
+    # Checkpoint protocol ----------------------------------------------------
+    def checkpoint_state(self) -> dict[str, Any]:
+        """Snapshot the available permits and the cap."""
+        return {"count": self._count, "max_count": self._max}
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        """Rebuild from a :meth:`checkpoint_state` snapshot, in place."""
+        if self._waiters:
+            raise RuntimeStateError(
+                f"cannot restore into a semaphore with {len(self._waiters)} "
+                "pending acquire(s)"
+            )
+        self._count = int(state["count"])
+        raw_max = state["max_count"]
+        self._max = None if raw_max is None else int(raw_max)

@@ -102,6 +102,14 @@ class Parcelport:
         #: queue.  The progress engine raises when a job stalls with
         #: entries here; resilient applications may drain it and recover.
         self.dead_letters: list[tuple[Parcel, str]] = []
+        #: Ack-timeout escalation: localities a parcel was dead-lettered
+        #: against after exhausting every retransmission while the
+        #: destination was unreachable.  A suspicion is *evidence*, not a
+        #: verdict -- the destination may merely be inside a transient
+        #: outage window.  Resilient drivers cross-check against the
+        #: fault schedule (``FaultInjector.permanently_down``) before
+        #: declaring a node dead, and clear the set each recovery round.
+        self.suspected_dead: set[int] = set()
 
     def install_router(self, router: Router) -> None:
         """The runtime installs its decode-and-dispatch callback here."""
@@ -161,8 +169,18 @@ class Parcelport:
             self.parcels_duplicated += 1
         return arrival
 
-    def report_loss(self, parcel: Parcel, reason: str) -> None:
-        """Runtime-side loss (e.g. the destination locality was down)."""
+    def report_loss(
+        self, parcel: Parcel, reason: str, destination: int | None = None
+    ) -> None:
+        """Runtime-side loss (e.g. the destination locality was down).
+
+        ``destination`` identifies the unreachable locality; it is
+        remembered on the parcel so that, should every retransmission
+        fail the same way, the final dead-lettering escalates the
+        destination into :attr:`suspected_dead`.
+        """
+        if destination is not None:
+            parcel.unreachable_destination = destination  # type: ignore[attr-defined]
         self.parcels_dropped += 1
         self._handle_loss(parcel, reason)
 
@@ -180,6 +198,9 @@ class Parcelport:
             return
         self.parcels_dead_lettered += 1
         self.dead_letters.append((parcel, reason))
+        destination = getattr(parcel, "unreachable_destination", None)
+        if destination is not None:
+            self.suspected_dead.add(destination)
         exc = ParcelDeadLetterError(
             f"parcel #{parcel.parcel_id} gave up after {parcel.attempts} "
             f"transmission(s): {reason}"

@@ -27,6 +27,13 @@ Supported counter types::
     /parcels/count/retries-in-flight  retransmissions scheduled but not yet sent
     /parcels/count/dead-lettered   parcels abandoned after exhausting retries
     /localities/count/failed       scheduled locality outages
+    /localities/count/decommissioned  localities declared permanently dead
+    /checkpoints/count/saved       checkpoint epochs written
+    /checkpoints/count/restored    successful checkpoint restores
+    /checkpoints/count/fallbacks   corrupt epochs skipped during restore
+    /checkpoints/data/saved        serialized checkpoint bytes written
+    /checkpoints/time/save         virtual seconds charged for saves
+    /checkpoints/time/restore      virtual seconds charged for restores
     /runtime/uptime                virtual makespan (s)
 
 Instance syntax: ``{locality#N/total}`` selects one locality,
@@ -73,6 +80,16 @@ _PARCEL_FAULT_COUNTERS = {
 
 #: Thread counters valid per worker (``{locality#N/worker#W}``).
 _WORKER_COUNTERS = ("count/cumulative", "time/busy", "idle-rate")
+
+#: Checkpoint statistics: counter path suffix -> Runtime attribute.
+_CHECKPOINT_COUNTERS = {
+    "count/saved": "checkpoints_saved",
+    "count/restored": "checkpoints_restored",
+    "count/fallbacks": "checkpoint_fallbacks",
+    "data/saved": "checkpoint_bytes_saved",
+    "time/save": "checkpoint_save_time_s",
+    "time/restore": "checkpoint_restore_time_s",
+}
 
 
 def _pool_counter(pool: "ThreadPool", counter: str) -> float:
@@ -195,7 +212,16 @@ def query(runtime: "Runtime", path: str) -> float:
             raise RuntimeStateError("locality counters are job-wide; use {total}")
         if counter == "count/failed":
             return float(runtime.localities_failed)
+        if counter == "count/decommissioned":
+            return float(len(runtime.decommissioned))
         raise RuntimeStateError(f"unknown localities counter {counter!r}")
+
+    if obj == "checkpoints":
+        if instance not in (None, "total"):
+            raise RuntimeStateError("checkpoint counters are job-wide; use {total}")
+        if counter in _CHECKPOINT_COUNTERS:
+            return float(getattr(runtime, _CHECKPOINT_COUNTERS[counter]))
+        raise RuntimeStateError(f"unknown checkpoints counter {counter!r}")
 
     if obj == "runtime":
         if counter == "uptime":
@@ -235,5 +261,8 @@ def discover(runtime: "Runtime") -> list[str]:
     for counter in _PARCEL_FAULT_COUNTERS:
         paths.append(f"/parcels{{total}}/{counter}")
     paths.append("/localities{total}/count/failed")
+    paths.append("/localities{total}/count/decommissioned")
+    for counter in _CHECKPOINT_COUNTERS:
+        paths.append(f"/checkpoints{{total}}/{counter}")
     paths.append("/runtime/uptime")
     return paths

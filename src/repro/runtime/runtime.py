@@ -69,6 +69,18 @@ class Runtime:
         self.config = config or default_config()
         self.fault_injector = fault_injector
         self._delivered_parcels: set[int] = set()
+        #: Localities declared permanently dead (crash recovery).  Their
+        #: queued work has been discarded and parcels routed to them are
+        #: reported lost; AGAS re-homing moves their components away.
+        self.decommissioned: set[int] = set()
+        # Checkpoint/restore statistics (perfcounter sources, updated by
+        # repro.resilience.checkpoint.CheckpointStore).
+        self.checkpoints_saved = 0
+        self.checkpoints_restored = 0
+        self.checkpoint_fallbacks = 0
+        self.checkpoint_bytes_saved = 0
+        self.checkpoint_save_time_s = 0.0
+        self.checkpoint_restore_time_s = 0.0
         if isinstance(machine, str):
             machine = machine_lookup(machine)
         self.machine: Optional[MachineModel] = machine
@@ -225,6 +237,8 @@ class Runtime:
         best: Locality | None = None
         best_hint = float("inf")
         for loc in self.localities:
+            if loc.locality_id in self.decommissioned:
+                continue
             pool = loc.pool
             if pool.pending():
                 hint = pool.next_start_hint()
@@ -304,7 +318,11 @@ class Runtime:
         """
 
         def quiescent() -> bool:
-            return all(not loc.pool.pending() for loc in self.localities)
+            return all(
+                not loc.pool.pending()
+                for loc in self.localities
+                if loc.locality_id not in self.decommissioned
+            )
 
         if not quiescent():
             self.progress_until(quiescent)
@@ -465,13 +483,22 @@ class Runtime:
     def _route_parcel(self, parcel: Parcel, arrival_time: float) -> None:
         """Decode a parcel and spawn its handler on the destination pool."""
         destination = self._destination_of(parcel)
+        if destination in self.decommissioned:
+            self.parcelport.report_loss(
+                parcel,
+                f"locality {destination} decommissioned",
+                destination=destination,
+            )
+            return
         if self.fault_injector is not None and self.fault_injector.locality_down(
             destination, arrival_time
         ):
             # The destination node is inside an outage window when the
             # parcel lands: it is lost (and retried, if policy allows).
             self.parcelport.report_loss(
-                parcel, f"locality {destination} down at t={arrival_time:.3g}"
+                parcel,
+                f"locality {destination} down at t={arrival_time:.3g}",
+                destination=destination,
             )
             return
         dest_pool = self.localities[destination].pool
@@ -544,6 +571,46 @@ class Runtime:
             return 0
         return len(self.fault_injector.locality_failures)
 
+    # Permanent-crash recovery ----------------------------------------------------
+    def decommission_locality(self, locality_id: int) -> int:
+        """Declare a locality permanently dead; returns tasks discarded.
+
+        The node's queued-but-unstarted work is dropped (each task's
+        promise broken), future parcels routed to it are reported lost,
+        and the progress engine stops considering it.  Its AGAS-homed
+        components stay resolvable so the caller can re-home them with
+        :meth:`~repro.runtime.agas.service.AgasService.evacuate`.
+        Locality 0 hosts the AGAS root and the main thread and cannot be
+        decommissioned (matching HPX, where console loss ends the job).
+        """
+        self.locality(locality_id)  # validate the id
+        if locality_id == 0:
+            raise RuntimeStateError(
+                "locality 0 hosts the AGAS root and the main thread; "
+                "it cannot be decommissioned"
+            )
+        dropped = self.localities[locality_id].pool.discard_pending()
+        self.decommissioned.add(locality_id)
+        return dropped
+
+    def forgive_lost_continuations(self) -> int:
+        """Exclude every currently-pending demanded future from this
+        run's quiescence check; returns how many were forgiven.
+
+        A checkpoint rollback abandons in-flight continuation chains by
+        design -- the recomputation happens on fresh chains.  The
+        abandoned dataflow/combinator targets can never fire, which the
+        silent-hang check would otherwise report at shutdown.  Call this
+        *after* discarding the old chains and *before* rebuilding.
+        """
+        if not hasattr(self, "_preexisting_demands"):
+            return 0
+        states = pending_demand_states()
+        self._preexisting_demands.update(id(state) for state, _ in states)
+        if instrument.probe is not None:
+            instrument.probe.forgiven(self)
+        return len(states)
+
     def _reship(self, parcel: Parcel, promise: Promise) -> None:
         parcel.send_time = self._send_time()
         parcel.reply_promise = promise  # type: ignore[attr-defined]
@@ -563,6 +630,10 @@ class Runtime:
         whose ready time includes the return-path network delay, so the
         future's virtual ready time is honest.
         """
+        if to_locality in self.decommissioned:
+            # The caller's node died while the action ran: the reply has
+            # nowhere to land (its promise was abandoned with the node).
+            return
         delay = 0.0
         if from_locality != to_locality and isinstance(self.parcelport, NetworkParcelport):
             size = len(serialize(value)) + 64 if self.config.get_bool(

@@ -110,6 +110,21 @@ class ThreadPool:
         """Queued tasks not yet started."""
         return len(self.scheduler)
 
+    def discard_pending(self) -> int:
+        """Drop every queued-but-unstarted task (crash decommissioning).
+
+        Models the work a dead node takes with it: each dropped task's
+        promise is broken, so anything still waiting on it observes
+        :class:`~repro.errors.BrokenPromiseError` instead of hanging.
+        Returns the number of tasks discarded.
+        """
+        dropped = self.scheduler.drain()
+        for task in dropped:
+            task.state = ThreadState.TERMINATED
+            if not task.promise.is_ready():
+                task.promise.break_promise()
+        return len(dropped)
+
     # Submission ------------------------------------------------------------------
     def submit(
         self,

@@ -63,6 +63,15 @@ class _PriorityDeques:
                 return queue.pop()
         return None
 
+    def drain(self) -> list[HpxThread]:
+        """Remove and return every queued task (crash decommissioning)."""
+        drained: list[HpxThread] = []
+        for priority in _PRIORITIES:
+            queue = self._deques[priority]
+            drained.extend(queue)
+            queue.clear()
+        return drained
+
     def __len__(self) -> int:
         return sum(len(q) for q in self._deques.values())
 
@@ -83,6 +92,10 @@ class Scheduler:
 
     def acquire(self, worker_id: int) -> Optional[HpxThread]:
         """Get a task for ``worker_id`` or None if it can find none."""
+        raise NotImplementedError
+
+    def drain(self) -> list[HpxThread]:
+        """Remove and return every queued task (crash decommissioning)."""
         raise NotImplementedError
 
     def __len__(self) -> int:
@@ -111,6 +124,9 @@ class FifoScheduler(Scheduler):
     def acquire(self, worker_id: int) -> Optional[HpxThread]:
         self._check_worker(worker_id)
         return self._queue.pop_front()
+
+    def drain(self) -> list[HpxThread]:
+        return self._queue.drain()
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -142,6 +158,12 @@ class StaticScheduler(Scheduler):
     def acquire(self, worker_id: int) -> Optional[HpxThread]:
         self._check_worker(worker_id)
         return self._queues[worker_id].pop_front()
+
+    def drain(self) -> list[HpxThread]:
+        drained: list[HpxThread] = []
+        for queue in self._queues:
+            drained.extend(queue.drain())
+        return drained
 
     def __len__(self) -> int:
         return sum(len(q) for q in self._queues)
@@ -188,6 +210,12 @@ class WorkStealingScheduler(Scheduler):
                 self.steals += 1
                 return task
         return None
+
+    def drain(self) -> list[HpxThread]:
+        drained: list[HpxThread] = []
+        for queue in self._queues:
+            drained.extend(queue.drain())
+        return drained
 
     def __len__(self) -> int:
         return sum(len(q) for q in self._queues)

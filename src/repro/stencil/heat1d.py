@@ -21,7 +21,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import DeadlockError, ParcelDeadLetterError, ValidationError
+from typing import Any
+
+from ..errors import ValidationError
 from ..runtime import context as ctx
 from ..runtime.agas.component import Component
 from ..runtime.algorithms import ExecutionPolicy, for_each, seq
@@ -29,6 +31,7 @@ from ..runtime.futures import Future, Promise, make_ready_future, when_all
 from ..runtime.lco.dataflow import dataflow
 from ..runtime.runtime import Runtime
 from .grid import Layout  # noqa: F401  (re-exported type alias)
+from .recovery import run_with_recovery
 
 __all__ = [
     "Heat1DParams",
@@ -301,6 +304,43 @@ class Heat1DPartition(Component):
         self.mark_read("u")
         return np.array(self.u, copy=True)
 
+    # Checkpoint protocol ------------------------------------------------------
+    def checkpoint_state(self) -> dict[str, Any]:
+        """Snapshot the field, step count and resendable edge history.
+
+        Taken at epoch quiescence, so the volatile chain state (halo
+        promises, dataflow tail) is reconstructible and deliberately
+        excluded.  The edge log rides along because a post-rollback
+        neighbour may need edges from *before* the epoch re-sent.
+        """
+        return {
+            "u": np.array(self.u, copy=True),
+            "steps_done": self.steps_done,
+            "edge_log": dict(self._edge_log),
+            "params": self.params,
+            "cost_per_step": self.cost_per_step,
+        }
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        """Roll back to a :meth:`checkpoint_state` snapshot, in place."""
+        self.u = np.array(state["u"], dtype=np.float64, copy=True)
+        self.params = state["params"]
+        self.cost_per_step = float(state["cost_per_step"])
+        self.steps_done = int(state["steps_done"])
+        self._edge_log = dict(state["edge_log"])
+        self.reset_chain()
+
+    def reset_chain(self) -> None:
+        """Abandon the live chain and halo-matching state (crash rollback).
+
+        Safe only at a global stall: the progress engine has proven no
+        queued task references the old promises, so the next
+        ``ensure_chain`` starts a fresh timeline from ``steps_done``.
+        """
+        self._halos = {}
+        self._chain_until = None
+        self.final_future = make_ready_future(self.steps_done)
+
     def _require_runtime(self) -> Runtime:
         if self._runtime is None or self._left_gid is None or self._right_gid is None:
             raise ValidationError("partition is not connected; call connect() first")
@@ -373,19 +413,22 @@ class DistributedHeat1D:
             when_all([part.final_future for part in self._parts]).get()
         return self.solution()
 
-    def run_resilient(self, steps: int, max_recovery_rounds: int = 3) -> np.ndarray:
+    def run_resilient(
+        self,
+        steps: int,
+        max_recovery_rounds: int = 3,
+        checkpoint_every: int | None = None,
+    ) -> np.ndarray:
         """Run ``steps`` steps, surviving parcel loss and locality outages.
 
-        The transparent retry layer already bridges transient faults;
-        this driver additionally recovers from *dead-lettered* work (a
-        halo or chain-build parcel abandoned after exhausting retries,
-        e.g. because its destination stayed down past the backoff
-        budget).  Each recovery round drains the dead-letter queue,
-        re-invokes ``start_chain`` for the remaining steps of every
-        unfinished partition (idempotent when the chain is alive), and
-        asks the neighbours of each stuck partition to re-send the halo
-        values it is waiting on.  After ``max_recovery_rounds`` fruitless
-        rounds the dead-letter error propagates.
+        The transparent retry layer already bridges transient faults; on
+        top of it, :func:`~repro.stencil.recovery.run_with_recovery`
+        re-drives dead-lettered work (recovery rounds) and -- when a
+        locality is confirmed permanently dead -- decommissions it,
+        re-homes its partitions onto the survivors, and restarts from the
+        last coordinated checkpoint epoch (``checkpoint_every`` steps
+        apart; default from the ``checkpoint.interval`` config knob).
+        The result is bit-identical to a fault-free :meth:`run`.
         """
         if not self._parts:
             raise ValidationError("call initialize() before run()")
@@ -393,41 +436,22 @@ class DistributedHeat1D:
             raise ValidationError("steps must be non-negative")
         if steps == 0:
             return self.solution()
-        target = self._parts[0].steps_done + steps
+        run_with_recovery(
+            self.runtime,
+            self._parts,
+            self._gids,
+            steps,
+            self._resend_stuck,
+            max_recovery_rounds=max_recovery_rounds,
+            checkpoint_every=checkpoint_every,
+        )
+        return self.solution()
+
+    def _resend_stuck(self, p: int, stuck_at: int) -> None:
+        """Ask partition ``p``'s ring neighbours to re-send its halos."""
         n = self.n_partitions
-        fruitless = 0
-        while True:
-            progress = [part.steps_done for part in self._parts]
-            try:
-                chains = [
-                    self.runtime.invoke_async(gid, "ensure_chain", target)
-                    for p, gid in enumerate(self._gids)
-                    if self._parts[p].steps_done < target
-                ]
-                when_all(chains).get()
-                when_all([part.final_future for part in self._parts]).get()
-                return self.solution()
-            except (ParcelDeadLetterError, DeadlockError):
-                # A DeadlockError here is a lost halo whose dead-letter
-                # record was consumed by an earlier round (the partition
-                # advanced *into* the gap after the queue was drained);
-                # it is recoverable the same way.
-                if [part.steps_done for part in self._parts] == progress:
-                    fruitless += 1
-                    if fruitless > max_recovery_rounds:
-                        raise
-                else:
-                    fruitless = 0
-                # The abandoned parcels are being re-driven; consume them.
-                self.runtime.parcelport.dead_letters.clear()
-                for p, part in enumerate(self._parts):
-                    stuck_at = part.steps_done
-                    if stuck_at >= target:
-                        continue
-                    # Whichever neighbour already produced the halos this
-                    # partition waits on re-sends them (idempotent).
-                    self._parts[(p - 1) % n].resend_boundaries(stuck_at)
-                    self._parts[(p + 1) % n].resend_boundaries(stuck_at)
+        self._parts[(p - 1) % n].resend_boundaries(stuck_at)
+        self._parts[(p + 1) % n].resend_boundaries(stuck_at)
 
     def solution(self) -> np.ndarray:
         """Gather the global field (driver-side, for verification)."""

@@ -15,6 +15,8 @@ arrived -- no global barrier, latency hides under compute exactly as in
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 from ..errors import ValidationError
@@ -23,6 +25,7 @@ from ..runtime.agas.component import Component
 from ..runtime.futures import Future, Promise, make_ready_future, when_all
 from ..runtime.lco.dataflow import dataflow
 from ..runtime.runtime import Runtime
+from .recovery import run_with_recovery
 
 __all__ = ["Jacobi2DPartition", "DistributedJacobi2D"]
 
@@ -44,10 +47,16 @@ class Jacobi2DPartition(Component):
         self.u = np.array(data, copy=True)
         self.cost_per_step = float(cost_per_step)
         self._halos: dict[tuple[int, str], Promise] = {}
+        #: Edge rows as sent per step, for fault recovery: a neighbour
+        #: that lost a halo parcel can ask for them again.
+        self._edge_log: dict[int, tuple[np.ndarray, np.ndarray]] = {}
         self._runtime: Runtime | None = None
         self._up_gid = None  # neighbour owning the rows above (or None)
         self._down_gid = None
         self.steps_done = 0
+        self._chain_until: int | None = None
+        #: Completion future of the most recently built chain.
+        self.final_future: Future = make_ready_future(0)
 
     # Wiring --------------------------------------------------------------------
     def connect(self, runtime: Runtime, up_gid, down_gid) -> None:
@@ -76,20 +85,46 @@ class Jacobi2DPartition(Component):
 
     # Remote surface ----------------------------------------------------------------
     def deposit_halo_row(self, step: int, side: str, row: np.ndarray) -> None:
-        """A neighbour's edge row arriving (component action)."""
+        """A neighbour's edge row arriving (component action).
+
+        Idempotent: redelivery (a duplicated parcel, or a recovery
+        resend) of an already-deposited row is ignored -- the stencil is
+        deterministic, so the values are necessarily identical.
+        """
         if side not in ("up", "down"):
             raise ValidationError(f"halo side must be up/down, got {side!r}")
-        self._halo_promise(step, side).set_value(np.asarray(row, dtype=np.float64))
+        promise = self._halo_promise(step, side)
+        if not promise.is_ready():
+            promise.set_value(np.asarray(row, dtype=np.float64))
 
     def send_edges(self, step: int) -> None:
         """Ship current edge rows to the neighbours that exist."""
         runtime = self._require_runtime()
         self.mark_read("u")
+        top, bottom = np.array(self.u[1], copy=True), np.array(self.u[-2], copy=True)
+        self._edge_log[step] = (top, bottom)
         if self._up_gid is not None:
             # My top interior row is the *down* halo of the block above.
-            runtime.invoke_apply(self._up_gid, "deposit_halo_row", step, "down", self.u[1])
+            runtime.invoke_apply(self._up_gid, "deposit_halo_row", step, "down", top)
         if self._down_gid is not None:
-            runtime.invoke_apply(self._down_gid, "deposit_halo_row", step, "up", self.u[-2])
+            runtime.invoke_apply(self._down_gid, "deposit_halo_row", step, "up", bottom)
+
+    def resend_edges(self, step: int) -> bool:
+        """Re-ship the logged edge rows of ``step`` (fault recovery).
+
+        Returns False when this partition has not produced the rows for
+        ``step`` yet -- its own chain will send them in due course.
+        """
+        logged = self._edge_log.get(step)
+        if logged is None:
+            return False
+        runtime = self._require_runtime()
+        top, bottom = logged
+        if self._up_gid is not None:
+            runtime.invoke_apply(self._up_gid, "deposit_halo_row", step, "down", top)
+        if self._down_gid is not None:
+            runtime.invoke_apply(self._down_gid, "deposit_halo_row", step, "up", bottom)
+        return True
 
     def advance(self, t: int, up_row, down_row) -> int:
         """Apply step ``t`` given the halo rows; send edges for ``t+1``."""
@@ -110,21 +145,44 @@ class Jacobi2DPartition(Component):
         if self.cost_per_step:
             ctx.add_cost(self.cost_per_step)
         self.steps_done += 1
+        # Drop the consumed promises so memory stays bounded over long runs,
+        # and keep only a bounded window of resendable edge history.
         self._halos.pop((t, "up"), None)
         self._halos.pop((t, "down"), None)
+        self._edge_log.pop(t - 64, None)
         self.send_edges(self.steps_done)
         return self.steps_done
 
     def start_chain(self, steps: int) -> None:
         """Build the futurized per-partition time loop (on home locality)."""
+        self.ensure_chain(self.steps_done + steps)
+
+    def ensure_chain(self, target: int) -> None:
+        """Build or extend the chain up to *absolute* step ``target``.
+
+        Idempotent and race-free under recovery: the target is absolute,
+        so a re-invocation that arrives after the partition has advanced
+        extends the live chain exactly to ``target`` instead of
+        overshooting.  A chain already built to ``target`` or beyond is
+        left alone.
+        """
         self._require_runtime()
-        start = self.steps_done
-        if start == 0:
-            self.send_edges(0)
-        # Resuming: the previous chain's last advance already sent the
-        # edges for step ``start``.
-        prev: Future = make_ready_future(start)
-        for t in range(start, start + steps):
+        if self._chain_until is not None and self._chain_until >= target:
+            return
+        if self._chain_until is None:
+            # Fresh chain (or resuming after a completed one): the last
+            # advance of the previous chain already sent the edges for
+            # step ``steps_done``; step 0 must seed them itself.
+            built = self.steps_done
+            if built == 0:
+                self.send_edges(0)
+            prev: Future = make_ready_future(built)
+        else:
+            # Live chain ending below target: append to its tail.
+            built = self._chain_until
+            prev = self.final_future
+        self._chain_until = target
+        for t in range(built, target):
             prev = dataflow(
                 lambda up, down, _done, t=t: self.advance(t, up, down),
                 self.halo_future(t, "up"),
@@ -146,6 +204,47 @@ class Jacobi2DPartition(Component):
         )
         diff = sweep - self.u[1:-1, 1:-1]
         return float(np.sum(diff * diff))
+
+    # Checkpoint protocol ------------------------------------------------------
+    def checkpoint_state(self) -> dict[str, Any]:
+        """Snapshot the block, step count and resendable edge history.
+
+        Taken at epoch quiescence, so the volatile chain state (halo
+        promises, dataflow tail) is reconstructible and deliberately
+        excluded.  The edge log rides along because a post-rollback
+        neighbour may need rows from *before* the epoch re-sent.
+        """
+        return {
+            "u": np.array(self.u, copy=True),
+            "steps_done": self.steps_done,
+            "edge_log": {
+                step: (np.array(top, copy=True), np.array(bottom, copy=True))
+                for step, (top, bottom) in self._edge_log.items()
+            },
+            "cost_per_step": self.cost_per_step,
+        }
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        """Roll back to a :meth:`checkpoint_state` snapshot, in place."""
+        self.u = np.array(state["u"], dtype=np.float64, copy=True)
+        self.cost_per_step = float(state["cost_per_step"])
+        self.steps_done = int(state["steps_done"])
+        self._edge_log = {
+            step: (np.asarray(top, dtype=np.float64), np.asarray(bottom, dtype=np.float64))
+            for step, (top, bottom) in state["edge_log"].items()
+        }
+        self.reset_chain()
+
+    def reset_chain(self) -> None:
+        """Abandon the live chain and halo-matching state (crash rollback).
+
+        Safe only at a global stall: the progress engine has proven no
+        queued task references the old promises, so the next
+        ``ensure_chain`` starts a fresh timeline from ``steps_done``.
+        """
+        self._halos = {}
+        self._chain_until = None
+        self.final_future = make_ready_future(self.steps_done)
 
     def _require_runtime(self) -> Runtime:
         if self._runtime is None:
@@ -220,6 +319,49 @@ class DistributedJacobi2D:
             when_all(chains).get()
             when_all([part.final_future for part in self._parts]).get()
         return self.solution()
+
+    def run_resilient(
+        self,
+        steps: int,
+        max_recovery_rounds: int = 3,
+        checkpoint_every: int | None = None,
+    ) -> np.ndarray:
+        """Run ``steps`` steps, surviving parcel loss and locality outages.
+
+        Same contract as :meth:`DistributedHeat1D.run_resilient` -- the
+        shared :func:`~repro.stencil.recovery.run_with_recovery` driver
+        handles dead-letter recovery rounds and, for permanent crashes,
+        checkpoint-restart with AGAS re-homing.  The result is
+        bit-identical to a fault-free :meth:`run`.
+        """
+        if not self._parts:
+            raise ValidationError("call initialize() before run()")
+        if steps < 0:
+            raise ValidationError("steps must be non-negative")
+        if steps == 0:
+            return self.solution()
+        run_with_recovery(
+            self.runtime,
+            self._parts,
+            self._gids,
+            steps,
+            self._resend_stuck,
+            max_recovery_rounds=max_recovery_rounds,
+            checkpoint_every=checkpoint_every,
+        )
+        return self.solution()
+
+    def _resend_stuck(self, p: int, stuck_at: int) -> None:
+        """Ask partition ``p``'s existing neighbours to re-send its rows.
+
+        Unlike heat1d's periodic ring, the row blocks have edges: only
+        in-range neighbours exist (the missing side is the constant
+        Dirichlet boundary, never shipped).
+        """
+        if p > 0:
+            self._parts[p - 1].resend_edges(stuck_at)
+        if p < self.n_partitions - 1:
+            self._parts[p + 1].resend_edges(stuck_at)
 
     def solution(self) -> np.ndarray:
         """Assemble the global field (incl. Dirichlet boundary rows)."""

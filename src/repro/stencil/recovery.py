@@ -1,0 +1,186 @@
+"""Shared crash-recovery driver for the distributed stencils.
+
+Both distributed stencils -- heat1d's periodic ring and jacobi2d's row
+blocks -- drive their ``run_resilient`` through
+:func:`run_with_recovery`, which layers two recovery mechanisms over the
+parcel retry machinery:
+
+* **Dead-letter rounds** (transient faults): when the job stalls on
+  dead-lettered work, drain the queue, re-invoke ``ensure_chain`` for
+  every unfinished partition (idempotent on a live chain), and ask the
+  neighbours of each stuck partition to re-send the halo values it waits
+  on.  This is the recovery loop that previously lived in
+  ``DistributedHeat1D.run_resilient``.
+* **Checkpoint restart** (permanent crashes): partitions are snapshotted
+  as coordinated epochs every ``checkpoint_every`` steps (the epoch
+  barrier is the blocking ``when_all`` over the partitions' step
+  futures: when it fires, no other work is runnable anywhere).  When a
+  stall escalates to a *confirmed-dead* locality -- the parcelport
+  suspected it after exhausting every retransmission, and the fault
+  schedule says the outage is permanent -- the driver decommissions the
+  node, re-homes its components onto the survivors
+  (:meth:`~repro.runtime.agas.service.AgasService.evacuate`), restores
+  every partition from the newest intact epoch, and re-drives the
+  chains.  Because the stencils are deterministic, recomputation from
+  the epoch produces bit-identical results, and redelivered halos from
+  either timeline are idempotent.
+
+The rollback is race-free by construction: recovery only runs when the
+progress engine has proven that *no* runnable work exists anywhere, so
+no queued task can touch the partitions' abandoned promises after
+``restore_state`` resets them.
+
+Partition contract (duck-typed; both stencil partitions satisfy it):
+``steps_done``, an ``ensure_chain(absolute_target)`` component action,
+``final_future``, and ``checkpoint_state()`` / ``restore_state()``
+where restore also resets the live chain to a quiesced baseline.
+``resend_stuck(p, step)`` is the stencil-specific callback asking
+partition ``p``'s neighbours to re-send the halos of ``step``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from ..errors import DeadlockError, ParcelDeadLetterError
+from ..resilience.checkpoint import CheckpointStore
+from ..runtime.futures import when_all
+from ..runtime.runtime import Runtime
+
+__all__ = ["run_with_recovery"]
+
+#: ``resend_stuck(partition_index, stuck_step)`` callback signature.
+ResendStuck = Callable[[int, int], None]
+
+
+def _epoch_boundaries(start: int, target: int, every: int) -> list[int]:
+    """Steps at which to quiesce: multiples of ``every``, then ``target``."""
+    if every <= 0:
+        return [target]
+    bounds = list(range(start + every, target, every))
+    bounds.append(target)
+    return bounds
+
+
+def _confirmed_dead(runtime: Runtime) -> list[int]:
+    """Suspected localities whose outage the fault schedule confirms as
+    permanent (and that are not already decommissioned)."""
+    injector = runtime.fault_injector
+    if injector is None:
+        return []
+    now = runtime.makespan
+    return sorted(
+        loc
+        for loc in runtime.parcelport.suspected_dead
+        if loc not in runtime.decommissioned and injector.permanently_down(loc, now)
+    )
+
+
+def _recover_from_crash(
+    runtime: Runtime, parts: Sequence[Any], dead: list[int], store: CheckpointStore
+) -> None:
+    """Decommission the dead nodes, re-home, roll back to a checkpoint."""
+    for loc in dead:
+        runtime.decommission_locality(loc)
+    survivors = [
+        loc.locality_id
+        for loc in runtime.localities
+        if loc.locality_id not in runtime.decommissioned
+    ]
+    for loc in dead:
+        runtime.agas.evacuate(loc, survivors)
+    # Roll every partition back to one coordinated epoch (restore_state
+    # also resets its live chain), then forgive the continuation chains
+    # the rollback abandoned so the quiescence check stays meaningful.
+    store.restore_latest_valid(parts)
+    runtime.forgive_lost_continuations()
+
+
+def _advance_to(
+    runtime: Runtime,
+    parts: Sequence[Any],
+    gids: Sequence[Any],
+    boundary: int,
+    resend_stuck: ResendStuck,
+    store: CheckpointStore | None,
+    max_recovery_rounds: int,
+) -> None:
+    """Drive every partition to absolute step ``boundary``, recovering."""
+    port = runtime.parcelport
+    fruitless = 0
+    while True:
+        progress = [part.steps_done for part in parts]
+        try:
+            chains = [
+                runtime.invoke_async(gid, "ensure_chain", boundary)
+                for p, gid in enumerate(gids)
+                if parts[p].steps_done < boundary
+            ]
+            when_all(chains).get()
+            when_all([part.final_future for part in parts]).get()
+            return
+        except (ParcelDeadLetterError, DeadlockError):
+            # A DeadlockError here is a lost halo whose dead-letter
+            # record was consumed by an earlier round (the partition
+            # advanced *into* the gap after the queue was drained); it
+            # is recoverable the same way.
+            dead = _confirmed_dead(runtime)
+            if dead:
+                if store is None:
+                    raise
+                _recover_from_crash(runtime, parts, dead, store)
+                fruitless = 0
+            elif [part.steps_done for part in parts] == progress:
+                fruitless += 1
+                if fruitless > max_recovery_rounds:
+                    raise
+            else:
+                fruitless = 0
+            # The abandoned parcels are being re-driven; consume them.
+            port.dead_letters.clear()
+            port.suspected_dead.clear()
+            for p, part in enumerate(parts):
+                stuck_at = part.steps_done
+                if stuck_at >= boundary:
+                    continue
+                # Whichever neighbour already produced the halos this
+                # partition waits on re-sends them (idempotent).
+                resend_stuck(p, stuck_at)
+
+
+def run_with_recovery(
+    runtime: Runtime,
+    parts: Sequence[Any],
+    gids: Sequence[Any],
+    steps: int,
+    resend_stuck: ResendStuck,
+    *,
+    max_recovery_rounds: int = 3,
+    checkpoint_every: int | None = None,
+) -> None:
+    """Advance all partitions ``steps`` steps, surviving faults.
+
+    ``checkpoint_every`` (epoch length in steps; default from
+    ``checkpoint.interval``, 0 to disable periodic epochs) controls the
+    coordinated-snapshot cadence.  An initial epoch is always taken when
+    checkpointing is active *or* the fault schedule contains a permanent
+    crash -- without a baseline, a crash before the first boundary would
+    be unrecoverable.  Checkpoint/restore time is charged through the
+    cost model (``checkpoint.cost_*`` knobs) and surfaces in the
+    ``/checkpoints{total}`` perfcounters.
+    """
+    if checkpoint_every is None:
+        checkpoint_every = runtime.config.get_int("checkpoint.interval")
+    start = parts[0].steps_done
+    target = start + steps
+    injector = runtime.fault_injector
+    store: CheckpointStore | None = None
+    if checkpoint_every > 0 or (injector is not None and injector.has_permanent_failures):
+        store = CheckpointStore(runtime=runtime)
+        store.save(start, parts)
+    for boundary in _epoch_boundaries(start, target, checkpoint_every):
+        _advance_to(
+            runtime, parts, gids, boundary, resend_stuck, store, max_recovery_rounds
+        )
+        if store is not None and checkpoint_every > 0 and boundary < target:
+            store.save(boundary, parts)

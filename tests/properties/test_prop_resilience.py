@@ -7,14 +7,17 @@ virtual time, never correctness.
 """
 
 import numpy as np
+import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.config import Config
 from repro.resilience import FaultInjector
 from repro.runtime.runtime import Runtime
 from repro.stencil.heat1d import DistributedHeat1D, Heat1DParams, heat1d_reference
 
 NX = 32
 U0 = np.cos(np.linspace(0.0, 2.0 * np.pi, NX, endpoint=False))
+SCHEDULERS = ("work-stealing", "static", "fifo")
 
 
 def _faulty_solution(seed, drop_rate, steps):
@@ -49,3 +52,45 @@ def test_same_seed_same_solution_and_no_dead_letters(seed, drop_rate):
     a = _faulty_solution(seed, drop_rate, steps=10)
     b = _faulty_solution(seed, drop_rate, steps=10)
     assert np.array_equal(a, b)
+
+
+# Permanent crashes + checkpoint restart --------------------------------------
+
+
+def _resilient_solution(scheduler, crash_locality, crash_time, steps, every):
+    """Heat solver on 4 localities with one permanent mid-run crash."""
+    injector = None
+    if crash_locality is not None:
+        injector = FaultInjector(seed=11)
+        injector.fail_locality(crash_locality, at=crash_time, permanent=True)
+    with Runtime(
+        machine="xeon-e5-2660v3",
+        n_localities=4,
+        workers_per_locality=1,
+        config=Config(threads__scheduler=scheduler),
+        fault_injector=injector,
+    ) as rt:
+        solver = DistributedHeat1D(rt, NX, Heat1DParams(), cost_per_step=1e-3)
+        solver.initialize(U0)
+        if injector is None:
+            return solver.run(steps)
+        return solver.run_resilient(steps, checkpoint_every=every)
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+@settings(max_examples=8, deadline=None)
+@given(
+    crash_locality=st.integers(min_value=1, max_value=3),
+    crash_time=st.floats(min_value=1e-4, max_value=2e-2),
+    steps=st.integers(min_value=4, max_value=16),
+    every=st.integers(min_value=0, max_value=8),
+)
+def test_permanent_crash_restart_is_bit_identical(
+    scheduler, crash_locality, crash_time, steps, every
+):
+    """For any crash site/time, epoch length and scheduler, checkpoint
+    restart reproduces the fault-free solution bit for bit."""
+    clean = _resilient_solution(scheduler, None, 0.0, steps, every)
+    crashed = _resilient_solution(scheduler, crash_locality, crash_time, steps, every)
+    assert np.array_equal(crashed, clean)
+    assert np.array_equal(clean, heat1d_reference(U0, steps, Heat1DParams()))
