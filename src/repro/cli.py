@@ -23,6 +23,13 @@ Commands mirror the evaluation workflow:
                                      distributed demo under the dynamic
                                      detectors, ``--lint`` the static
                                      pass (default: all three)
+* ``bench``                       -- the perf-regression suite: real
+                                     wall-clock cost of the runtime's hot
+                                     paths plus the virtual-time results
+                                     they produce, written as
+                                     schema-versioned JSON; ``--baseline``
+                                     diffs against a committed artifact
+                                     (see ``docs/performance.md``)
 * ``run``                         -- run a distributed stencil end-to-end,
                                      optionally under a seeded fault
                                      schedule (``--crash LOC@T``,
@@ -187,6 +194,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("work-stealing", "static", "fifo"),
         help="scheduler policy for the demo run",
     )
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="perf-regression suite: wall-clock hot-path benchmarks with "
+        "virtual-time determinism checks (see repro bench --help)",
+        add_help=False,
+    )
+    p_bench.add_argument("bench_args", nargs=argparse.REMAINDER)
 
     p_run = sub.add_parser(
         "run",
@@ -557,6 +572,14 @@ def _cmd_counters_sampled(
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv[:1] == ["bench"]:
+        # Dispatched before the main parse: argparse's REMAINDER cannot
+        # carry leading options through a subparser, and bench owns its
+        # own argument set (see repro.bench.main / repro bench --help).
+        from . import bench
+
+        return bench.main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.command == "machines":
         print(_cmd_machines())
@@ -587,6 +610,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(_cmd_trace(args.nodes, args.steps, args.export, args.metrics))
     elif args.command == "analyze":
         return _cmd_analyze(args)
+    elif args.command == "bench":
+        from . import bench
+
+        return bench.main(args.bench_args)
     elif args.command == "run":
         return _cmd_run(args)
     else:  # pragma: no cover - argparse guards

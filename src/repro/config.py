@@ -27,6 +27,7 @@ _DEFAULTS: dict[str, Any] = {
     "agas.migration": True,
     # Parcel subsystem.
     "parcel.serialize": True,  # serialize args even in-process (catches bugs)
+    "parcel.zero_copy": False,  # loopback fast path: encode (validate+charge) but skip decode
     "parcel.overlap": True,  # hide network latency under compute
     # Reliable delivery (consulted only when a FaultInjector is installed).
     "parcel.retry": True,  # retransmit lost parcels on ack-timeout

@@ -11,7 +11,6 @@ data flow.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
 from ..errors import RuntimeStateError
@@ -34,16 +33,31 @@ __all__ = [
 ]
 
 
-@dataclass
 class ExecutionContext:
-    """One frame of the execution-context stack."""
+    """One frame of the execution-context stack.
 
-    runtime: "Runtime | None" = None
-    locality: "Locality | None" = None
-    pool: "ThreadPool | None" = None
-    worker_id: int | None = None
-    task: "HpxThread | None" = None
-    extras: dict = field(default_factory=dict)
+    A frame is built for every task execution, so this is a slotted
+    plain class rather than a dataclass: no per-frame ``extras`` dict is
+    allocated up front (callers that need scratch space assign one).
+    """
+
+    __slots__ = ("runtime", "locality", "pool", "worker_id", "task", "extras")
+
+    def __init__(
+        self,
+        runtime: "Runtime | None" = None,
+        locality: "Locality | None" = None,
+        pool: "ThreadPool | None" = None,
+        worker_id: int | None = None,
+        task: "HpxThread | None" = None,
+        extras: dict | None = None,
+    ) -> None:
+        self.runtime = runtime
+        self.locality = locality
+        self.pool = pool
+        self.worker_id = worker_id
+        self.task = task
+        self.extras = extras
 
 
 _stack: list[ExecutionContext] = []

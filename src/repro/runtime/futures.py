@@ -40,6 +40,7 @@ from ..errors import (
 )
 from . import context as ctx
 from . import instrument
+from .context import _stack as _context_stack
 
 __all__ = [
     "Future",
@@ -65,6 +66,7 @@ class _SharedState:
         "ready_time",
         "callbacks",
         "broken",
+        "demanded",
         "__weakref__",
     )
 
@@ -75,6 +77,10 @@ class _SharedState:
         self.broken = False
         self.ready_time = 0.0
         self.callbacks: List[Callable[[Future], None]] = []
+        #: True once registered in the demanded-states registry; lets the
+        #: (hot) fulfilment path skip the WeakKeyDictionary removal for
+        #: the overwhelmingly common never-demanded state.
+        self.demanded = False
 
 
 #: States some continuation is counting on, with a human-readable label.
@@ -86,6 +92,7 @@ _demanded: "weakref.WeakKeyDictionary[_SharedState, str]" = weakref.WeakKeyDicti
 def demand(state: _SharedState, label: str) -> None:
     """Register ``state`` as *demanded*: code downstream expects it to
     become ready.  Fulfilment clears the registration automatically."""
+    state.demanded = True
     _demanded[state] = label
 
 
@@ -153,12 +160,11 @@ class Future:
                 raise FutureNotReadyError(
                     "future is not ready and no runnable work can make it so"
                 )
-        probe = instrument.probe
-        if probe is not None:
+        if instrument.enabled and (probe := instrument.probe) is not None:
             probe.state_read(state)
-        task = ctx.current_task()
-        if task is not None:
-            task.note_dependency(state.ready_time)
+        frame = _context_stack[-1] if _context_stack else None
+        if frame is not None and frame.task is not None:
+            frame.task.note_dependency(state.ready_time)
         if state.exception is not None:
             raise state.exception
         return state.value
@@ -168,12 +174,11 @@ class Future:
         state = self._state
         if not state.ready:
             raise FutureNotReadyError("future is not ready")
-        probe = instrument.probe
-        if probe is not None:
+        if instrument.enabled and (probe := instrument.probe) is not None:
             probe.state_read(state)
-        task = ctx.current_task()
-        if task is not None:
-            task.note_dependency(state.ready_time)
+        frame = _context_stack[-1] if _context_stack else None
+        if frame is not None and frame.task is not None:
+            frame.task.note_dependency(state.ready_time)
         if state.exception is not None:
             raise state.exception
         return state.value
@@ -317,17 +322,25 @@ class Promise:
     def _fulfil(self) -> None:
         state = self._state
         state.ready = True
-        frame = ctx.current_or_none()
+        # Inlined ``frame.pool.now`` (which would re-fetch the frame):
+        # fulfilment is one of the hottest sites in the runtime.
+        frame = _context_stack[-1] if _context_stack else None
         if frame is not None and frame.pool is not None:
-            state.ready_time = frame.pool.now
-        _demanded.pop(state, None)
-        probe = instrument.probe
-        if probe is not None:
+            task = frame.task
+            state.ready_time = (
+                task.current_virtual_time() if task is not None else frame.pool.makespan
+            )
+        if state.demanded:
+            state.demanded = False
+            _demanded.pop(state, None)
+        if instrument.enabled and (probe := instrument.probe) is not None:
             probe.state_fulfilled(state)
-        callbacks, state.callbacks = state.callbacks, []
-        future = Future(state)
-        for callback in callbacks:
-            callback(future)
+        callbacks = state.callbacks
+        if callbacks:
+            state.callbacks = []
+            future = Future(state)
+            for callback in callbacks:
+                callback(future)
 
     def set_value(self, value: Any = None) -> None:
         """Store the value and wake all continuations."""
@@ -387,8 +400,8 @@ def when_all(futures: Iterable[Future], timeout: float | None = None) -> Future:
     """
     futs: Sequence[Future] = list(futures)
     promise = Promise()
-    counter: Dict[str, Any] = {"n": len(futs), "done": False}
-    if counter["n"] == 0:
+    remaining = len(futs)
+    if remaining == 0:
         promise.set_value([])
         return promise.get_future()
     demand(promise._state, f"when_all({len(futs)})")
@@ -397,43 +410,43 @@ def when_all(futures: Iterable[Future], timeout: float | None = None) -> Future:
         probe.state_linked(
             [f._state for f in futs], promise._state, f"when_all({len(futs)})"
         )
+    done = False
 
     def one_ready(fut: Future) -> None:
         # Each input's release clock joins the result, so a reader of the
         # when_all future is ordered after *every* producer, not just the
         # one that happened to complete last.
-        probe = instrument.probe
-        if probe is not None:
+        nonlocal remaining, done
+        if instrument.enabled and (probe := instrument.probe) is not None:
             probe.state_read(fut._state)
             probe.state_contribute(promise._state)
-        counter["n"] -= 1
-        if counter["n"] == 0 and not counter["done"]:
-            counter["done"] = True
+        remaining -= 1
+        if remaining == 0 and not done:
+            done = True
             promise.set_value(list(futs))
 
     for fut in futs:
         fut._on_ready(one_ready)
     if timeout is not None and not promise.is_ready():
-        _arm_timer(
-            promise,
-            counter,
-            timeout,
-            lambda: FutureTimeoutError(
-                f"when_all: {counter['n']} of {len(futs)} future(s) still "
-                f"pending after {timeout!r} virtual seconds"
-            ),
-        )
+
+        def expire() -> None:
+            nonlocal done
+            if not done:
+                done = True
+                promise.set_exception(
+                    FutureTimeoutError(
+                        f"when_all: {remaining} of {len(futs)} future(s) still "
+                        f"pending after {timeout!r} virtual seconds"
+                    )
+                )
+
+        _arm_timer(expire, timeout)
     return promise.get_future()
 
 
-def _arm_timer(
-    promise: Promise,
-    counter: Dict[str, Any],
-    timeout: float,
-    make_exc: Callable[[], BaseException],
-) -> None:
-    """Schedule a virtual-time timer that fails ``promise`` at the deadline
-    unless ``counter['done']`` flipped first."""
+def _arm_timer(fire: Callable[[], None], timeout: float) -> None:
+    """Schedule ``fire`` as a virtual-time timer task at ``now + timeout``
+    (it must itself check whether the guarded wait already completed)."""
     if timeout < 0:
         raise FutureError(f"timeout must be non-negative, got {timeout!r}")
     frame = ctx.current_or_none()
@@ -442,12 +455,6 @@ def _arm_timer(
             "a timeout needs an active thread pool to host the virtual timer"
         )
     pool = frame.pool
-
-    def fire() -> None:
-        if not counter["done"]:
-            counter["done"] = True
-            promise.set_exception(make_exc())
-
     # LOW priority: work completing exactly at the deadline is popped
     # before the timer, so fire-at-deadline counts as ready.
     from .threads.hpx_thread import ThreadPriority

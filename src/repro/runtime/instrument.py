@@ -136,6 +136,13 @@ class Probe:
 #: ``is not None`` and invoke the event method.
 probe: Probe | None = None
 
+#: Mirror of ``probe is not None``, kept in sync by :func:`_refresh`.
+#: Hot event sites read this one module-level boolean and fetch
+#: :data:`probe` only when it is True, so a disabled run pays a single
+#: attribute load and truthiness test per event -- no None comparison,
+#: no argument construction.
+enabled: bool = False
+
 _installed: list[Probe] = []
 
 
@@ -158,13 +165,14 @@ class _Fanout(Probe):
 
 
 def _refresh() -> None:
-    global probe
+    global probe, enabled
     if not _installed:
         probe = None
     elif len(_installed) == 1:
         probe = _installed[0]
     else:
         probe = _Fanout(list(_installed))
+    enabled = probe is not None
 
 
 def install(p: Probe) -> None:

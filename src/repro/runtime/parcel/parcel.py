@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from ...errors import ParcelError
@@ -14,7 +13,6 @@ __all__ = ["Parcel"]
 _ids = itertools.count(1)
 
 
-@dataclass
 class Parcel:
     """Work shipped to data.
 
@@ -23,30 +21,82 @@ class Parcel:
     ``payload`` holds the *serialized* ``(action, args, kwargs)`` tuple;
     the destination deserializes it -- see
     :mod:`repro.runtime.parcel.serialization`.
+
+    A parcel is a hot-path object (one per action invocation), so it is
+    a plain ``__slots__`` class: every transport-layer annex the runtime
+    or parcelport may attach (``reply_promise``, ``by_ref_body``,
+    ``fire_and_forget``, ``unreachable_destination``) is a declared slot
+    with a cheap default instead of a dynamic attribute, and the wire
+    size is computed exactly once at construction -- the payload bytes
+    are immutable for the parcel's lifetime, retransmissions included.
     """
 
-    source_locality: int
-    payload: bytes
-    target_gid: Optional[Gid] = None
-    target_locality: Optional[int] = None
-    #: Virtual send time at the source.
-    send_time: float = 0.0
-    parcel_id: int = field(default_factory=lambda: next(_ids))
-    #: Transmissions so far (maintained by the parcelport; retries of a
-    #: lost parcel re-send the same object with a bumped count).
-    attempts: int = 0
+    __slots__ = (
+        "source_locality",
+        "payload",
+        "target_gid",
+        "target_locality",
+        "send_time",
+        "parcel_id",
+        "attempts",
+        "size_bytes",
+        "reply_promise",
+        "by_ref_body",
+        "fire_and_forget",
+        "unreachable_destination",
+    )
 
-    def __post_init__(self) -> None:
-        if (self.target_gid is None) == (self.target_locality is None):
+    def __init__(
+        self,
+        source_locality: int,
+        payload: bytes,
+        target_gid: Optional[Gid] = None,
+        target_locality: Optional[int] = None,
+        send_time: float = 0.0,
+        parcel_id: int | None = None,
+        attempts: int = 0,
+    ) -> None:
+        if (target_gid is None) == (target_locality is None):
             raise ParcelError(
                 "parcel needs exactly one of target_gid or target_locality"
             )
-        if self.source_locality < 0:
+        if source_locality < 0:
             raise ParcelError("negative source locality")
-        if not isinstance(self.payload, (bytes, bytearray)):
+        if not isinstance(payload, (bytes, bytearray)):
             raise ParcelError("payload must be serialized bytes")
+        self.source_locality = source_locality
+        self.payload = payload
+        self.target_gid = target_gid
+        self.target_locality = target_locality
+        #: Virtual send time at the source.
+        self.send_time = send_time
+        self.parcel_id = next(_ids) if parcel_id is None else parcel_id
+        #: Transmissions so far (maintained by the parcelport; retries of a
+        #: lost parcel re-send the same object with a bumped count).
+        self.attempts = attempts
+        #: Wire size (payload plus a modelled 64-byte header), encoded
+        #: once -- statistics and the transfer-time model reuse it on
+        #: every (re)transmission instead of re-measuring the bytes.
+        self.size_bytes = len(payload) + 64
+        #: Reply promise for two-way invocations (None for bare sends).
+        self.reply_promise: Any = None
+        #: Decoded body carried by reference (zero-copy fast path or the
+        #: ``parcel.serialize=False`` ablation); None means the receiver
+        #: must deserialize ``payload``.
+        self.by_ref_body: Any = None
+        #: One-way invocation (``invoke_apply``): no reply parcel.
+        self.fire_and_forget = False
+        #: Destination recorded by runtime-side loss reports, so repeated
+        #: unreachability can escalate into ``suspected_dead``.
+        self.unreachable_destination: Optional[int] = None
 
-    @property
-    def size_bytes(self) -> int:
-        """Wire size (payload plus a modelled 64-byte header)."""
-        return len(self.payload) + 64
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        target = (
+            f"gid={self.target_gid}"
+            if self.target_gid is not None
+            else f"locality={self.target_locality}"
+        )
+        return (
+            f"Parcel(#{self.parcel_id} {target} {self.size_bytes}B "
+            f"t={self.send_time:.3g} attempts={self.attempts})"
+        )

@@ -156,7 +156,9 @@ class Parcelport:
         self.parcels_sent += 1
         self.bytes_sent += parcel.size_bytes
         self.parcels_delivered += 1
-        self.latency_total_s += max(0.0, arrival - parcel.send_time)
+        latency = arrival - parcel.send_time
+        if latency > 0.0:
+            self.latency_total_s += latency
         if fate is not None and fate.kind == "delay":
             self.parcels_delayed += 1
         if fate is not None and fate.kind == "duplicate":
@@ -180,7 +182,7 @@ class Parcelport:
         destination into :attr:`suspected_dead`.
         """
         if destination is not None:
-            parcel.unreachable_destination = destination  # type: ignore[attr-defined]
+            parcel.unreachable_destination = destination
         self.parcels_dropped += 1
         self._handle_loss(parcel, reason)
 
@@ -198,14 +200,14 @@ class Parcelport:
             return
         self.parcels_dead_lettered += 1
         self.dead_letters.append((parcel, reason))
-        destination = getattr(parcel, "unreachable_destination", None)
+        destination = parcel.unreachable_destination
         if destination is not None:
             self.suspected_dead.add(destination)
         exc = ParcelDeadLetterError(
             f"parcel #{parcel.parcel_id} gave up after {parcel.attempts} "
             f"transmission(s): {reason}"
         )
-        promise = getattr(parcel, "reply_promise", None)
+        promise = parcel.reply_promise
         if promise is not None and not promise.is_ready():
             promise.set_exception(exc)
 

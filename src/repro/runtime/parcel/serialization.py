@@ -41,5 +41,12 @@ def deserialize(data: bytes) -> Any:
 
 
 def serialized_size(payload: Any) -> int:
-    """Wire size in bytes (drives the network transfer-time model)."""
+    """Wire size in bytes (drives the network transfer-time model).
+
+    Already-encoded payloads are measured directly -- callers that hold
+    the wire bytes (every parcelport path does) must not pay a second
+    pickle pass just to learn a length.
+    """
+    if isinstance(payload, (bytes, bytearray)):
+        return len(payload)
     return len(serialize(payload))

@@ -30,6 +30,7 @@ from ..errors import (
 from ..hardware.registry import MachineModel, machine as machine_lookup
 from . import context as ctx
 from . import instrument
+from .context import _stack as _context_stack
 from .futures import pending_demand_states
 from .actions import get_action
 from .agas.component import Component
@@ -51,6 +52,8 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..resilience.faults import FaultInjector
 
 __all__ = ["Runtime"]
+
+_INF = float("inf")
 
 
 class Runtime:
@@ -135,6 +138,13 @@ class Runtime:
         else:
             self.parcelport = LoopbackParcelport()
         self.parcelport.install_router(self._route_parcel)
+        # Hot-path config flags, resolved once: every parcel send consults
+        # these, and Config.get_bool is a dict lookup plus type check.
+        self._serialize_parcels = self.config.get_bool("parcel.serialize")
+        self._zero_copy = self.config.get_bool("parcel.zero_copy") and isinstance(
+            self.parcelport, LoopbackParcelport
+        )
+        self._network_port = isinstance(self.parcelport, NetworkParcelport)
         if fault_injector is not None:
             self.parcelport.fault_injector = fault_injector
             self.parcelport.retry_policy = self._retry_policy_from_config()
@@ -235,23 +245,27 @@ class Runtime:
         (outage-deferred) start hint; ``(None, inf)`` when nothing is
         queued anywhere."""
         best: Locality | None = None
-        best_hint = float("inf")
+        best_hint = _INF
+        injector = self.fault_injector
+        decommissioned = self.decommissioned
         for loc in self.localities:
-            if loc.locality_id in self.decommissioned:
+            if decommissioned and loc.locality_id in decommissioned:
                 continue
-            pool = loc.pool
-            if pool.pending():
-                hint = pool.next_start_hint()
-                if self.fault_injector is not None:
-                    hint = self.fault_injector.defer_until_up(loc.locality_id, hint)
-                if hint < best_hint:
-                    best_hint = hint
-                    best = loc
+            hint = loc.pool.next_start_hint()
+            if hint == _INF:
+                continue
+            if injector is not None:
+                hint = injector.defer_until_up(loc.locality_id, hint)
+            if hint < best_hint:
+                best_hint = hint
+                best = loc
         return best, best_hint
 
     def _step_locality(self, loc: Locality, hint: float) -> None:
         pool = loc.pool
-        if hint > pool.next_start_hint():
+        # Outage deferral can only push a hint past the pool's own value
+        # when an injector is installed; skip the re-derivation otherwise.
+        if self.fault_injector is not None and hint > pool.next_start_hint():
             # The node is rebooting after a scheduled outage: its cores
             # become available again at the end of the window.
             for worker in pool.workers:
@@ -379,13 +393,14 @@ class Runtime:
         """Invoke a component action where the component lives (parcel)."""
         self.agas.resolve(gid)  # validate the target exists up front
         payload, by_ref = self._encode((("__component__", method, gid), args, kwargs))
+        source, send_time = self._source_and_time()
         parcel = Parcel(
-            source_locality=self._source_locality(),
+            source_locality=source,
             payload=payload,
             target_gid=gid,
-            send_time=self._send_time(),
+            send_time=send_time,
         )
-        parcel.by_ref_body = by_ref  # type: ignore[attr-defined]
+        parcel.by_ref_body = by_ref
         return self._ship(parcel)
 
     def invoke(self, gid: Gid, method: str, *args: Any, **kwargs: Any) -> Any:
@@ -400,15 +415,16 @@ class Runtime:
         """
         self.agas.resolve(gid)  # validate the target exists up front
         payload, by_ref = self._encode((("__component__", method, gid), args, kwargs))
+        source, send_time = self._source_and_time()
         parcel = Parcel(
-            source_locality=self._source_locality(),
+            source_locality=source,
             payload=payload,
             target_gid=gid,
-            send_time=self._send_time(),
+            send_time=send_time,
         )
-        parcel.by_ref_body = by_ref  # type: ignore[attr-defined]
-        parcel.fire_and_forget = True  # type: ignore[attr-defined]
-        parcel.reply_promise = Promise()  # type: ignore[attr-defined]
+        parcel.by_ref_body = by_ref
+        parcel.fire_and_forget = True
+        parcel.reply_promise = Promise()
         self.parcelport.send(parcel)
 
     # Remote plain actions -------------------------------------------------------------
@@ -422,13 +438,14 @@ class Runtime:
         """
         self.locality(locality_id)  # validate
         payload, by_ref = self._encode((("__plain__", fn, None), args, kwargs))
+        source, send_time = self._source_and_time()
         parcel = Parcel(
-            source_locality=self._source_locality(),
+            source_locality=source,
             payload=payload,
             target_locality=locality_id,
-            send_time=self._send_time(),
+            send_time=send_time,
         )
-        parcel.by_ref_body = by_ref  # type: ignore[attr-defined]
+        parcel.by_ref_body = by_ref
         return self._ship(parcel)
 
     # Parcel plumbing ---------------------------------------------------------------
@@ -439,9 +456,17 @@ class Runtime:
         ``parcel.serialize`` disabled (an ablation: skip the encode/decode
         work while keeping transport semantics) the body is carried by
         reference and only a header-sized placeholder goes "on the wire".
+
+        With ``parcel.zero_copy`` enabled on a loopback (same-process)
+        port, the body is *also* encoded -- picklability is still
+        validated and the cost model still sees the honest byte count --
+        but it travels by reference too, so delivery skips the decode.
         """
-        if self.config.get_bool("parcel.serialize"):
-            return serialize(parcel_body), None
+        if self._serialize_parcels:
+            data = serialize(parcel_body)
+            if self._zero_copy:
+                return data, parcel_body
+            return data, None
         return b"\0" * 64, parcel_body
 
     def _source_locality(self) -> int:
@@ -451,10 +476,34 @@ class Runtime:
         return 0
 
     def _send_time(self) -> float:
+        frame = _context_stack[-1] if _context_stack else None
+        if frame is None or frame.pool is None:
+            return 0.0
+        task = frame.task
+        if task is not None:
+            return task.current_virtual_time()
+        return frame.pool.makespan
+
+    def _source_and_time(self) -> tuple[int, float]:
+        """``(_source_locality(), _send_time())`` with one context fetch.
+
+        Every parcel send needs both; resolving them from a single frame
+        lookup (and reading the task clock directly instead of through
+        ``pool.now``, which would re-fetch the frame) keeps the send
+        path lean.
+        """
         frame = ctx.current_or_none()
-        if frame is not None and frame.pool is not None:
-            return frame.pool.now
-        return 0.0
+        if frame is None:
+            return 0, 0.0
+        locality = frame.locality
+        source = locality.locality_id if locality is not None else 0
+        pool = frame.pool
+        if pool is None:
+            return source, 0.0
+        task = frame.task
+        if task is not None:
+            return source, task.current_virtual_time()
+        return source, pool.makespan
 
     def _destination_of(self, parcel: Parcel) -> int:
         if parcel.target_locality is not None:
@@ -466,7 +515,7 @@ class Runtime:
         """Attach a reply promise and hand the parcel to the port (which
         resolves the destination -- possibly re-resolving after migration)."""
         promise = Promise()
-        parcel.reply_promise = promise  # type: ignore[attr-defined]
+        parcel.reply_promise = promise
         self.parcelport.send(parcel)
         return promise.get_future()
 
@@ -502,8 +551,8 @@ class Runtime:
             )
             return
         dest_pool = self.localities[destination].pool
-        promise: Promise = parcel.reply_promise  # type: ignore[attr-defined]
-        by_ref = getattr(parcel, "by_ref_body", None)
+        promise: Promise = parcel.reply_promise
+        by_ref = parcel.by_ref_body
         head, args, kwargs = by_ref if by_ref is not None else deserialize(parcel.payload)
         kind = head[0]
 
@@ -517,7 +566,9 @@ class Runtime:
                         # forward the parcel to its new home (AGAS routing).
                         self._reship(parcel, promise)
                         return
-                    if self._duplicate_delivery(parcel):
+                    if self.fault_injector is not None and self._duplicate_delivery(
+                        parcel
+                    ):
                         return
                     self.agas.pin(gid)
                     try:
@@ -525,7 +576,9 @@ class Runtime:
                     finally:
                         self.agas.unpin(gid)
                 elif kind == "__plain__":
-                    if self._duplicate_delivery(parcel):
+                    if self.fault_injector is not None and self._duplicate_delivery(
+                        parcel
+                    ):
                         return
                     fn = head[1]
                     if isinstance(fn, str):
@@ -534,11 +587,11 @@ class Runtime:
                 else:  # pragma: no cover - defensive
                     raise ParcelError(f"unknown parcel kind {kind!r}")
             except BaseException as exc:  # noqa: BLE001 - forwarded
-                if getattr(parcel, "fire_and_forget", False):
+                if parcel.fire_and_forget:
                     raise  # surface in the destination pool's failure list
                 self._reply(promise, exc, destination, parcel.source_locality, is_error=True)
             else:
-                if not getattr(parcel, "fire_and_forget", False):
+                if not parcel.fire_and_forget:
                     self._reply(promise, result, destination, parcel.source_locality)
 
         dest_pool.submit(
@@ -613,7 +666,7 @@ class Runtime:
 
     def _reship(self, parcel: Parcel, promise: Promise) -> None:
         parcel.send_time = self._send_time()
-        parcel.reply_promise = promise  # type: ignore[attr-defined]
+        parcel.reply_promise = promise
         self.parcelport.send(parcel)
 
     def _reply(
@@ -635,10 +688,8 @@ class Runtime:
             # nowhere to land (its promise was abandoned with the node).
             return
         delay = 0.0
-        if from_locality != to_locality and isinstance(self.parcelport, NetworkParcelport):
-            size = len(serialize(value)) + 64 if self.config.get_bool(
-                "parcel.serialize"
-            ) else 64
+        if from_locality != to_locality and self._network_port:
+            size = len(serialize(value)) + 64 if self._serialize_parcels else 64
             delay = self.parcelport.interconnect.transfer_time(size, self.n_localities)
         send_time = self._send_time()
         source_pool = self.localities[to_locality].pool

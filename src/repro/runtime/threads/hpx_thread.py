@@ -21,6 +21,11 @@ __all__ = ["HpxThread", "ThreadState", "ThreadPriority"]
 
 _ids = itertools.count(1)
 
+#: Shared empty-kwargs sentinel: tasks only ever ``**``-unpack their
+#: kwargs, so the (overwhelmingly common) no-kwargs spawn can share one
+#: dict instead of allocating a fresh one per HPX-thread.
+_NO_KWARGS: dict = {}
+
 
 class ThreadState(enum.Enum):
     """Lifecycle of an HPX-thread (subset of HPX's state machine)."""
@@ -47,7 +52,7 @@ class HpxThread:
         "fn",
         "args",
         "kwargs",
-        "description",
+        "_description",
         "state",
         "priority",
         "ready_time",
@@ -73,17 +78,26 @@ class HpxThread:
         self.tid = next(_ids)
         self.fn = fn
         self.args = args
-        self.kwargs = kwargs or {}
-        self.description = description or getattr(fn, "__name__", "task")
+        self.kwargs = kwargs if kwargs else _NO_KWARGS
+        self._description = description
         self.state = ThreadState.PENDING
         self.priority = ThreadPriority.NORMAL if priority is None else ThreadPriority(priority)
-        self.ready_time = float(ready_time)
+        self.ready_time = ready_time if type(ready_time) is float else float(ready_time)
         self.start_time = 0.0
         self.finish_time = 0.0
         self.worker_id: int | None = None
         self._cost = 0.0
         self._deps_time = 0.0
         self._promise = Promise()
+
+    @property
+    def description(self) -> str:
+        """Human-readable label, defaulting to the body's ``__name__``.
+
+        Resolved lazily: only tracers, probes and error paths read it,
+        so the (hot) spawn path should not pay the ``getattr``.
+        """
+        return self._description or getattr(self.fn, "__name__", "task")
 
     # Result plumbing ----------------------------------------------------------
     def get_future(self) -> Future:
@@ -120,7 +134,9 @@ class HpxThread:
         ``max(start, latest dependency) + accrued cost`` -- used for the
         ready time of children it spawns and of promises it fulfils.
         """
-        return max(self.start_time, self._deps_time) + self._cost
+        start = self.start_time
+        deps = self._deps_time
+        return (start if start >= deps else deps) + self._cost
 
     def __repr__(self) -> str:  # pragma: no cover
         return (

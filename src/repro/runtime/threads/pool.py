@@ -22,12 +22,15 @@ from typing import Any, Callable, Optional
 
 from ...errors import DeadlockError, RuntimeStateError
 from .. import context as ctx
+from ..context import _stack as _context_stack
 from .. import instrument
 from ..futures import Future
 from .hpx_thread import HpxThread, ThreadPriority, ThreadState
 from .scheduler import Scheduler, WorkStealingScheduler, make_scheduler
 
 __all__ = ["ThreadPool"]
+
+_INF = float("inf")
 
 
 class _Worker:
@@ -90,7 +93,12 @@ class ThreadPool:
     @property
     def makespan(self) -> float:
         """Virtual time at which every worker is drained."""
-        return max(w.available_at for w in self.workers)
+        workers = self.workers
+        span = workers[0].available_at
+        for worker in workers:
+            if worker.available_at > span:
+                span = worker.available_at
+        return span
 
     @property
     def now(self) -> float:
@@ -145,24 +153,49 @@ class ThreadPool:
         default a task becomes ready at the submitter's current virtual
         time with normal priority.
         """
+        if ready_time is None:
+            # Inlined ``self.now``: one stack peek instead of a property
+            # call -- submit is the busiest entry point in the runtime.
+            frame = _context_stack[-1] if _context_stack else None
+            if frame is not None and frame.pool is self and frame.task is not None:
+                ready_time = frame.task.current_virtual_time()
+            else:
+                ready_time = self.makespan
         task = HpxThread(
             fn,
             args,
             kwargs,
             description=description,
-            ready_time=self.now if ready_time is None else ready_time,
+            ready_time=ready_time,
             priority=priority,
         )
-        probe = instrument.probe
-        if probe is not None:
+        if instrument.enabled and (probe := instrument.probe) is not None:
             probe.task_created(ctx.current_task(), task)
         self.scheduler.push(task, worker_hint=worker)
         return task.get_future()
 
     # Execution -------------------------------------------------------------------
     def _next(self) -> tuple[HpxThread, _Worker] | tuple[None, None]:
-        """Pick the (task, worker) pair that can start earliest."""
-        for worker in sorted(self.workers, key=lambda w: (w.available_at, w.worker_id)):
+        """Pick the (task, worker) pair that can start earliest.
+
+        A single min-scan replaces sorting every worker per dispatch:
+        ``self.workers`` is stored in id order and the strict ``<`` keeps
+        the lowest id on availability ties, so the worker tried first is
+        exactly the one the old sort put first.  Only when that worker's
+        acquire fails (a static scheduler with an empty bound queue, or
+        a thief out of attempts) does the full sorted fallback run.
+        """
+        workers = self.workers
+        best = workers[0]
+        for worker in workers:
+            if worker.available_at < best.available_at:
+                best = worker
+        task = self.scheduler.acquire(best.worker_id)
+        if task is not None:
+            return task, best
+        for worker in sorted(workers, key=lambda w: (w.available_at, w.worker_id)):
+            if worker is best:
+                continue
             task = self.scheduler.acquire(worker.worker_id)
             if task is not None:
                 return task, worker
@@ -170,40 +203,54 @@ class ThreadPool:
 
     def _execute(self, task: HpxThread, worker: _Worker) -> None:
         task.worker_id = worker.worker_id
-        task.start_time = max(worker.available_at, task.ready_time)
+        available_at = worker.available_at
+        ready_time = task.ready_time
+        task.start_time = available_at if available_at >= ready_time else ready_time
         task.state = ThreadState.RUNNING
-        outer = ctx.current_or_none()
+        runtime = self.runtime
+        locality = self.locality
+        if runtime is None or locality is None:
+            # Bare pools (no Locality/Runtime backref) inherit from the
+            # enclosing frame; runtime-managed pools skip the lookup.
+            outer = _context_stack[-1] if _context_stack else None
+            if outer is not None:
+                if runtime is None:
+                    runtime = outer.runtime
+                if locality is None:
+                    locality = outer.locality
         frame = ctx.ExecutionContext(
-            runtime=self.runtime or (outer.runtime if outer else None),
-            locality=self.locality or (outer.locality if outer else None),
+            runtime=runtime,
+            locality=locality,
             pool=self,
             worker_id=worker.worker_id,
             task=task,
         )
-        ctx.push(frame)
+        # Balanced push/pop inlined as list ops -- this pair runs once
+        # per task and the function-call overhead of ctx.push/ctx.pop is
+        # measurable at that rate.
+        _context_stack.append(frame)
         self._in_flight += 1
         try:
-            probe = instrument.probe
-            if probe is not None:
+            if instrument.enabled and (probe := instrument.probe) is not None:
                 probe.task_started(task)
             try:
                 result = task.fn(*task.args, **task.kwargs)
             except BaseException as exc:  # noqa: BLE001 - forwarded via future
                 task.state = ThreadState.TERMINATED
                 task.finish_time = task.current_virtual_time()
-                task.promise.set_exception(exc)
+                task._promise.set_exception(exc)
                 self.failures.append((task, exc))
             else:
                 task.state = ThreadState.TERMINATED
                 task.finish_time = task.current_virtual_time()
-                task.promise.set_value(result)
-            probe = instrument.probe
-            if probe is not None:
+                task._promise.set_value(result)
+            if instrument.enabled and (probe := instrument.probe) is not None:
                 probe.task_finished(task)
         finally:
             self._in_flight -= 1
-            ctx.pop()
-        worker.available_at = max(worker.available_at, task.finish_time)
+            _context_stack.pop()
+        if task.finish_time > worker.available_at:
+            worker.available_at = task.finish_time
         worker.tasks_run += 1
         worker.busy_time += task.cost
         self.tasks_executed += 1
@@ -223,8 +270,13 @@ class ThreadPool:
         Returns +inf when nothing is queued.
         """
         if not len(self.scheduler):
-            return float("inf")
-        return min(w.available_at for w in self.workers)
+            return _INF
+        workers = self.workers
+        hint = workers[0].available_at
+        for worker in workers:
+            if worker.available_at < hint:
+                hint = worker.available_at
+        return hint
 
     def run_until(self, predicate: Callable[[], bool]) -> None:
         """Execute queued tasks until ``predicate()`` is true.

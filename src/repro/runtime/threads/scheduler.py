@@ -6,6 +6,12 @@ to workers with no stealing.  The cooperative analogues here preserve
 the *placement decisions* (which worker runs which task, and when a
 steal happens), which is what matters for the virtual-time model; they
 need no locks because execution is single-threaded.
+
+Everything here is hot: ``__len__`` runs on every progress-engine step
+and ``acquire`` on every task dispatch, so the queues keep explicit
+size counters (no per-call sums over deques) and the work-stealing
+scheduler keeps a live set of victims that actually hold stealable
+work, so thieves stop probing obviously-empty queues.
 """
 
 from __future__ import annotations
@@ -28,24 +34,57 @@ __all__ = [
 #: on the same worker (HPX's priority-queue scheduler behaviour).
 _PRIORITIES = (ThreadPriority.HIGH, ThreadPriority.NORMAL, ThreadPriority.LOW)
 
+_NORMAL = ThreadPriority.NORMAL
+_HIGH = ThreadPriority.HIGH
+
 
 class _PriorityDeques:
-    """A bundle of one deque per priority level."""
+    """A bundle of one deque per priority level.
 
-    __slots__ = ("_deques",)
+    One deque per slot instead of a priority→deque dict: the dominant
+    workload queues only NORMAL tasks, so the common pop is a single
+    truthiness branch.  ``size`` counts everything queued; ``regular``
+    counts HIGH+NORMAL only -- the stealable portion (see
+    :meth:`pop_back`) -- and both are maintained incrementally so
+    schedulers never scan to learn a length.
+    """
+
+    __slots__ = ("_high", "_normal", "_low", "size", "regular")
 
     def __init__(self) -> None:
-        self._deques = {priority: deque() for priority in _PRIORITIES}
+        self._high: deque[HpxThread] = deque()
+        self._normal: deque[HpxThread] = deque()
+        self._low: deque[HpxThread] = deque()
+        self.size = 0
+        self.regular = 0
 
     def push(self, task: HpxThread) -> None:
-        self._deques[task.priority].append(task)
+        # HpxThread.__init__ normalises priority through ThreadPriority(),
+        # so identity comparison against the enum members is sound.
+        priority = task.priority
+        if priority is _NORMAL:
+            self._normal.append(task)
+            self.regular += 1
+        elif priority is _HIGH:
+            self._high.append(task)
+            self.regular += 1
+        else:
+            self._low.append(task)
+        self.size += 1
 
     def pop_front(self) -> Optional[HpxThread]:
         """Owner pop: highest priority first, FIFO within a level."""
-        for priority in _PRIORITIES:
-            queue = self._deques[priority]
-            if queue:
-                return queue.popleft()
+        if self._high:
+            self.size -= 1
+            self.regular -= 1
+            return self._high.popleft()
+        if self._normal:
+            self.size -= 1
+            self.regular -= 1
+            return self._normal.popleft()
+        if self._low:
+            self.size -= 1
+            return self._low.popleft()
         return None
 
     def pop_back(self) -> Optional[HpxThread]:
@@ -57,23 +96,31 @@ class _PriorityDeques:
         stays with its owner, which pops it only when it has nothing
         better (:meth:`pop_front`).
         """
-        for priority in (ThreadPriority.HIGH, ThreadPriority.NORMAL):
-            queue = self._deques[priority]
-            if queue:
-                return queue.pop()
+        if self._high:
+            self.size -= 1
+            self.regular -= 1
+            return self._high.pop()
+        if self._normal:
+            self.size -= 1
+            self.regular -= 1
+            return self._normal.pop()
         return None
 
     def drain(self) -> list[HpxThread]:
         """Remove and return every queued task (crash decommissioning)."""
         drained: list[HpxThread] = []
-        for priority in _PRIORITIES:
-            queue = self._deques[priority]
-            drained.extend(queue)
-            queue.clear()
+        drained.extend(self._high)
+        drained.extend(self._normal)
+        drained.extend(self._low)
+        self._high.clear()
+        self._normal.clear()
+        self._low.clear()
+        self.size = 0
+        self.regular = 0
         return drained
 
     def __len__(self) -> int:
-        return sum(len(q) for q in self._deques.values())
+        return self.size
 
 
 class Scheduler:
@@ -129,7 +176,7 @@ class FifoScheduler(Scheduler):
         return self._queue.drain()
 
     def __len__(self) -> int:
-        return len(self._queue)
+        return self._queue.size
 
 
 class StaticScheduler(Scheduler):
@@ -146,6 +193,7 @@ class StaticScheduler(Scheduler):
         super().__init__(n_workers)
         self._queues = [_PriorityDeques() for _ in range(n_workers)]
         self._rr = 0
+        self._count = 0
 
     def push(self, task: HpxThread, worker_hint: Optional[int] = None) -> None:
         self._check_worker(worker_hint)
@@ -154,19 +202,24 @@ class StaticScheduler(Scheduler):
             self._rr = (self._rr + 1) % self.n_workers
         task.worker_id = worker_hint
         self._queues[worker_hint].push(task)
+        self._count += 1
 
     def acquire(self, worker_id: int) -> Optional[HpxThread]:
         self._check_worker(worker_id)
-        return self._queues[worker_id].pop_front()
+        task = self._queues[worker_id].pop_front()
+        if task is not None:
+            self._count -= 1
+        return task
 
     def drain(self) -> list[HpxThread]:
         drained: list[HpxThread] = []
         for queue in self._queues:
             drained.extend(queue.drain())
+        self._count = 0
         return drained
 
     def __len__(self) -> int:
-        return sum(len(q) for q in self._queues)
+        return self._count
 
 
 class WorkStealingScheduler(Scheduler):
@@ -175,6 +228,12 @@ class WorkStealingScheduler(Scheduler):
     Owners pop FIFO from the front of their deque (HPX default for
     fairness); thieves steal from the back, which takes the oldest work a
     victim queued -- the classic contention-minimising split.
+
+    ``_stealable`` tracks which workers currently hold regular
+    (HIGH/NORMAL) work.  The steal loop still *visits* the same victims
+    in the same round-robin order -- placement decisions are untouched --
+    but a victim known to be empty costs a set-membership test instead
+    of a deque probe.
     """
 
     name = "work-stealing"
@@ -187,6 +246,8 @@ class WorkStealingScheduler(Scheduler):
             n_workers - 1 if steal_attempts is None else min(steal_attempts, n_workers - 1)
         )
         self.steals = 0  # statistic: successful steals
+        self._count = 0
+        self._stealable: set[int] = set()
 
     def push(self, task: HpxThread, worker_hint: Optional[int] = None) -> None:
         self._check_worker(worker_hint)
@@ -194,18 +255,34 @@ class WorkStealingScheduler(Scheduler):
             worker_hint = self._rr
             self._rr = (self._rr + 1) % self.n_workers
         self._queues[worker_hint].push(task)
+        self._count += 1
+        if task.priority is not ThreadPriority.LOW:
+            self._stealable.add(worker_hint)
 
     def acquire(self, worker_id: int) -> Optional[HpxThread]:
         self._check_worker(worker_id)
-        task = self._queues[worker_id].pop_front()
+        own = self._queues[worker_id]
+        task = own.pop_front()
         if task is not None:
+            self._count -= 1
+            if not own.regular:
+                self._stealable.discard(worker_id)
             task.worker_id = worker_id
             return task
-        # Steal round-robin from the next victims.
+        # Steal round-robin from the next victims.  Empty victims are
+        # still "visited" (k advances identically) so the attempt-budget
+        # semantics -- and therefore every placement -- are unchanged.
+        stealable = self._stealable
         for k in range(1, self.steal_attempts + 1):
             victim = (worker_id + k) % self.n_workers
-            task = self._queues[victim].pop_back()
+            if victim not in stealable:
+                continue
+            queue = self._queues[victim]
+            task = queue.pop_back()
+            if not queue.regular:
+                stealable.discard(victim)
             if task is not None:
+                self._count -= 1
                 task.worker_id = worker_id
                 self.steals += 1
                 return task
@@ -215,10 +292,12 @@ class WorkStealingScheduler(Scheduler):
         drained: list[HpxThread] = []
         for queue in self._queues:
             drained.extend(queue.drain())
+        self._count = 0
+        self._stealable.clear()
         return drained
 
     def __len__(self) -> int:
-        return sum(len(q) for q in self._queues)
+        return self._count
 
 
 def make_scheduler(name: str, n_workers: int, steal_attempts: int | None = None) -> Scheduler:

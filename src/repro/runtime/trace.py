@@ -34,7 +34,7 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["TaskRecord", "TraceEvent", "Tracer"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TaskRecord:
     """One executed task on the virtual timeline."""
 
@@ -56,7 +56,7 @@ class TaskRecord:
         return max(0.0, self.start_time - self.ready_time)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceEvent:
     """One discrete runtime event on the virtual timeline.
 

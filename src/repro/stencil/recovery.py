@@ -42,7 +42,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Sequence
 
-from ..errors import DeadlockError, ParcelDeadLetterError
+from ..errors import BrokenPromiseError, DeadlockError, ParcelDeadLetterError
 from ..resilience.checkpoint import CheckpointStore
 from ..runtime.futures import when_all
 from ..runtime.runtime import Runtime
@@ -116,10 +116,20 @@ def _advance_to(
                 for p, gid in enumerate(gids)
                 if parts[p].steps_done < boundary
             ]
-            when_all(chains).get()
+            # ``when_all(...).get()`` yields the member futures without
+            # raising their stored exceptions (HPX semantics); each member
+            # must be ``get`` explicitly or a dead-lettered invocation is
+            # silently swallowed -- e.g. a crash at the last epoch leaves
+            # the dead node's partition one step short while its stale
+            # ``final_future`` from the previous epoch is already ready,
+            # so the completion barrier below would pass regardless.
+            for chain in when_all(chains).get():
+                chain.get()
             when_all([part.final_future for part in parts]).get()
+            for part in parts:
+                part.final_future.get()
             return
-        except (ParcelDeadLetterError, DeadlockError):
+        except (ParcelDeadLetterError, DeadlockError, BrokenPromiseError):
             # A DeadlockError here is a lost halo whose dead-letter
             # record was consumed by an earlier round (the partition
             # advanced *into* the gap after the queue was drained); it

@@ -1,0 +1,70 @@
+"""Property: encode-once byte accounting == encode-per-attempt.
+
+PR5 changed the parcel layer to serialize a body exactly once and carry
+``(wire bytes, size)`` together on the parcel; every transmission
+attempt then charges the precomputed size.  The old code re-derived the
+size per attempt (a second pickle pass through ``serialized_size``).
+The two accountings must agree for *any* picklable body and any number
+of attempts -- otherwise the optimisation changed the cost model, not
+just the speed.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.parcel.parcel import Parcel
+from repro.runtime.parcel.parcelport import LoopbackParcelport
+from repro.runtime.parcel.serialization import serialize, serialized_size
+
+# Arbitrary picklable parcel-body material: nested JSON-ish structures.
+_payloads = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**40), max_value=2**40)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=20)
+    | st.binary(max_size=40),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4)
+    | st.tuples(children, children),
+    max_leaves=12,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(body=_payloads, attempts=st.integers(min_value=1, max_value=6))
+def test_encode_once_matches_encode_per_attempt(body, attempts):
+    data = serialize(body)
+    parcel = Parcel(source_locality=0, payload=data, target_locality=1)
+
+    # The parcel's precomputed size is the honest wire size plus the
+    # modelled header, and measuring the carried bytes is free (no
+    # second pickle pass).
+    assert parcel.size_bytes == len(data) + 64
+    assert serialized_size(data) == len(data)
+
+    # What the old per-attempt accounting would have charged: re-encode
+    # the body for every transmission and sum the sizes.
+    per_attempt_total = sum(
+        serialized_size(serialize(body)) + 64 for _ in range(attempts)
+    )
+
+    # What the port actually charges with encode-once accounting.
+    port = LoopbackParcelport()
+    port.install_router(lambda p, arrival: None)
+    port.send(parcel)
+    for _ in range(attempts - 1):
+        port.retransmit(parcel)
+    assert port.bytes_sent == attempts * parcel.size_bytes == per_attempt_total
+
+
+@settings(max_examples=60, deadline=None)
+@given(body=_payloads)
+def test_serialized_size_reuses_carried_bytes(body):
+    """``serialized_size`` measures already-encoded payloads directly."""
+    data = serialize(body)
+    assert serialized_size(data) == len(data)
+    assert serialized_size(bytearray(data)) == len(data)
+    # Unencoded payloads still take the slow path and agree with a real
+    # encode.
+    assert serialized_size(body) == len(serialize(body))

@@ -1,0 +1,168 @@
+"""Fast-path determinism: optimisations change wall time, never answers.
+
+PR5's runtime fast paths (zero-copy loopback parcels, O(1) scheduler
+pops, cheap probes) are only admissible if the *virtual-time* results
+they produce are bit-identical to the slow paths they replace.  This
+suite pins that invariant for the config-gated piece -- the
+``parcel.zero_copy`` loopback fast path -- across every scheduler:
+
+* identical virtual makespans,
+* identical ``/threads{total}`` perfcounters,
+* identical stencil field contents (checksums and exact arrays),
+* identical parcel *and byte* counters (zero-copy must keep charging the
+  honest serialized sizes even though it skips the loopback decode).
+
+It also pins the encode-once accounting at the port level: a
+retransmitted parcel charges exactly the same byte count every attempt,
+because the wire bytes travel *with* the parcel instead of being
+re-encoded per transmission.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import Config
+from repro.errors import SerializationError
+from repro.runtime import perfcounters
+from repro.runtime.parcel.parcel import Parcel
+from repro.runtime.parcel.parcelport import LoopbackParcelport
+from repro.runtime.parcel.serialization import serialize
+from repro.runtime.runtime import Runtime
+from repro.stencil.heat1d import DistributedHeat1D, Heat1DParams
+from repro.stencil.jacobi2d_dist import DistributedJacobi2D
+
+SCHEDULERS = ["fifo", "static", "work-stealing"]
+
+COUNTERS = (
+    "/threads{total}/count/cumulative",
+    "/threads{total}/queue/length",
+    "/parcels{total}/count/sent",
+)
+
+
+def _config(scheduler: str, zero_copy: bool) -> Config:
+    return Config(threads__scheduler=scheduler, parcel__zero_copy=zero_copy)
+
+
+def _fingerprint(rt: Runtime) -> dict:
+    fp = {path: perfcounters.query(rt, path) for path in COUNTERS}
+    fp["makespan"] = rt.makespan
+    fp["parcels_sent"] = rt.parcelport.parcels_sent
+    fp["bytes_sent"] = rt.parcelport.bytes_sent
+    fp["parcels_delivered"] = rt.parcelport.parcels_delivered
+    return fp
+
+
+def _heat_run(scheduler: str, zero_copy: bool):
+    nx = 64
+    u0 = np.cos(np.linspace(0.0, 2.0 * np.pi, nx, endpoint=False))
+    with Runtime(
+        n_localities=2,
+        workers_per_locality=2,
+        config=_config(scheduler, zero_copy),
+    ) as rt:
+        solver = DistributedHeat1D(
+            rt, nx, Heat1DParams(), partitions_per_locality=2, cost_per_step=1e-4
+        )
+        solver.initialize(u0)
+        field = rt.run(lambda: solver.run(25))
+        return field, _fingerprint(rt)
+
+
+def _jacobi_run(scheduler: str, zero_copy: bool):
+    ny, nx = 18, 16
+    rng = np.random.default_rng(7)
+    grid = rng.random((ny, nx))
+    with Runtime(
+        n_localities=2,
+        workers_per_locality=2,
+        config=_config(scheduler, zero_copy),
+    ) as rt:
+        solver = DistributedJacobi2D(
+            rt, ny, nx, partitions_per_locality=1, cost_per_step=1e-4
+        )
+        solver.initialize(grid)
+        field = rt.run(lambda: solver.run(12))
+        return field, _fingerprint(rt)
+
+
+def _storm_run(scheduler: str, zero_copy: bool):
+    n = 60
+    payload = list(range(32))
+    with Runtime(
+        n_localities=2,
+        workers_per_locality=2,
+        config=_config(scheduler, zero_copy),
+    ) as rt:
+
+        def main() -> int:
+            futures = [rt.async_at(1, _echo_len, payload, i) for i in range(n)]
+            return sum(f.get() for f in futures)
+
+        total = rt.run(main)
+        assert total == sum(len(payload) + i for i in range(n))
+        return total, _fingerprint(rt)
+
+
+def _echo_len(payload, i):
+    return len(payload) + i
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+def test_zero_copy_heat1d_bit_identical(scheduler):
+    field_off, fp_off = _heat_run(scheduler, zero_copy=False)
+    field_on, fp_on = _heat_run(scheduler, zero_copy=True)
+    assert fp_on == fp_off
+    assert float(np.sum(field_on)) == float(np.sum(field_off))
+    np.testing.assert_array_equal(field_on, field_off)
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+def test_zero_copy_jacobi2d_bit_identical(scheduler):
+    field_off, fp_off = _jacobi_run(scheduler, zero_copy=False)
+    field_on, fp_on = _jacobi_run(scheduler, zero_copy=True)
+    assert fp_on == fp_off
+    assert float(np.sum(field_on)) == float(np.sum(field_off))
+    np.testing.assert_array_equal(field_on, field_off)
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+def test_zero_copy_parcel_storm_bit_identical(scheduler):
+    total_off, fp_off = _storm_run(scheduler, zero_copy=False)
+    total_on, fp_on = _storm_run(scheduler, zero_copy=True)
+    assert total_on == total_off
+    assert fp_on == fp_off
+
+
+def test_zero_copy_still_validates_picklability():
+    """The fast path skips the loopback *decode*, never the encode: an
+    unpicklable argument must fail identically with the gate on."""
+    with Runtime(
+        n_localities=2,
+        workers_per_locality=2,
+        config=Config(parcel__zero_copy=True),
+    ) as rt:
+        unpicklable = open(__file__)  # noqa: SIM115 - deliberately unshippable
+        try:
+            with pytest.raises(SerializationError):
+                rt.run(lambda: rt.async_at(1, _echo_len, unpicklable, 0).get())
+        finally:
+            unpicklable.close()
+
+
+def test_retransmit_charges_encoded_size_every_attempt():
+    """Encode-once accounting: every transmission of one parcel charges
+    the same, honest byte count -- the wire bytes ride on the parcel."""
+    port = LoopbackParcelport()
+    delivered = []
+    port.install_router(lambda parcel, arrival: delivered.append(parcel))
+    body = (("__plain__", _echo_len, None), (list(range(50)), 3), {})
+    data = serialize(body)
+    parcel = Parcel(source_locality=0, payload=data, target_locality=1)
+    assert parcel.size_bytes == len(data) + 64
+    port.send(parcel)
+    port.retransmit(parcel)
+    port.retransmit(parcel)
+    assert parcel.attempts == 3
+    assert port.parcels_sent == 3
+    assert port.bytes_sent == 3 * parcel.size_bytes == 3 * (len(data) + 64)
