@@ -23,6 +23,15 @@ PX401   no LCO/promise ``set`` after retirement (``break_promise`` /
         ``close`` earlier in the same function)
 PX501   no mutable default arguments (``[]``/``{}``/``set()``/...)
 PX601   no unused imports
+PX701   no unbounded container growth in component action handlers --
+        an ``append``/``extend`` on a ``self.*`` container in a public
+        (parcel-invokable) method with no shrink/bound evidence anywhere
+        in the class is the overload failure mode admission control
+        exists to prevent
+PX702   no raw ``*.parcelport.send(...)`` calls outside the runtime's
+        own parcel plumbing -- direct port sends bypass overload
+        admission and credit accounting; route through the runtime
+        invoke/apply APIs
 ======  ================================================================
 
 Any finding can be suppressed with a trailing
@@ -58,6 +67,11 @@ _OS_THREADING_MODULES = {"threading", "multiprocessing", "_thread"}
 _MUTABLE_DEFAULT_CALLS = {"list", "dict", "set", "bytearray", "defaultdict", "deque"}
 _RETIRING_METHODS = {"break_promise", "close"}
 _SETTING_METHODS = {"set_value", "set_exception", "set"}
+_GROWTH_METHODS = {"append", "extend", "appendleft", "extendleft"}
+_SHRINK_METHODS = {"pop", "popleft", "popitem", "remove", "clear", "discard"}
+#: Files allowed to call ``*.parcelport.send`` directly (PX702): the
+#: runtime's own parcel plumbing, where admission control lives.
+_PX702_EXEMPT_SUFFIXES = ("runtime/runtime.py", "parcel/parcelport.py")
 
 
 @dataclass(frozen=True)
@@ -122,6 +136,8 @@ class _Checker(ast.NodeVisitor):
     def __init__(self, path: str, apply_model_rules: bool) -> None:
         self.path = path
         self.model_rules = apply_model_rules
+        normalized = os.path.abspath(path).replace(os.sep, "/")
+        self._px702_exempt = normalized.endswith(_PX702_EXEMPT_SUFFIXES)
         self.findings: List[Finding] = []
         self._class_stack: List[bool] = []  # "is a Component subclass"
         self._imported: Dict[str, tuple[int, int, str]] = {}
@@ -215,6 +231,21 @@ class _Checker(ast.NodeVisitor):
                         "random.Random() without a seed is nondeterministic; "
                         "pass an explicit seed",
                     )
+        # PX702: raw parcelport sends bypass admission/credit accounting.
+        if (
+            self.model_rules
+            and not self._px702_exempt
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("send", "retransmit")
+            and isinstance(node.func.value, ast.Attribute)
+            and node.func.value.attr == "parcelport"
+        ):
+            self.report(
+                node, "PX702",
+                f"raw '...parcelport.{node.func.attr}()' bypasses overload "
+                f"admission and credit accounting; route through the "
+                f"runtime's invoke/apply APIs",
+            )
         self.generic_visit(node)
 
     # Component action handlers (PX301, PX401) ------------------------------
@@ -231,8 +262,97 @@ class _Checker(ast.NodeVisitor):
             for b in node.bases
         )
         self._class_stack.append(is_component)
+        if self.model_rules and is_component:
+            self._check_unbounded_growth(node)
         self.generic_visit(node)
         self._class_stack.pop()
+
+    @staticmethod
+    def _self_attr(expr: ast.expr) -> str | None:
+        """``"x"`` when ``expr`` is exactly ``self.x``, else None."""
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+        ):
+            return expr.attr
+        return None
+
+    def _check_unbounded_growth(self, node: ast.ClassDef) -> None:
+        """PX701: growth-only ``self.*`` containers in action handlers.
+
+        Public methods of a Component are parcel handlers: remotely
+        invokable, possibly millions of times.  An ``append``/``extend``
+        on a ``self.*`` container there is unbounded state growth unless
+        the class shows *bound evidence* for that attribute anywhere --
+        a shrink call (``pop``/``clear``/...), ``del`` on a subscript, a
+        rebinding slice (``self.x = self.x[...]``), a
+        ``deque(maxlen=...)``, or a ``len(self.x)`` comparison guarding
+        the growth.
+        """
+        bounded: Set[str] = set()
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call) and isinstance(sub.func, ast.Attribute):
+                attr = self._self_attr(sub.func.value)
+                if attr is not None and sub.func.attr in _SHRINK_METHODS:
+                    bounded.add(attr)
+                continue
+            if isinstance(sub, ast.Delete):
+                for target in sub.targets:
+                    if isinstance(target, ast.Subscript):
+                        attr = self._self_attr(target.value)
+                        if attr is not None:
+                            bounded.add(attr)
+                continue
+            if isinstance(sub, ast.Assign):
+                value = sub.value
+                for target in sub.targets:
+                    attr = self._self_attr(target)
+                    if attr is None:
+                        continue
+                    if (
+                        isinstance(value, ast.Call)
+                        and _call_name(value).split(".")[-1] == "deque"
+                        and any(kw.arg == "maxlen" for kw in value.keywords)
+                    ):
+                        bounded.add(attr)
+                    elif isinstance(value, ast.Subscript) and (
+                        self._self_attr(value.value) == attr
+                    ):
+                        bounded.add(attr)  # self.x = self.x[-n:] trims
+                continue
+            if isinstance(sub, ast.Compare):
+                for operand in [sub.left, *sub.comparators]:
+                    if (
+                        isinstance(operand, ast.Call)
+                        and isinstance(operand.func, ast.Name)
+                        and operand.func.id == "len"
+                        and operand.args
+                    ):
+                        attr = self._self_attr(operand.args[0])
+                        if attr is not None:
+                            bounded.add(attr)
+        for stmt in node.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if stmt.name.startswith("_"):
+                continue  # not remotely invokable (component.act refuses)
+            for sub in ast.walk(stmt):
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr in _GROWTH_METHODS
+                ):
+                    attr = self._self_attr(sub.func.value)
+                    if attr is not None and attr not in bounded:
+                        self.report(
+                            sub, "PX701",
+                            f"'self.{attr}.{sub.func.attr}()' in action "
+                            f"handler '{stmt.name}' grows without any bound "
+                            f"or shrink in class '{node.name}'; cap it "
+                            f"(deque(maxlen=...), eviction, or a len() "
+                            f"guard) or shed under pressure",
+                        )
 
     def _check_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
         # PX501: mutable defaults.

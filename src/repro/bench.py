@@ -205,7 +205,7 @@ def _bench_fanout_fanin(n: int, repeats: int) -> BenchResult:
 
 
 def _bench_parcel_storm(
-    n: int, repeats: int, zero_copy: bool = False
+    n: int, repeats: int, zero_copy: bool = False, overload: bool = False
 ) -> BenchResult:
     """``n`` cross-locality plain actions with list payloads (loopback).
 
@@ -214,13 +214,18 @@ def _bench_parcel_storm(
     path: encode, route, handler spawn, decode, reply.  With
     ``zero_copy`` the config-gated same-process fast path is enabled
     (encode still runs for validation and byte accounting; the loopback
-    decode is skipped).
+    decode is skipped).  With ``overload`` the admission controller is
+    in the send path (credit accounting + breaker checks per parcel),
+    so the delta against plain ``parcel_storm`` is the overhead of
+    overload protection when the system is healthy.
     """
     from repro.runtime import Runtime, when_all
 
     config = None
     if zero_copy:
         config = Config(parcel__zero_copy=True)
+    if overload:
+        config = Config(overload__enabled=True)
     payload = list(range(64))
 
     def run() -> tuple[float, int]:
@@ -316,6 +321,9 @@ SUITE: dict[str, Callable[[bool, int], BenchResult]] = {
     ),
     "parcel_storm_zero_copy": lambda quick, repeats: _bench_parcel_storm(
         _SIZES["parcel_storm"][quick], repeats, zero_copy=True
+    ),
+    "parcel_storm_overload": lambda quick, repeats: _bench_parcel_storm(
+        _SIZES["parcel_storm"][quick], repeats, overload=True
     ),
     "fig3_heat1d": lambda quick, repeats: _bench_heat1d(
         _SIZES["heat1d_steps"][quick], repeats

@@ -34,10 +34,13 @@ Commands mirror the evaluation workflow:
                                      optionally under a seeded fault
                                      schedule (``--crash LOC@T``,
                                      ``--drop-rate``) with checkpoint
-                                     restart (``--checkpoint-every K``);
-                                     verifies the result is bit-identical
-                                     to a fault-free run and prints the
-                                     resilience counters
+                                     restart (``--checkpoint-every K``)
+                                     and/or a LOW-priority parcel storm
+                                     with overload protection enabled
+                                     (``--overload FACTOR``); verifies
+                                     the result is bit-identical to a
+                                     fault-free run and prints the
+                                     resilience/overload counters
 """
 
 from __future__ import annotations
@@ -238,6 +241,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="additionally drop this fraction of parcels (transient faults)",
     )
+    p_run.add_argument(
+        "--overload",
+        type=float,
+        default=0.0,
+        metavar="FACTOR",
+        help="drive a FACTOR-x LOW-priority parcel storm (ingress vs drain "
+        "rate) at the last locality with overload protection enabled; the "
+        "run must stay depth/latency-bounded and finish bit-identically",
+    )
 
     return parser
 
@@ -437,6 +449,64 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return status
 
 
+#: Parcel-storm shape for ``repro run --overload FACTOR``.  With 2
+#: workers of drain capacity ``_STORM_WAVE_DT_S / _STORM_SINK_COST_S``
+#: tasks each per wave, the target locality drains 4 sink tasks per
+#: wave; a wave submits ``4 * FACTOR``, so FACTOR is literally the
+#: ingress-to-drain ratio.
+_STORM_WAVES = 20
+_STORM_SINK_COST_S = 1e-3
+_STORM_WAVE_DT_S = 2e-3
+
+
+def _overload_sink(cost: float) -> None:
+    """Storm payload: pure virtual compute at the target locality."""
+    from .runtime import context as ctx
+
+    ctx.add_cost(cost)
+
+
+def _launch_overload_storm(rt, factor: float) -> dict:
+    """Chain LOW-priority parcel waves at the last locality.
+
+    Waves ride on locality 0 as self-rescheduling tasks, so the storm
+    interleaves with the stencil on the virtual clock.  Each wave
+    samples the target's queue depth *before* submitting -- the bounded
+    sequence these samples form is the graceful-degradation evidence.
+    """
+    from .runtime.threads.hpx_thread import ThreadPriority
+
+    target = rt.n_localities - 1
+    pool0 = rt.localities[0].pool
+    target_pool = rt.localities[target].pool
+    per_wave = max(1, int(4 * factor))
+    depth_samples: list[int] = []
+
+    def wave(index: int) -> None:
+        depth_samples.append(target_pool.pending())
+        for _ in range(per_wave):
+            rt.apply_at(
+                target,
+                _overload_sink,
+                _STORM_SINK_COST_S,
+                priority=ThreadPriority.LOW,
+            )
+        if index + 1 < _STORM_WAVES:
+            pool0.submit(
+                wave,
+                index + 1,
+                ready_time=pool0.now + _STORM_WAVE_DT_S,
+                description=f"storm-wave#{index + 1}",
+            )
+
+    pool0.submit(wave, 0, description="storm-wave#0")
+    return {
+        "submitted": per_wave * _STORM_WAVES,
+        "depth_samples": depth_samples,
+        "target_pool": target_pool,
+    }
+
+
 #: Counters printed after a ``repro run`` (resilience at a glance).
 _RUN_COUNTER_PATHS = (
     "/checkpoints{total}/count/saved",
@@ -455,10 +525,13 @@ _RUN_COUNTER_PATHS = (
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    """Faulted resilient run vs fault-free reference run; compare bits."""
+    """Faulted/overloaded run vs fault-free reference run; compare bits."""
+    from .config import Config
+    from .observability.metrics import OVERLOAD_COUNTERS
     from .resilience import FaultInjector
     from .runtime import Runtime
     from .runtime.perfcounters import query
+    from .runtime.trace import Tracer
     from .stencil import DistributedHeat1D, Heat1DParams, analytic_heat_profile
     from .stencil.jacobi2d_dist import DistributedJacobi2D
 
@@ -470,16 +543,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
         except ValueError:
             print(f"malformed --crash {spec!r}; expected LOC@T", file=sys.stderr)
             return 2
+    resilient = bool(crashes or args.drop_rate > 0)
 
-    def execute(faulted: bool) -> tuple[np.ndarray, "Runtime"]:
+    def execute(faulted: bool) -> tuple[np.ndarray, "Runtime", dict]:
         injector = None
-        if faulted and (crashes or args.drop_rate > 0):
+        if faulted and resilient:
             injector = FaultInjector(seed=args.seed, drop_rate=args.drop_rate)
             for loc, at in crashes:
                 injector.fail_locality(loc, at=at, permanent=True)
+        config = None
+        if faulted and args.overload > 0:
+            # The overloaded run gets the full protection stack; the
+            # reference run keeps defaults so "bit-identical" proves the
+            # storm + admission decisions never touch the answer.
+            config = Config(overload__enabled=True, parcel__retry_jitter=0.25)
         with Runtime(
             n_localities=args.nodes,
             workers_per_locality=2,
+            config=config,
             fault_injector=injector,
         ) as rt:
             if args.app == "heat1d":
@@ -493,18 +574,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 solver = DistributedJacobi2D(rt, ny, 16, cost_per_step=1e-3)
                 rng = np.random.default_rng(args.seed)
                 solver.initialize(rng.random((ny, 16)))
-            if faulted:
-                out = rt.run(
-                    lambda: solver.run_resilient(
-                        args.steps, checkpoint_every=args.checkpoint_every
-                    )
+            storm: dict = {}
+            if faulted and args.overload > 0:
+                storm = _launch_overload_storm(rt, args.overload)
+            if faulted and resilient:
+                job = lambda: solver.run_resilient(  # noqa: E731
+                    args.steps, checkpoint_every=args.checkpoint_every
                 )
             else:
-                out = rt.run(lambda: solver.run(args.steps))
-            return out, rt
+                job = lambda: solver.run(args.steps)  # noqa: E731
+            if storm:
+                tracer = Tracer()
+                with tracer.attach(rt):
+                    out = rt.run(job)
+                storm["tracer"] = tracer
+            else:
+                out = rt.run(job)
+            return out, rt, storm
 
-    faulted_out, faulted_rt = execute(faulted=True)
-    reference_out, _ = execute(faulted=False)
+    faulted_out, faulted_rt, storm = execute(faulted=True)
+    reference_out, _, _ = execute(faulted=False)
     identical = bool(np.array_equal(faulted_out, reference_out))
 
     lines = [
@@ -518,8 +607,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
     if args.drop_rate > 0:
         lines.append(f"drop rate: {args.drop_rate:g}")
-    for path in _RUN_COUNTER_PATHS:
+    counter_paths = list(_RUN_COUNTER_PATHS)
+    if storm:
+        counter_paths.extend(OVERLOAD_COUNTERS)
+    for path in counter_paths:
         lines.append(f"{path:<46} {query(faulted_rt, path):g}")
+    if storm:
+        depths = storm["depth_samples"]
+        latencies = sorted(storm["tracer"].parcel_latencies().values())
+        p99 = latencies[int(0.99 * (len(latencies) - 1))] if latencies else 0.0
+        lines.append(
+            f"overload storm: {args.overload:g}x ingress, "
+            f"{storm['submitted']} LOW parcels over {_STORM_WAVES} waves"
+        )
+        lines.append(
+            f"target queue depth: max sampled {max(depths, default=0)}, "
+            f"peak {storm['target_pool'].peak_pending}"
+        )
+        lines.append(f"parcel latency p99: {p99:.3g}s virtual")
     lines.append(f"bit-identical with fault-free run: {identical}")
     print("\n".join(lines))
     return 0 if identical else 1

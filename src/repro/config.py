@@ -35,6 +35,24 @@ _DEFAULTS: dict[str, Any] = {
     "parcel.retry_timeout_s": 0.0,  # base ack-timeout; 0 = derive from network RTO
     "parcel.retry_max_timeout_s": 0.0,  # backoff cap; 0 = 64x the base timeout
     "parcel.retry_backoff": 2.0,  # exponential backoff factor
+    "parcel.retry_jitter": 0.0,  # seeded backoff jitter fraction (0 = synchronized)
+    # Overload protection (repro.resilience.overload).  Off by default so
+    # unprotected runs stay bit-identical with the committed benchmark
+    # baselines; the chaos/storm paths switch it on explicitly.  The
+    # dead-letter-queue bound applies regardless (0 = unbounded).
+    "overload.enabled": False,
+    "overload.credits": 32,  # per-destination send credits (replenished on ack)
+    "overload.max_inflight": 64,  # hard cap on un-acked parcels per destination
+    "overload.max_queue_depth": 128,  # dest backlog at which LOW parcels defer/shed
+    "overload.defer_base_s": 1e-4,  # base virtual delay before a deferred re-admit
+    "overload.defer_max": 3,  # LOW deferrals before the parcel is shed
+    "overload.dlq_max": 1024,  # dead-letter queue bound, oldest evicted first
+    "overload.breaker_threshold": 3,  # consecutive dead-letters that open the breaker
+    "overload.breaker_reset_s": 1e-3,  # open -> half-open probe delay (virtual s)
+    "overload.phi_window": 32,  # inter-arrival samples kept per peer
+    "overload.phi_throttle": 3.0,  # suspicion at which credit ceilings halve
+    "overload.phi_suspect": 8.0,  # suspicion at which the breaker opens
+    "overload.phi_confirm": 16.0,  # suspicion at which the peer is confirmed dead
     # Parallel algorithms.
     "algorithms.chunker": "auto",  # auto | static
     "algorithms.min_chunk": 1,
@@ -119,6 +137,33 @@ class Config(Mapping[str, Any]):
             raise ConfigError("parcel.retry_max_timeout_s must be non-negative")
         if float(self._values["parcel.retry_backoff"]) < 1.0:
             raise ConfigError("parcel.retry_backoff must be >= 1.0")
+        if not 0.0 <= float(self._values["parcel.retry_jitter"]) <= 1.0:
+            raise ConfigError("parcel.retry_jitter must be in [0, 1]")
+        if int(self._values["overload.credits"]) < 1:
+            raise ConfigError("overload.credits must be >= 1")
+        if int(self._values["overload.max_inflight"]) < 1:
+            raise ConfigError("overload.max_inflight must be >= 1")
+        if int(self._values["overload.max_queue_depth"]) < 1:
+            raise ConfigError("overload.max_queue_depth must be >= 1")
+        if float(self._values["overload.defer_base_s"]) <= 0:
+            raise ConfigError("overload.defer_base_s must be positive")
+        if int(self._values["overload.defer_max"]) < 0:
+            raise ConfigError("overload.defer_max must be >= 0")
+        if int(self._values["overload.dlq_max"]) < 0:
+            raise ConfigError("overload.dlq_max must be >= 0 (0 = unbounded)")
+        if int(self._values["overload.breaker_threshold"]) < 1:
+            raise ConfigError("overload.breaker_threshold must be >= 1")
+        if float(self._values["overload.breaker_reset_s"]) <= 0:
+            raise ConfigError("overload.breaker_reset_s must be positive")
+        if int(self._values["overload.phi_window"]) < 2:
+            raise ConfigError("overload.phi_window must be >= 2")
+        throttle = float(self._values["overload.phi_throttle"])
+        suspect = float(self._values["overload.phi_suspect"])
+        confirm = float(self._values["overload.phi_confirm"])
+        if not 0.0 < throttle <= suspect <= confirm:
+            raise ConfigError(
+                "phi thresholds must satisfy 0 < throttle <= suspect <= confirm"
+            )
         if int(self._values["checkpoint.interval"]) < 0:
             raise ConfigError("checkpoint.interval must be >= 0 (0 disables)")
         if int(self._values["checkpoint.keep"]) < 1:

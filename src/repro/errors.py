@@ -26,6 +26,7 @@ __all__ = [
     "ParcelError",
     "SerializationError",
     "ParcelDeadLetterError",
+    "ParcelShedError",
     "ResilienceError",
     "ReplayExhaustedError",
     "ReplicateError",
@@ -128,6 +129,24 @@ class ParcelDeadLetterError(ParcelError):
     Raised on the sender's reply future, and by the progress engine when
     the job stalls with undeliverable parcels in the dead-letter queue.
     """
+
+
+class ParcelShedError(ParcelDeadLetterError):
+    """Admission control rejected the parcel (overload protection).
+
+    Raised on the sender's reply future when the overload controller
+    sheds a parcel instead of queueing it -- the destination is over its
+    queue-depth limit, its circuit breaker is open, or a deferred
+    LOW-priority parcel ran out of deferrals.  Subclasses
+    :class:`ParcelDeadLetterError` so existing recovery drivers treat a
+    shed like any other dead-lettered parcel.  ``retry_after`` hints how
+    many *virtual* seconds the sender should wait before retrying (0.0
+    when no estimate is available).
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class ResilienceError(ReproError):

@@ -18,7 +18,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..runtime.runtime import Runtime
     from ..runtime.trace import Tracer
 
-__all__ = ["STANDARD_COUNTERS", "collect_metrics"]
+__all__ = ["STANDARD_COUNTERS", "OVERLOAD_COUNTERS", "collect_metrics"]
 
 #: The counters every metrics artifact reports by default: enough to
 #: reconstruct the paper's utilization/latency arguments for a run.
@@ -35,6 +35,22 @@ STANDARD_COUNTERS = (
     "/runtime/uptime",
 )
 
+#: Appended to the defaults when the runtime has an overload controller
+#: installed (``overload.enabled``): the graceful-degradation story of a
+#: run is unreadable without its shed/defer/breaker decisions.
+OVERLOAD_COUNTERS = (
+    "/overload{total}/count/shed",
+    "/overload{total}/count/deferred",
+    "/overload{total}/count/credits-stalled",
+    "/overload{total}/count/credit-resumes",
+    "/overload{total}/count/completed",
+    "/overload{total}/queue/stalled",
+    "/breaker{total}/count/opens",
+    "/breaker{total}/count/half-open-probes",
+    "/phi{total}/suspicion",
+    "/parcels{total}/count/dead-letter-evicted",
+)
+
 
 def collect_metrics(
     runtime: "Runtime",
@@ -47,7 +63,12 @@ def collect_metrics(
     "histograms": {name: summary}}`` -- histograms only when a tracer
     that observed the run is supplied.
     """
-    paths = list(counters) if counters is not None else list(STANDARD_COUNTERS)
+    if counters is not None:
+        paths = list(counters)
+    else:
+        paths = list(STANDARD_COUNTERS)
+        if getattr(runtime, "_overload", None) is not None:
+            paths.extend(OVERLOAD_COUNTERS)
     payload: dict = {
         "counters": {path: perfcounters.query(runtime, path) for path in paths}
     }

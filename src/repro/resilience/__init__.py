@@ -20,7 +20,12 @@ APIs:
   :class:`CheckpointStore` -- HPX-style checkpoint/restart
   (``hpx::util::checkpoint``): versioned, checksummed snapshots with a
   coordinated epoch protocol, corruption fallback, and cost-model
-  accounting (see :mod:`repro.resilience.checkpoint`).
+  accounting (see :mod:`repro.resilience.checkpoint`);
+* :class:`OverloadController` (with :class:`OverloadPolicy`,
+  :class:`CircuitBreaker`, :class:`PhiAccrualDetector`) -- overload
+  protection: admission control with priority-aware shedding,
+  credit-based flow control, per-destination circuit breakers, and a
+  phi-accrual failure detector (see :mod:`repro.resilience.overload`).
 
 Everything is clocked on the DES virtual clock, so a faulty run is as
 deterministic and reproducible as a clean one: same seed, same faults,
@@ -36,13 +41,23 @@ from .checkpoint import (
     save_checkpoint,
 )
 from .faults import FaultInjector, LocalityFailure, ParcelFate
+from .overload import (
+    CircuitBreaker,
+    OverloadController,
+    OverloadPolicy,
+    PhiAccrualDetector,
+)
 
 __all__ = [
     "Checkpoint",
     "CheckpointStore",
+    "CircuitBreaker",
     "FaultInjector",
     "LocalityFailure",
+    "OverloadController",
+    "OverloadPolicy",
     "ParcelFate",
+    "PhiAccrualDetector",
     "RetryPolicy",
     "async_replay",
     "async_replicate",

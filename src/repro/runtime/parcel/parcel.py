@@ -44,6 +44,9 @@ class Parcel:
         "by_ref_body",
         "fire_and_forget",
         "unreachable_destination",
+        "priority",
+        "deferrals",
+        "holds_credit",
     )
 
     def __init__(
@@ -89,6 +92,18 @@ class Parcel:
         #: Destination recorded by runtime-side loss reports, so repeated
         #: unreachability can escalate into ``suspected_dead``.
         self.unreachable_destination: Optional[int] = None
+        #: Scheduling priority for the handler task (a
+        #: :class:`~repro.runtime.threads.hpx_thread.ThreadPriority`, or
+        #: None for NORMAL).  Overload admission treats LOW-priority
+        #: parcels as sheddable background traffic.
+        self.priority: Any = None
+        #: Times the overload controller deferred admission of this
+        #: (LOW-priority) parcel; at ``overload.defer_max`` it is shed.
+        self.deferrals = 0
+        #: True while the parcel holds a send credit toward its
+        #: destination (charged once at admission, released exactly once
+        #: on ack or dead-letter; retransmissions keep the credit).
+        self.holds_credit = False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         target = (

@@ -22,16 +22,18 @@ and land in the dead-letter queue once attempts are exhausted.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
-from ...errors import ConfigError, ParcelDeadLetterError, ParcelError
+from ...errors import ConfigError, ParcelDeadLetterError, ParcelError, ParcelShedError
 from ...hardware.interconnect import Interconnect
 from .. import context as ctx
 from .parcel import Parcel
 
 if TYPE_CHECKING:  # pragma: no cover
     from ...resilience.faults import FaultInjector
+    from ...resilience.overload import OverloadController
 
 __all__ = ["RetryPolicy", "Parcelport", "LoopbackParcelport", "NetworkParcelport"]
 
@@ -57,6 +59,12 @@ class RetryPolicy:
     base_timeout_s: float = 1e-5
     max_timeout_s: float = 64e-5
     backoff: float = 2.0
+    #: Jitter fraction in [0, 1]: each retry timeout is scaled by a
+    #: seeded factor in ``[1 - jitter, 1]`` so retries toward a
+    #: recovering locality de-synchronize instead of stampeding it.
+    #: 0 (the default) keeps the historical synchronized schedule.
+    jitter: float = 0.0
+    seed: int = 0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -67,12 +75,29 @@ class RetryPolicy:
             raise ConfigError("max_timeout_s must be >= base_timeout_s")
         if self.backoff < 1.0:
             raise ConfigError("backoff factor must be >= 1.0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigError("retry jitter must be in [0, 1]")
 
     def timeout(self, attempt: int) -> float:
         """Ack-timeout after transmission number ``attempt`` (1-based)."""
         if attempt < 1:
             raise ConfigError("attempt numbers are 1-based")
         return min(self.base_timeout_s * self.backoff ** (attempt - 1), self.max_timeout_s)
+
+    def jittered_timeout(self, attempt: int, sequence: int) -> float:
+        """:meth:`timeout` scaled by seeded downward jitter.
+
+        ``sequence`` is a stable per-parcel index (insertion order into
+        the port's retry map), so the jitter is a pure function of
+        ``(seed, sequence, attempt)`` -- bit-identical across runs and
+        independent of dict iteration order.  Downward-only jitter keeps
+        every timeout under the backoff cap.
+        """
+        base = self.timeout(attempt)
+        if self.jitter == 0.0:
+            return base
+        rng = random.Random(f"{self.seed}:retry:{sequence}:{attempt}")
+        return base * (1.0 - self.jitter * rng.random())
 
 
 class Parcelport:
@@ -84,6 +109,12 @@ class Parcelport:
         #: Installed by the runtime when fault injection is requested.
         self.fault_injector: "FaultInjector | None" = None
         self.retry_policy: RetryPolicy | None = None
+        #: Installed by the runtime when ``overload.enabled`` is set;
+        #: gates every first-time :meth:`send` through admission control.
+        self.overload: "OverloadController | None" = None
+        #: Dead-letter queue bound (0 = unbounded); the runtime sets it
+        #: from ``overload.dlq_max``.  Oldest entries are evicted first.
+        self.dlq_max = 0
         self.parcels_sent = 0
         self.bytes_sent = 0
         #: Transmissions the router accepted (wire-level deliveries; a
@@ -98,6 +129,11 @@ class Parcelport:
         self.parcels_retried = 0
         self.parcels_retransmitted = 0
         self.parcels_dead_lettered = 0
+        self.parcels_dlq_evicted = 0
+        #: Stable parcel -> jitter-sequence mapping for
+        #: :meth:`RetryPolicy.jittered_timeout` (insertion order, the
+        #: FaultInjector idiom, so jitter never depends on id recycling).
+        self._retry_sequence: dict[int, int] = {}
         #: Parcels given up on, as ``(parcel, reason)`` -- the dead-letter
         #: queue.  The progress engine raises when a job stalls with
         #: entries here; resilient applications may drain it and recover.
@@ -120,9 +156,29 @@ class Parcelport:
         self._retry_scheduler = scheduler
 
     def send(self, parcel: Parcel) -> float:
-        """Ship a parcel; returns its (nominal) arrival time."""
+        """Ship a parcel; returns its (nominal) arrival time.
+
+        With an :attr:`overload` controller installed the send is gated
+        by admission control first: the parcel may be transmitted,
+        stalled awaiting a send credit, deferred (LOW priority), or shed
+        with a :class:`~repro.errors.ParcelShedError`.  Stalled and
+        deferred parcels are re-sent later by the runtime's resume
+        scheduler (they re-enter here already holding their credit, or
+        with a bumped deferral count).  Retransmissions of lost parcels
+        go through :meth:`retransmit` and are never re-admitted.
+        """
         if self._router is None:
             raise ParcelError("parcelport has no router installed (runtime not booted)")
+        controller = self.overload
+        if controller is not None and not parcel.holds_credit:
+            verdict, detail = controller.admit(parcel)
+            if verdict == "shed":
+                assert detail is not None
+                reason, retry_after = detail
+                self._shed(parcel, reason, retry_after=retry_after)
+                return parcel.send_time
+            if verdict in ("stall", "defer"):
+                return parcel.send_time
         return self._transmit(parcel)
 
     def retransmit(self, parcel: Parcel) -> float:
@@ -195,17 +251,54 @@ class Parcelport:
             and self._retry_scheduler is not None
         ):
             self.parcels_retried += 1
-            retry_at = parcel.send_time + policy.timeout(parcel.attempts)
-            self._retry_scheduler(parcel, retry_at)
+            if policy.jitter > 0.0:
+                seq = self._retry_sequence.setdefault(
+                    parcel.parcel_id, len(self._retry_sequence)
+                )
+                wait = policy.jittered_timeout(parcel.attempts, seq)
+            else:
+                wait = policy.timeout(parcel.attempts)
+            self._retry_scheduler(parcel, parcel.send_time + wait)
             return
         self.parcels_dead_lettered += 1
-        self.dead_letters.append((parcel, reason))
-        destination = parcel.unreachable_destination
-        if destination is not None:
-            self.suspected_dead.add(destination)
+        self._dead_letter(parcel, reason)
+        if self.overload is not None:
+            # The controller releases the credit, feeds the breaker, and
+            # escalates into suspected_dead when the breaker opens.
+            self.overload.on_parcel_failed(parcel, parcel.send_time)
+        else:
+            destination = parcel.unreachable_destination
+            if destination is not None:
+                self.suspected_dead.add(destination)
         exc = ParcelDeadLetterError(
             f"parcel #{parcel.parcel_id} gave up after {parcel.attempts} "
             f"transmission(s): {reason}"
+        )
+        promise = parcel.reply_promise
+        if promise is not None and not promise.is_ready():
+            promise.set_exception(exc)
+
+    def _dead_letter(self, parcel: Parcel, reason: str) -> None:
+        """Append to the dead-letter queue, evicting oldest past the bound."""
+        self.dead_letters.append((parcel, reason))
+        if self.dlq_max > 0:
+            while len(self.dead_letters) > self.dlq_max:
+                self.dead_letters.pop(0)
+                self.parcels_dlq_evicted += 1
+
+    def _shed(self, parcel: Parcel, reason: str, retry_after: float = 0.0) -> None:
+        """Admission control refused the parcel: dead-letter it as a shed.
+
+        Sheds are *not* counted in :attr:`parcels_dead_lettered` (which
+        stays "retries exhausted" so the overload conservation law
+        ``completed + shed + dead_lettered == submitted`` holds); they
+        land in the same queue, tagged, and fail the reply promise with
+        :class:`~repro.errors.ParcelShedError` carrying the retry hint.
+        """
+        self._dead_letter(parcel, f"shed: {reason}")
+        exc = ParcelShedError(
+            f"parcel #{parcel.parcel_id} shed by admission control: {reason}",
+            retry_after=retry_after,
         )
         promise = parcel.reply_promise
         if promise is not None and not promise.is_ready():

@@ -26,6 +26,18 @@ Supported counter types::
     /parcels/count/retried         retransmissions scheduled by the retry layer
     /parcels/count/retries-in-flight  retransmissions scheduled but not yet sent
     /parcels/count/dead-lettered   parcels abandoned after exhausting retries
+    /parcels/count/dead-letter-evicted  oldest entries evicted past dlq_max
+    /overload/count/shed           parcels refused by admission control
+    /overload/count/deferred       LOW-parcel deferrals (seeded backoff)
+    /overload/count/credits-stalled  sends parked awaiting a credit
+    /overload/count/credit-resumes   stalled sends released by an ack
+    /overload/count/completed      credited/probe parcels acked
+    /overload/queue/stalled        sends currently parked (gauge)
+    /breaker/count/opens           circuit-breaker open transitions
+    /breaker/count/closes          breakers closed by a successful probe
+    /breaker/count/half-open-probes  probe parcels admitted while half-open
+    /phi/suspicion                 max phi-accrual suspicion across peers
+    /threads/queue/length-low      LOW-priority (sheddable) tasks queued
     /localities/count/failed       scheduled locality outages
     /localities/count/decommissioned  localities declared permanently dead
     /checkpoints/count/saved       checkpoint epochs written
@@ -76,6 +88,25 @@ _PARCEL_FAULT_COUNTERS = {
     "count/delayed": "parcels_delayed",
     "count/retried": "parcels_retried",
     "count/dead-lettered": "parcels_dead_lettered",
+    "count/dead-letter-evicted": "parcels_dlq_evicted",
+}
+
+#: Overload admission statistics: counter suffix -> OverloadController
+#: attribute.  All read 0.0 when no controller is installed, so counter
+#: consumers need no feature test.
+_OVERLOAD_COUNTERS = {
+    "count/shed": "parcels_shed",
+    "count/deferred": "parcels_deferred",
+    "count/credits-stalled": "credit_stalls",
+    "count/credit-resumes": "credit_resumes",
+    "count/completed": "parcels_completed",
+}
+
+#: Circuit-breaker statistics: counter suffix -> OverloadController attribute.
+_BREAKER_COUNTERS = {
+    "count/opens": "breaker_opens",
+    "count/closes": "breaker_closes",
+    "count/half-open-probes": "breaker_probes",
 }
 
 #: Thread counters valid per worker (``{locality#N/worker#W}``).
@@ -99,6 +130,8 @@ def _pool_counter(pool: "ThreadPool", counter: str) -> float:
         return float(pool.steals)
     if counter == "queue/length":
         return float(pool.pending())
+    if counter == "queue/length-low":
+        return float(pool.pending_low())
     if counter == "time/busy":
         return sum(w.busy_time for w in pool.workers)
     if counter == "time/average":
@@ -207,6 +240,30 @@ def query(runtime: "Runtime", path: str) -> float:
             return float(getattr(port, _PARCEL_FAULT_COUNTERS[counter]))
         raise RuntimeStateError(f"unknown parcels counter {counter!r}")
 
+    if obj in ("overload", "breaker", "phi"):
+        if instance not in (None, "total"):
+            raise RuntimeStateError(f"{obj} counters are job-wide; use {{total}}")
+        controller = getattr(runtime, "_overload", None)
+        if obj == "overload":
+            if counter == "queue/stalled":
+                return 0.0 if controller is None else float(controller.stalled_count())
+            if counter in _OVERLOAD_COUNTERS:
+                if controller is None:
+                    return 0.0
+                return float(getattr(controller, _OVERLOAD_COUNTERS[counter]))
+            raise RuntimeStateError(f"unknown overload counter {counter!r}")
+        if obj == "breaker":
+            if counter in _BREAKER_COUNTERS:
+                if controller is None:
+                    return 0.0
+                return float(getattr(controller, _BREAKER_COUNTERS[counter]))
+            raise RuntimeStateError(f"unknown breaker counter {counter!r}")
+        if counter == "suspicion":
+            if controller is None:
+                return 0.0
+            return controller.phi.suspicion(runtime.makespan)
+        raise RuntimeStateError(f"unknown phi counter {counter!r}")
+
     if obj == "localities":
         if instance not in (None, "total"):
             raise RuntimeStateError("locality counters are job-wide; use {total}")
@@ -238,6 +295,7 @@ def discover(runtime: "Runtime") -> list[str]:
         "count/cumulative",
         "count/stolen",
         "queue/length",
+        "queue/length-low",
         "time/average",
         "time/busy",
         "idle-rate",
@@ -260,6 +318,13 @@ def discover(runtime: "Runtime") -> list[str]:
     paths.append("/parcels{total}/count/retries-in-flight")
     for counter in _PARCEL_FAULT_COUNTERS:
         paths.append(f"/parcels{{total}}/{counter}")
+    if getattr(runtime, "_overload", None) is not None:
+        for counter in _OVERLOAD_COUNTERS:
+            paths.append(f"/overload{{total}}/{counter}")
+        paths.append("/overload{total}/queue/stalled")
+        for counter in _BREAKER_COUNTERS:
+            paths.append(f"/breaker{{total}}/{counter}")
+        paths.append("/phi{total}/suspicion")
     paths.append("/localities{total}/count/failed")
     paths.append("/localities{total}/count/decommissioned")
     for counter in _CHECKPOINT_COUNTERS:

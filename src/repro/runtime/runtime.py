@@ -149,6 +149,15 @@ class Runtime:
             self.parcelport.fault_injector = fault_injector
             self.parcelport.retry_policy = self._retry_policy_from_config()
             self.parcelport.install_retry_scheduler(self._schedule_parcel_retry)
+        # The dead-letter queue is bounded regardless of admission control
+        # (a long outage window must not grow it without limit).
+        self.parcelport.dlq_max = self.config.get_int("overload.dlq_max")
+        self._overload = None
+        if self.config.get_bool("overload.enabled"):
+            from ..resilience.overload import OverloadController
+
+            self._overload = OverloadController(self)
+            self.parcelport.overload = self._overload
         self._started = False
 
     def _retry_policy_from_config(self) -> RetryPolicy:
@@ -169,6 +178,8 @@ class Runtime:
             base_timeout_s=base,
             max_timeout_s=cap,
             backoff=self.config.get_float("parcel.retry_backoff"),
+            jitter=self.config.get_float("parcel.retry_jitter"),
+            seed=self.config.get_int("seed"),
         )
 
     # Lifecycle --------------------------------------------------------------
@@ -278,6 +289,12 @@ class Runtime:
             # A deadlock detector raises its own richer error (rendered
             # wait cycle) from this hook; fall through otherwise.
             probe.stalled(self)
+        controller = self.parcelport.overload
+        if controller is not None and controller.stalled_count():
+            # Credit-stalled parcels with no runnable work to return a
+            # credit can never proceed: shed them so the stall surfaces
+            # as dead-lettered parcels instead of a bare deadlock.
+            controller.shed_all_stalled("job stalled while awaiting send credits")
         dead = self.parcelport.dead_letters
         if dead:
             shown = ", ".join(
@@ -425,6 +442,39 @@ class Runtime:
         parcel.by_ref_body = by_ref
         parcel.fire_and_forget = True
         parcel.reply_promise = Promise()
+        self.parcelport.send(parcel)
+
+    def apply_at(
+        self,
+        locality_id: int,
+        fn: Callable[..., Any] | str,
+        *args: Any,
+        kwargs: dict[str, Any] | None = None,
+        priority: Any = None,
+    ) -> None:
+        """Fire-and-forget plain action on ``locality_id`` with a priority.
+
+        Like :meth:`async_at` but one-way, and the parcel carries a
+        :class:`~repro.runtime.threads.hpx_thread.ThreadPriority` for its
+        handler task.  LOW-priority parcels are what overload admission
+        treats as sheddable background traffic, so this is the front door
+        for best-effort work (telemetry, speculative prefetch, the storm
+        harness).  ``kwargs`` is an explicit dict (pool.submit-style) so
+        action keyword arguments cannot collide with ``priority``.
+        """
+        self.locality(locality_id)  # validate
+        payload, by_ref = self._encode((("__plain__", fn, None), args, kwargs or {}))
+        source, send_time = self._source_and_time()
+        parcel = Parcel(
+            source_locality=source,
+            payload=payload,
+            target_locality=locality_id,
+            send_time=send_time,
+        )
+        parcel.by_ref_body = by_ref
+        parcel.fire_and_forget = True
+        parcel.reply_promise = Promise()
+        parcel.priority = priority
         self.parcelport.send(parcel)
 
     # Remote plain actions -------------------------------------------------------------
@@ -594,8 +644,52 @@ class Runtime:
                 if not parcel.fire_and_forget:
                     self._reply(promise, result, destination, parcel.source_locality)
 
+        controller = self.parcelport.overload
+        if controller is not None:
+            inner = handler
+
+            def handler() -> None:  # noqa: F811 - deliberate ack wrapper
+                # Handler completion is the ack: it returns the send
+                # credit, feeds the phi detector, and closes breakers.
+                # Early returns (migration reship, duplicate dedupe) ack
+                # too -- on_ack's holds_credit flip keeps the release
+                # exactly-once, and a reshipped parcel re-admits fresh.
+                try:
+                    inner()
+                finally:
+                    frame = _context_stack[-1] if _context_stack else None
+                    now = (
+                        frame.task.current_virtual_time()
+                        if frame is not None and frame.task is not None
+                        else arrival_time
+                    )
+                    controller.on_ack(parcel, destination, now)
+
         dest_pool.submit(
-            handler, ready_time=arrival_time, description=f"parcel#{parcel.parcel_id}"
+            handler,
+            ready_time=arrival_time,
+            description=f"parcel#{parcel.parcel_id}",
+            priority=parcel.priority,
+        )
+
+    def _schedule_parcel_resume(self, parcel: Parcel, at_time: float) -> None:
+        """Re-send a stalled or deferred parcel at virtual ``at_time``.
+
+        Runs as a tiny task on the *source* pool (like retries): a
+        credit-holding resume bypasses re-admission via
+        ``parcel.holds_credit``; a deferred LOW parcel re-enters
+        admission with its deferral count bumped.
+        """
+        pool = self.localities[parcel.source_locality].pool
+
+        def resume() -> None:
+            parcel.send_time = max(pool.now, at_time)
+            self.parcelport.send(parcel)
+
+        pool.submit(
+            resume,
+            ready_time=at_time,
+            description=f"parcel-resume#{parcel.parcel_id}",
         )
 
     def _schedule_parcel_retry(self, parcel: Parcel, at_time: float) -> None:

@@ -78,6 +78,9 @@ class ThreadPool:
         else:
             self.scheduler = make_scheduler(scheduler, n_workers, steal_attempts)
         self.tasks_executed = 0
+        #: High-water mark of the queue depth, maintained on submit --
+        #: the overload storm harness asserts this stays bounded.
+        self.peak_pending = 0
         self.failures: list[tuple[HpxThread, BaseException]] = []
         self._help_depth = 0
         self._in_flight = 0
@@ -117,6 +120,10 @@ class ThreadPool:
     def pending(self) -> int:
         """Queued tasks not yet started."""
         return len(self.scheduler)
+
+    def pending_low(self) -> int:
+        """Queued LOW-priority (sheddable background) tasks."""
+        return self.scheduler.pending_low()
 
     def discard_pending(self) -> int:
         """Drop every queued-but-unstarted task (crash decommissioning).
@@ -172,6 +179,9 @@ class ThreadPool:
         if instrument.enabled and (probe := instrument.probe) is not None:
             probe.task_created(ctx.current_task(), task)
         self.scheduler.push(task, worker_hint=worker)
+        depth = len(self.scheduler)
+        if depth > self.peak_pending:
+            self.peak_pending = depth
         return task.get_future()
 
     # Execution -------------------------------------------------------------------

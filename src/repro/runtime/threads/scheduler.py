@@ -148,6 +148,15 @@ class Scheduler:
     def __len__(self) -> int:
         raise NotImplementedError
 
+    def pending_low(self) -> int:
+        """Queued LOW-priority (sheddable background) tasks.
+
+        The overload perfcounters split queue depth by sheddability;
+        ``size - regular`` is already maintained incrementally, so this
+        costs no scan.
+        """
+        raise NotImplementedError
+
     def _check_worker(self, worker_id: Optional[int]) -> None:
         if worker_id is not None and not 0 <= worker_id < self.n_workers:
             raise RuntimeStateError(
@@ -177,6 +186,9 @@ class FifoScheduler(Scheduler):
 
     def __len__(self) -> int:
         return self._queue.size
+
+    def pending_low(self) -> int:
+        return self._queue.size - self._queue.regular
 
 
 class StaticScheduler(Scheduler):
@@ -220,6 +232,9 @@ class StaticScheduler(Scheduler):
 
     def __len__(self) -> int:
         return self._count
+
+    def pending_low(self) -> int:
+        return sum(q.size - q.regular for q in self._queues)
 
 
 class WorkStealingScheduler(Scheduler):
@@ -298,6 +313,9 @@ class WorkStealingScheduler(Scheduler):
 
     def __len__(self) -> int:
         return self._count
+
+    def pending_low(self) -> int:
+        return sum(q.size - q.regular for q in self._queues)
 
 
 def make_scheduler(name: str, n_workers: int, steal_attempts: int | None = None) -> Scheduler:

@@ -63,7 +63,11 @@ class TraceEvent:
     ``kind`` is one of ``steal | parcel_send | parcel_recv |
     parcel_retry | parcel_drop | outage`` -- plus ``race`` and
     ``deadlock``, emitted by the :mod:`repro.analysis` sanitizers when
-    they are attached with a tracer.  ``pool``/``worker_id``
+    they are attached with a tracer, and the overload-protection kinds
+    ``parcel_shed | parcel_deferred | credit_stall | credit_resume |
+    breaker_open | breaker_close | breaker_probe | phi_confirm`` when a
+    runtime with an :class:`~repro.resilience.overload.OverloadController`
+    is attached.  ``pool``/``worker_id``
     locate the event when known (parcel events carry the locality pool
     of their sender/receiver); ``parcel_id`` correlates the send and
     receive sides of one parcel, which is what the Chrome-trace flow
@@ -232,6 +236,20 @@ class Tracer:
 
         port._handle_loss = traced_loss  # type: ignore[method-assign]
         patched.append((port, "_handle_loss", orig_loss))
+
+        controller = getattr(port, "overload", None)
+        if controller is not None:
+            orig_hook = controller.event_hook
+
+            def overload_hook(kind, time, parcel_id, args, original=orig_hook):
+                self.events.append(
+                    TraceEvent(kind=kind, time=time, parcel_id=parcel_id, args=args)
+                )
+                if original is not None:
+                    original(kind, time, parcel_id, args)
+
+            controller.event_hook = overload_hook
+            patched.append((controller, "event_hook", orig_hook))
 
     def _record_outages(self, runtime: "Runtime") -> None:
         injector = getattr(runtime, "fault_injector", None)

@@ -23,6 +23,7 @@ def test_suite_registry_names():
         "fanout_fanin",
         "parcel_storm",
         "parcel_storm_zero_copy",
+        "parcel_storm_overload",
         "fig3_heat1d",
         "fig4_jacobi2d",
     }
