@@ -205,7 +205,11 @@ def _bench_fanout_fanin(n: int, repeats: int) -> BenchResult:
 
 
 def _bench_parcel_storm(
-    n: int, repeats: int, zero_copy: bool = False, overload: bool = False
+    n: int,
+    repeats: int,
+    zero_copy: bool = False,
+    overload: bool = False,
+    batching: bool = False,
 ) -> BenchResult:
     """``n`` cross-locality plain actions with list payloads (loopback).
 
@@ -217,7 +221,11 @@ def _bench_parcel_storm(
     decode is skipped).  With ``overload`` the admission controller is
     in the send path (credit accounting + breaker checks per parcel),
     so the delta against plain ``parcel_storm`` is the overhead of
-    overload protection when the system is healthy.
+    overload protection when the system is healthy.  With ``batching``
+    the per-destination parcel coalescer is in the send path, so the
+    delta against plain ``parcel_storm`` is what coalescing costs (or
+    saves) on loopback traffic -- virtual makespans are identical by
+    the batcher's determinism contract.
     """
     from repro.runtime import Runtime, when_all
 
@@ -226,6 +234,8 @@ def _bench_parcel_storm(
         config = Config(parcel__zero_copy=True)
     if overload:
         config = Config(overload__enabled=True)
+    if batching:
+        config = Config(parcel__batching=True)
     payload = list(range(64))
 
     def run() -> tuple[float, int]:
@@ -324,6 +334,9 @@ SUITE: dict[str, Callable[[bool, int], BenchResult]] = {
     ),
     "parcel_storm_overload": lambda quick, repeats: _bench_parcel_storm(
         _SIZES["parcel_storm"][quick], repeats, overload=True
+    ),
+    "parcel_storm_batched": lambda quick, repeats: _bench_parcel_storm(
+        _SIZES["parcel_storm"][quick], repeats, batching=True
     ),
     "fig3_heat1d": lambda quick, repeats: _bench_heat1d(
         _SIZES["heat1d_steps"][quick], repeats
@@ -438,9 +451,28 @@ def compare_to_baseline(
       optimisation changed the model's answer, not just its speed;
     * ``wall_seconds`` may not exceed the baseline by more than
       ``max_regression`` (relative).  Faster is always fine.
+
+    The name sets must reconcile, too: a baseline bench missing from the
+    current run is a *failure* (a silently dropped benchmark would let a
+    regression in it pass the gate forever), while benches the baseline
+    has never seen are reported loudly on stderr but do not fail -- new
+    benchmarks must be able to land before their baseline is recorded.
     """
     failures: list[str] = []
     base = _baseline_results(baseline, current.get("mode", "full"))
+    missing = sorted(set(base) - set(current["results"]))
+    if missing:
+        failures.append(
+            "baseline benches missing from this run (renamed or dropped "
+            "without updating the baseline?): " + ", ".join(missing)
+        )
+    unseen = sorted(set(current["results"]) - set(base))
+    if unseen:
+        print(
+            "bench: WARNING: benches not present in the baseline "
+            "(record a fresh baseline to gate them): " + ", ".join(unseen),
+            file=sys.stderr,
+        )
     for name, entry in current["results"].items():
         ref = base.get(name)
         if ref is None or "skipped" in entry or "skipped" in ref:

@@ -7,7 +7,9 @@ provides that call surface:
 * policies: :data:`seq`, :data:`par`, :data:`simd`, :data:`par_simd`,
   refined with ``.on(executor)`` and ``.with_chunk_size(n)``;
 * algorithms: :func:`for_each`, :func:`for_loop`, :func:`transform`,
-  :func:`reduce_`, :func:`inclusive_scan`.
+  :func:`reduce_`, :func:`inclusive_scan` -- plus the fused block
+  variants :func:`for_each_block` / :func:`transform_block` (one
+  HPX-thread per chunk running a vectorized body over the whole chunk).
 """
 
 from .execution_policy import (
@@ -18,7 +20,15 @@ from .execution_policy import (
     par_simd,
 )
 from .partitioner import auto_chunk_size, partition
-from .algorithms import for_each, for_loop, transform, reduce_, inclusive_scan
+from .algorithms import (
+    for_each,
+    for_each_block,
+    for_loop,
+    transform,
+    transform_block,
+    reduce_,
+    inclusive_scan,
+)
 
 __all__ = [
     "ExecutionPolicy",
@@ -29,8 +39,10 @@ __all__ = [
     "auto_chunk_size",
     "partition",
     "for_each",
+    "for_each_block",
     "for_loop",
     "transform",
+    "transform_block",
     "reduce_",
     "inclusive_scan",
 ]

@@ -17,7 +17,15 @@ from ..futures import Future, when_all
 from .execution_policy import ExecutionPolicy
 from .partitioner import auto_chunk_size, partition
 
-__all__ = ["for_each", "for_loop", "transform", "reduce_", "inclusive_scan"]
+__all__ = [
+    "for_each",
+    "for_each_block",
+    "for_loop",
+    "transform",
+    "transform_block",
+    "reduce_",
+    "inclusive_scan",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -38,12 +46,17 @@ def _submit_chunks(
         frame = ctx.current_or_none()
         pool = frame.pool if frame is not None else None
 
+    # One chunking rule for both paths: the explicit ``chunk_size`` when
+    # given, the auto partitioner otherwise (sized for one worker outside
+    # any runtime).  The sequential fall-back used to collapse to a
+    # single chunk, so chunk-sensitive bodies (per-chunk setup cost,
+    # chunk-order reductions) diverged between seq and par runs.
+    workers = pool.n_workers if pool is not None else 1
+    chunk = policy.chunk_size or auto_chunk_size(n_items, workers)
     if not policy.parallel or pool is None or n_items == 0:
         # Sequential fall-back (also used outside any runtime).
-        chunk = policy.chunk_size or max(n_items, 1)
         return [chunk_body(rng) for rng in partition(start, stop, chunk)]
 
-    chunk = policy.chunk_size or auto_chunk_size(n_items, pool.n_workers)
     chunks = partition(start, stop, chunk)
     futures: list[Future] = []
     if policy.executor is not None and hasattr(policy.executor, "chunk_for"):
@@ -90,6 +103,26 @@ def for_each(
     _submit_chunks(policy, 0, len(items), chunk_body)
 
 
+def for_each_block(
+    policy: ExecutionPolicy, first: int, last: int, body: Callable[[range], Any]
+) -> None:
+    """Fused block execution: ``body(chunk_range)`` once per chunk.
+
+    The fast path behind :func:`for_each` for vectorizable bodies: the
+    index space is partitioned exactly as :func:`for_each` would
+    partition it (same chunk count, same HPX-thread per chunk, so the
+    virtual makespan is identical), but instead of one ``fn(i)`` Python
+    call per element the chunk's whole index range is handed to ``body``
+    in one call -- letting it update a contiguous numpy block with a
+    handful of vectorized operations.  The caller promises that
+    ``body(range(a, c))`` computes bit-identically to ``body(range(a,
+    b))`` followed by ``body(range(b, c))`` -- true for elementwise and
+    stencil updates that read only the previous time level.
+    """
+    first, last = _index_space(first, last)
+    _submit_chunks(policy, first, last, body)
+
+
 def for_loop(
     policy: ExecutionPolicy, first: int, last: int, fn: Callable[[int], Any]
 ) -> None:
@@ -113,6 +146,23 @@ def transform(
         return [fn(items[i]) for i in rng]
 
     parts = _submit_chunks(policy, 0, len(items), chunk_body)
+    return [value for part in parts for value in part]
+
+
+def transform_block(
+    policy: ExecutionPolicy,
+    first: int,
+    last: int,
+    body: Callable[[range], Sequence[R]],
+) -> list[R]:
+    """Fused :func:`transform`: ``body(chunk_range)`` returns the chunk's
+    results as a sequence; chunks concatenate in index order.  Same
+    partitioning and task structure as :func:`transform`, minus the
+    per-element Python call -- ``body`` may produce its slice of the
+    output with vectorized operations.
+    """
+    first, last = _index_space(first, last)
+    parts = _submit_chunks(policy, first, last, body)
     return [value for part in parts for value in part]
 
 

@@ -34,6 +34,7 @@ from .parcel import Parcel
 if TYPE_CHECKING:  # pragma: no cover
     from ...resilience.faults import FaultInjector
     from ...resilience.overload import OverloadController
+    from .batcher import ParcelBatcher
 
 __all__ = ["RetryPolicy", "Parcelport", "LoopbackParcelport", "NetworkParcelport"]
 
@@ -112,9 +113,14 @@ class Parcelport:
         #: Installed by the runtime when ``overload.enabled`` is set;
         #: gates every first-time :meth:`send` through admission control.
         self.overload: "OverloadController | None" = None
+        #: Installed by the runtime when ``parcel.batching`` is set;
+        #: first-time sends are coalesced per destination (see
+        #: :mod:`repro.runtime.parcel.batcher`).
+        self.batcher: "ParcelBatcher | None" = None
         #: Dead-letter queue bound (0 = unbounded); the runtime sets it
-        #: from ``overload.dlq_max``.  Oldest entries are evicted first.
-        self.dlq_max = 0
+        #: from ``overload.dlq_max``.  Oldest entries are evicted first;
+        #: assigning a smaller bound trims (and counts) immediately.
+        self._dlq_max = 0
         self.parcels_sent = 0
         self.bytes_sent = 0
         #: Transmissions the router accepted (wire-level deliveries; a
@@ -129,6 +135,12 @@ class Parcelport:
         self.parcels_retried = 0
         self.parcels_retransmitted = 0
         self.parcels_dead_lettered = 0
+        #: Sheds appended to the dead-letter queue (kept separate from
+        #: :attr:`parcels_dead_lettered`, which stays "retries exhausted"
+        #: for the overload conservation law).  Together they reconcile
+        #: the queue length: ``len(dead_letters) == dead_lettered +
+        #: shed_lettered - dlq_evicted`` at all times.
+        self.parcels_shed_lettered = 0
         self.parcels_dlq_evicted = 0
         #: Stable parcel -> jitter-sequence mapping for
         #: :meth:`RetryPolicy.jittered_timeout` (insertion order, the
@@ -179,20 +191,39 @@ class Parcelport:
                 return parcel.send_time
             if verdict in ("stall", "defer"):
                 return parcel.send_time
+        batcher = self.batcher
+        if batcher is not None:
+            return batcher.enqueue(parcel)
         return self._transmit(parcel)
 
     def retransmit(self, parcel: Parcel) -> float:
-        """Re-send a lost parcel (called by the runtime's retry task)."""
+        """Re-send a lost parcel (called by the runtime's retry task).
+
+        Retransmissions bypass coalescing (they are latency-sensitive),
+        but any open batch toward the same destination is flushed first
+        so the retry cannot overtake queued first sends.
+        """
+        batcher = self.batcher
+        if batcher is not None:
+            batcher.flush_for(parcel)
         self.parcels_retransmitted += 1
         return self._transmit(parcel)
 
     def _transmit(self, parcel: Parcel) -> float:
         arrival = self._arrival_time(parcel)
         parcel.attempts += 1
-        fate = None
-        if self.fault_injector is not None:
-            fate = self.fault_injector.parcel_fate(parcel, parcel.attempts)
-        if fate is not None and fate.lost:
+        if self.fault_injector is None:
+            # Fault-free fast path: no fates to draw, no loss machinery.
+            self._router(parcel, arrival)
+            self.parcels_sent += 1
+            self.bytes_sent += parcel.size_bytes
+            self.parcels_delivered += 1
+            latency = arrival - parcel.send_time
+            if latency > 0.0:
+                self.latency_total_s += latency
+            return arrival
+        fate = self.fault_injector.parcel_fate(parcel, parcel.attempts)
+        if fate.lost:
             # The parcel left the NIC but never usably arrived: it counts
             # as sent, then the loss machinery decides retry vs dead-letter.
             self.parcels_sent += 1
@@ -204,7 +235,7 @@ class Parcelport:
                 self.parcels_dropped += 1
                 self._handle_loss(parcel, "dropped in flight")
             return arrival
-        if fate is not None and fate.kind == "delay":
+        if fate.kind == "delay":
             arrival += fate.extra_delay_s
         self._router(parcel, arrival)
         # Statistics move only after the router accepted the parcel: a
@@ -215,9 +246,9 @@ class Parcelport:
         latency = arrival - parcel.send_time
         if latency > 0.0:
             self.latency_total_s += latency
-        if fate is not None and fate.kind == "delay":
+        if fate.kind == "delay":
             self.parcels_delayed += 1
-        if fate is not None and fate.kind == "duplicate":
+        if fate.kind == "duplicate":
             dup_arrival = arrival + fate.extra_delay_s
             self._router(parcel, dup_arrival)
             self.parcels_sent += 1
@@ -278,13 +309,36 @@ class Parcelport:
         if promise is not None and not promise.is_ready():
             promise.set_exception(exc)
 
+    @property
+    def dlq_max(self) -> int:
+        """Dead-letter queue bound (0 = unbounded).
+
+        Assigning a smaller bound mid-run trims the queue immediately,
+        counting every dropped entry in :attr:`parcels_dlq_evicted` --
+        the queue length and the dead-letter counters stay mutually
+        consistent at every moment, not just after the next append.
+        """
+        return self._dlq_max
+
+    @dlq_max.setter
+    def dlq_max(self, bound: int) -> None:
+        if bound < 0:
+            raise ConfigError("dlq_max must be >= 0 (0 = unbounded)")
+        self._dlq_max = bound
+        self._trim_dead_letters()
+
+    def _trim_dead_letters(self) -> None:
+        bound = self._dlq_max
+        if bound > 0:
+            excess = len(self.dead_letters) - bound
+            if excess > 0:
+                del self.dead_letters[:excess]
+                self.parcels_dlq_evicted += excess
+
     def _dead_letter(self, parcel: Parcel, reason: str) -> None:
         """Append to the dead-letter queue, evicting oldest past the bound."""
         self.dead_letters.append((parcel, reason))
-        if self.dlq_max > 0:
-            while len(self.dead_letters) > self.dlq_max:
-                self.dead_letters.pop(0)
-                self.parcels_dlq_evicted += 1
+        self._trim_dead_letters()
 
     def _shed(self, parcel: Parcel, reason: str, retry_after: float = 0.0) -> None:
         """Admission control refused the parcel: dead-letter it as a shed.
@@ -295,6 +349,7 @@ class Parcelport:
         land in the same queue, tagged, and fail the reply promise with
         :class:`~repro.errors.ParcelShedError` carrying the retry hint.
         """
+        self.parcels_shed_lettered += 1
         self._dead_letter(parcel, f"shed: {reason}")
         exc = ParcelShedError(
             f"parcel #{parcel.parcel_id} shed by admission control: {reason}",

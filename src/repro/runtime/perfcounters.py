@@ -26,7 +26,17 @@ Supported counter types::
     /parcels/count/retried         retransmissions scheduled by the retry layer
     /parcels/count/retries-in-flight  retransmissions scheduled but not yet sent
     /parcels/count/dead-lettered   parcels abandoned after exhausting retries
+    /parcels/count/shed-lettered   sheds recorded in the dead-letter queue
     /parcels/count/dead-letter-evicted  oldest entries evicted past dlq_max
+    /parcels/queue/dead-letter     dead-letter queue length right now (gauge)
+    /parcels/batch/messages        coalesced wire messages flushed
+    /parcels/batch/parcels         parcels that travelled inside a batch
+    /parcels/batch/pending         parcels currently held in open batches
+    /parcels/batch/header-bytes-saved  modelled header bytes amortized away
+    /parcels/batch/flushes-full    flushes triggered by batch_max_parcels
+    /parcels/batch/flushes-bytes   flushes triggered by batch_max_bytes
+    /parcels/batch/flushes-linger  flushes triggered by the linger timer
+    /parcels/batch/flushes-forced  ordering flushes (replies, retransmits)
     /overload/count/shed           parcels refused by admission control
     /overload/count/deferred       LOW-parcel deferrals (seeded backoff)
     /overload/count/credits-stalled  sends parked awaiting a credit
@@ -88,7 +98,21 @@ _PARCEL_FAULT_COUNTERS = {
     "count/delayed": "parcels_delayed",
     "count/retried": "parcels_retried",
     "count/dead-lettered": "parcels_dead_lettered",
+    "count/shed-lettered": "parcels_shed_lettered",
     "count/dead-letter-evicted": "parcels_dlq_evicted",
+}
+
+#: Coalescing statistics: counter suffix -> ParcelBatcher attribute.
+#: All read 0.0 when batching is off, so consumers need no feature test.
+_BATCH_COUNTERS = {
+    "batch/messages": "messages_flushed",
+    "batch/parcels": "parcels_batched",
+    "batch/pending": "pending",
+    "batch/header-bytes-saved": "header_bytes_saved",
+    "batch/flushes-full": "flushes_full",
+    "batch/flushes-bytes": "flushes_bytes",
+    "batch/flushes-linger": "flushes_linger",
+    "batch/flushes-forced": "flushes_forced",
 }
 
 #: Overload admission statistics: counter suffix -> OverloadController
@@ -236,8 +260,15 @@ def query(runtime: "Runtime", path: str) -> float:
             return port.latency_total_s / port.parcels_delivered
         if counter == "count/retries-in-flight":
             return float(port.parcels_retried - port.parcels_retransmitted)
+        if counter == "queue/dead-letter":
+            return float(len(port.dead_letters))
         if counter in _PARCEL_FAULT_COUNTERS:
             return float(getattr(port, _PARCEL_FAULT_COUNTERS[counter]))
+        if counter in _BATCH_COUNTERS:
+            batcher = port.batcher
+            if batcher is None:
+                return 0.0
+            return float(getattr(batcher, _BATCH_COUNTERS[counter]))
         raise RuntimeStateError(f"unknown parcels counter {counter!r}")
 
     if obj in ("overload", "breaker", "phi"):
@@ -316,8 +347,12 @@ def discover(runtime: "Runtime") -> list[str]:
     paths.append("/parcels{total}/count/delivered")
     paths.append("/parcels{total}/time/average-latency")
     paths.append("/parcels{total}/count/retries-in-flight")
+    paths.append("/parcels{total}/queue/dead-letter")
     for counter in _PARCEL_FAULT_COUNTERS:
         paths.append(f"/parcels{{total}}/{counter}")
+    if runtime.parcelport.batcher is not None:
+        for counter in _BATCH_COUNTERS:
+            paths.append(f"/parcels{{total}}/{counter}")
     if getattr(runtime, "_overload", None) is not None:
         for counter in _OVERLOAD_COUNTERS:
             paths.append(f"/overload{{total}}/{counter}")

@@ -158,6 +158,29 @@ class Runtime:
 
             self._overload = OverloadController(self)
             self.parcelport.overload = self._overload
+        # Parcel coalescing (see repro.runtime.parcel.batcher): per-
+        # destination batches flushed on size/bytes/linger by the
+        # progress engine.
+        self._batcher = None
+        if self.config.get_bool("parcel.batching"):
+            from .parcel.batcher import ParcelBatcher
+
+            self._batcher = ParcelBatcher(
+                self.parcelport,
+                resolve=self._destination_of,
+                max_parcels=self.config.get_int("parcel.batch_max_parcels"),
+                max_bytes=self.config.get_int("parcel.batch_max_bytes"),
+                linger_s=self.config.get_float("parcel.batch_linger_s"),
+            )
+            self.parcelport.batcher = self._batcher
+        # Parcel-shell object pool.  Without fault injection or admission
+        # control a parcel is unreferenced the moment its handler
+        # finishes (no retries, no dedupe set, no credit bookkeeping), so
+        # the hot loop recycles shells instead of allocating.  Any
+        # at-least-once machinery disables the pool outright.
+        self._parcel_pool: list[Parcel] | None = (
+            [] if fault_injector is None and self._overload is None else None
+        )
         self._started = False
 
     def _retry_policy_from_config(self) -> RetryPolicy:
@@ -318,22 +341,48 @@ class Runtime:
         :class:`~repro.errors.ParcelDeadLetterError`; a plain stall is a
         :class:`~repro.errors.DeadlockError`.
         """
+        batcher = self._batcher
         while not predicate():
             loc, hint = self._next_locality()
+            # Coalesced parcels whose linger expires before the next task
+            # starts go out first (hint is inf on a stall, draining every
+            # open batch before declaring deadlock); a flush enqueues
+            # handler tasks, so re-evaluate from the top.
+            if batcher is not None and batcher.pending and batcher.flush_due(hint):
+                continue
             if loc is None:
                 self._raise_stalled()
             self._step_locality(loc, hint)
+        # The predicate can flip mid-task (e.g. the awaited future
+        # resolves) with sends of that very task still parked in a batch.
+        # Unbatched they would already be on the wire: drain them.
+        if batcher is not None and batcher.pending:
+            batcher.flush_all()
 
     def progress_before(self, predicate: Callable[[], bool], deadline: float) -> bool:
         """Like :meth:`progress_until`, but only step work that can start
         at or before virtual ``deadline``; returns the final predicate
         value instead of raising on a stall (timeout machinery)."""
-        while not predicate():
-            loc, hint = self._next_locality()
-            if loc is None or hint > deadline:
-                return predicate()
-            self._step_locality(loc, hint)
-        return True
+        batcher = self._batcher
+        try:
+            while not predicate():
+                loc, hint = self._next_locality()
+                if (
+                    batcher is not None
+                    and batcher.pending
+                    and batcher.flush_due(min(hint, deadline))
+                ):
+                    continue
+                if loc is None or hint > deadline:
+                    return predicate()
+                self._step_locality(loc, hint)
+            return True
+        finally:
+            # Exit-drain, bounded by the deadline: parcels sent by tasks
+            # stepped at or before it must go out (unbatched they would
+            # have), while linger deadlines past it stay parked.
+            if batcher is not None and batcher.pending:
+                batcher.flush_due(deadline)
 
     def progress_all(self) -> float:
         """Drain every pool; returns the job makespan.
@@ -349,6 +398,8 @@ class Runtime:
         """
 
         def quiescent() -> bool:
+            if self._batcher is not None and self._batcher.pending:
+                return False
             return all(
                 not loc.pool.pending()
                 for loc in self.localities
@@ -411,12 +462,7 @@ class Runtime:
         self.agas.resolve(gid)  # validate the target exists up front
         payload, by_ref = self._encode((("__component__", method, gid), args, kwargs))
         source, send_time = self._source_and_time()
-        parcel = Parcel(
-            source_locality=source,
-            payload=payload,
-            target_gid=gid,
-            send_time=send_time,
-        )
+        parcel = self._new_parcel(source, payload, gid, None, send_time)
         parcel.by_ref_body = by_ref
         return self._ship(parcel)
 
@@ -433,12 +479,7 @@ class Runtime:
         self.agas.resolve(gid)  # validate the target exists up front
         payload, by_ref = self._encode((("__component__", method, gid), args, kwargs))
         source, send_time = self._source_and_time()
-        parcel = Parcel(
-            source_locality=source,
-            payload=payload,
-            target_gid=gid,
-            send_time=send_time,
-        )
+        parcel = self._new_parcel(source, payload, gid, None, send_time)
         parcel.by_ref_body = by_ref
         parcel.fire_and_forget = True
         parcel.reply_promise = Promise()
@@ -465,12 +506,7 @@ class Runtime:
         self.locality(locality_id)  # validate
         payload, by_ref = self._encode((("__plain__", fn, None), args, kwargs or {}))
         source, send_time = self._source_and_time()
-        parcel = Parcel(
-            source_locality=source,
-            payload=payload,
-            target_locality=locality_id,
-            send_time=send_time,
-        )
+        parcel = self._new_parcel(source, payload, None, locality_id, send_time)
         parcel.by_ref_body = by_ref
         parcel.fire_and_forget = True
         parcel.reply_promise = Promise()
@@ -489,16 +525,38 @@ class Runtime:
         self.locality(locality_id)  # validate
         payload, by_ref = self._encode((("__plain__", fn, None), args, kwargs))
         source, send_time = self._source_and_time()
-        parcel = Parcel(
-            source_locality=source,
-            payload=payload,
-            target_locality=locality_id,
-            send_time=send_time,
-        )
+        parcel = self._new_parcel(source, payload, None, locality_id, send_time)
         parcel.by_ref_body = by_ref
         return self._ship(parcel)
 
     # Parcel plumbing ---------------------------------------------------------------
+    def _new_parcel(
+        self,
+        source_locality: int,
+        payload: bytes,
+        target_gid: Gid | None,
+        target_locality: int | None,
+        send_time: float,
+    ) -> Parcel:
+        """A fresh logical parcel, recycling a pooled shell when possible.
+
+        The pool only exists when no fault injector and no overload
+        controller are installed -- the configurations under which a
+        parcel is provably unreferenced once its handler returns.
+        """
+        pool = self._parcel_pool
+        if pool:
+            return pool.pop().reinit(
+                source_locality, payload, target_gid, target_locality, send_time
+            )
+        return Parcel(
+            source_locality=source_locality,
+            payload=payload,
+            target_gid=target_gid,
+            target_locality=target_locality,
+            send_time=send_time,
+        )
+
     def _encode(self, parcel_body: tuple) -> tuple[bytes, tuple | None]:
         """Serialize a parcel body.
 
@@ -643,7 +701,17 @@ class Runtime:
             else:
                 if not parcel.fire_and_forget:
                     self._reply(promise, result, destination, parcel.source_locality)
+            # With no injector and no overload controller nothing holds a
+            # reference past this point (no retries, dedupe, or credit
+            # bookkeeping), so the shell is recycled for the next send.
+            # Early returns above (migration reship) keep their parcel.
+            if shell_pool is not None and len(shell_pool) < 512:
+                parcel.payload = b""
+                parcel.by_ref_body = None
+                parcel.reply_promise = None
+                shell_pool.append(parcel)
 
+        shell_pool = self._parcel_pool
         controller = self.parcelport.overload
         if controller is not None:
             inner = handler
@@ -786,6 +854,11 @@ class Runtime:
             size = len(serialize(value)) + 64 if self._serialize_parcels else 64
             delay = self.parcelport.interconnect.transfer_time(size, self.n_localities)
         send_time = self._send_time()
+        if self._batcher is not None:
+            # The reply delivery is a direct pool submission; any parcels
+            # this task already coalesced toward the caller must not be
+            # overtaken by it, so close that destination's batch first.
+            self._batcher.flush_destination(to_locality)
         source_pool = self.localities[to_locality].pool
 
         def deliver() -> None:

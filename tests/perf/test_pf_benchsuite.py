@@ -24,6 +24,7 @@ def test_suite_registry_names():
         "parcel_storm",
         "parcel_storm_zero_copy",
         "parcel_storm_overload",
+        "parcel_storm_batched",
         "fig3_heat1d",
         "fig4_jacobi2d",
     }
@@ -65,6 +66,14 @@ def test_zero_copy_storm_makespan_matches_default(quick_doc):
     zero_copy = quick_doc["results"]["parcel_storm_zero_copy"]
     assert zero_copy["virtual_makespan"] == default["virtual_makespan"]
     assert zero_copy["n_parcels"] == default["n_parcels"]
+
+
+def test_batched_storm_makespan_matches_default(quick_doc):
+    """Parcel coalescing must not move the virtual answer either."""
+    default = quick_doc["results"]["parcel_storm"]
+    batched = quick_doc["results"]["parcel_storm_batched"]
+    assert batched["virtual_makespan"] == default["virtual_makespan"]
+    assert batched["n_parcels"] == default["n_parcels"]
 
 
 def test_compare_to_baseline_self_is_clean(quick_doc):
@@ -145,3 +154,22 @@ def test_cli_bench_baseline_gate(tmp_path):
          "--baseline", str(baseline), "--max-regression", "10.0"]
     )
     assert code == 0
+
+
+def test_compare_to_baseline_fails_on_bench_missing_from_run(quick_doc):
+    """A bench present in the baseline but absent from the run is a hard
+    failure -- a renamed or dropped bench must not silently pass the gate."""
+    pruned = json.loads(json.dumps(quick_doc))
+    del pruned["results"]["fanout_fanin"]
+    failures = bench.compare_to_baseline(pruned, quick_doc)
+    assert any("fanout_fanin" in f and "missing" in f for f in failures)
+
+
+def test_compare_to_baseline_warns_on_bench_not_in_baseline(quick_doc, capsys):
+    """A brand-new bench is not gated yet: loud stderr warning, no failure."""
+    extra = json.loads(json.dumps(quick_doc))
+    extra["results"]["brand_new_bench"] = dict(extra["results"]["task_spawn"])
+    failures = bench.compare_to_baseline(extra, quick_doc)
+    assert failures == []
+    err = capsys.readouterr().err
+    assert "WARNING" in err and "brand_new_bench" in err

@@ -6,7 +6,12 @@ import pytest
 
 from repro.config import Config
 from repro.errors import ConfigError, ParcelDeadLetterError, ParcelShedError
-from repro.resilience import CircuitBreaker, OverloadPolicy, PhiAccrualDetector
+from repro.resilience import (
+    CircuitBreaker,
+    FaultInjector,
+    OverloadPolicy,
+    PhiAccrualDetector,
+)
 from repro.runtime import context as ctx
 from repro.runtime import perfcounters
 from repro.runtime.parcel import LoopbackParcelport, Parcel
@@ -345,3 +350,73 @@ def test_tracer_records_credit_and_shed_events():
         assert "credit_resume" in kinds
         assert "parcel_deferred" in kinds
         assert "parcel_shed" in kinds
+
+
+def test_dlq_shrink_mid_run_keeps_counters_reconciled():
+    """Shrinking ``dlq_max`` while entries exist must evict immediately
+    and keep the conservation law ``len(dead_letters) == dead_lettered +
+    shed_lettered - dlq_evicted`` true at every step."""
+    port = LoopbackParcelport()
+    port.install_router(lambda parcel, arrival: None)
+    port.fault_injector = FaultInjector(seed=0, drop_rate=1.0)
+    port.retry_policy = RetryPolicy(enabled=False)
+
+    def reconciled():
+        assert len(port.dead_letters) == (
+            port.parcels_dead_lettered
+            + port.parcels_shed_lettered
+            - port.parcels_dlq_evicted
+        )
+
+    # Unbounded phase: 4 dead letters + 2 sheds accumulate.
+    for _ in range(4):
+        port.send(_parcel())
+        reconciled()
+    for _ in range(2):
+        port._shed(_parcel(), "overloaded", retry_after=0.1)
+        reconciled()
+    assert len(port.dead_letters) == 6
+    assert port.parcels_dlq_evicted == 0
+
+    # Shrink mid-run: the oldest entries go at once, counted as evicted.
+    port.dlq_max = 3
+    reconciled()
+    assert len(port.dead_letters) == 3
+    assert port.parcels_dlq_evicted == 3
+
+    # Under the new bound every further entry evicts one: the cumulative
+    # dead-letter counters keep growing while the queue stays pinned.
+    for _ in range(3):
+        port.send(_parcel())
+        reconciled()
+        assert len(port.dead_letters) == 3
+    assert port.parcels_dead_lettered == 7
+    assert port.parcels_shed_lettered == 2
+    assert port.parcels_dlq_evicted == 6
+
+
+def test_dlq_perfcounters_reconcile_after_shrink():
+    """The counter surface exposes the same reconciliation: the
+    ``queue/dead-letter`` gauge always equals dead-lettered plus
+    shed-lettered minus evicted."""
+    with Runtime(n_localities=2, workers_per_locality=1) as rt:
+        port = rt.parcelport
+        for _ in range(5):
+            port._dead_letter(_parcel(), "test")
+            port.parcels_dead_lettered += 1
+        port._shed(_parcel(), "overloaded")
+        port.dlq_max = 2  # mid-run shrink: evicts 4 of the 6 entries
+
+        def gauge(path):
+            return perfcounters.query(rt, path)
+
+        assert gauge("/parcels{total}/queue/dead-letter") == float(
+            len(port.dead_letters)
+        )
+        assert gauge("/parcels{total}/queue/dead-letter") == (
+            gauge("/parcels{total}/count/dead-lettered")
+            + gauge("/parcels{total}/count/shed-lettered")
+            - gauge("/parcels{total}/count/dead-letter-evicted")
+        )
+        assert gauge("/parcels{total}/count/dead-letter-evicted") == 4.0
+        assert "/parcels{total}/queue/dead-letter" in perfcounters.discover(rt)

@@ -208,3 +208,83 @@ def test_chunked_for_each_respects_chunk_size(rt):
     rt.run(main)
     # main + 10 chunk tasks (when_all adds no tasks of its own).
     assert pool.tasks_executed - before == 11
+
+
+# seq/par chunking identity (regression) ----------------------------------------
+#
+# The sequential fall-back in _submit_chunks used to collapse the whole
+# index space into a single chunk while the parallel path partitioned it,
+# so chunk-sensitive bodies (per-chunk setup cost, chunk-order
+# reductions, fused block updates) saw different chunk shapes under seq
+# and par.  Both paths now share one chunking rule.
+
+def _record_chunks(rt, policy, n=103):
+    from repro.runtime.algorithms import for_each_block
+
+    chunks = []
+    rt.run(lambda: for_each_block(policy, 0, n, chunks.append))
+    return sorted(chunks, key=lambda rng: rng.start)
+
+
+def test_seq_and_par_chunking_is_identical(rt):
+    seq_chunks = _record_chunks(rt, seq)
+    par_chunks = _record_chunks(rt, par)
+    assert seq_chunks == par_chunks
+    # The shared rule really partitions (the old bug made seq one chunk).
+    assert len(seq_chunks) > 1
+    covered = [i for rng in seq_chunks for i in rng]
+    assert covered == list(range(103))
+
+
+def test_seq_and_par_chunking_identical_with_explicit_chunk_size(rt):
+    seq_chunks = _record_chunks(rt, seq.with_chunk_size(7))
+    par_chunks = _record_chunks(rt, par.with_chunk_size(7))
+    assert seq_chunks == par_chunks
+    assert all(len(rng) <= 7 for rng in seq_chunks)
+
+
+def test_seq_outside_runtime_chunks_for_one_worker():
+    from repro.runtime.algorithms import for_each_block
+
+    chunks = []
+    for_each_block(seq, 0, 40, chunks.append)
+    expected = partition(0, 40, auto_chunk_size(40, 1))
+    assert chunks == expected
+
+
+# Fused block algorithms ---------------------------------------------------------
+
+def test_for_each_block_matches_for_each(rt):
+    from repro.runtime.algorithms import for_each_block
+
+    out_block = [0] * 60
+    out_elem = [0] * 60
+
+    def block_body(rng):
+        for i in rng:
+            out_block[i] = i * i
+
+    def main():
+        for_each_block(par, 0, 60, block_body)
+        for_each(par, range(60), lambda i: out_elem.__setitem__(i, i * i))
+
+    rt.run(main)
+    assert out_block == out_elem == [i * i for i in range(60)]
+
+
+def test_transform_block_concatenates_in_index_order(rt):
+    from repro.runtime.algorithms import transform_block
+
+    def main():
+        return transform_block(par, 0, 50, lambda rng: [i * 3 for i in rng])
+
+    assert rt.run(main) == [i * 3 for i in range(50)]
+
+
+def test_block_algorithms_validate_index_space():
+    from repro.runtime.algorithms import for_each_block, transform_block
+
+    with pytest.raises(RuntimeStateError):
+        for_each_block(seq, 10, 5, lambda rng: None)
+    with pytest.raises(RuntimeStateError):
+        transform_block(seq, 10, 5, lambda rng: [])

@@ -1,0 +1,149 @@
+"""Object pools: recycled HpxThread/parcel shells must never leak state.
+
+The hot paths recycle three kinds of shells -- HPX-thread objects
+(``ThreadPool._shell_pool``), parcel objects (``Runtime._parcel_pool``)
+and execution-context frames (``ThreadPool._frame_pool``).  Recycling is
+only admissible if a reused shell is indistinguishable from a freshly
+constructed one: fresh ids, fresh promises, no payloads or annexes from
+the previous life.  These tests pin that, plus the safety gates (no
+parcel pooling under fault injection or overload control, no thread
+shells parked while instrumentation is live, failed tasks never
+recycled).
+"""
+
+import pytest
+
+from repro.errors import RuntimeStateError
+from repro.resilience import FaultInjector
+from repro.runtime import par, transform
+from repro.runtime.runtime import Runtime
+from repro.runtime.threads.hpx_thread import _NO_KWARGS
+from repro.config import Config
+
+
+def _remote_double(x):
+    return 2 * x
+
+
+# HPX-thread shells ------------------------------------------------------------
+
+
+def test_thread_shells_park_cleared_and_reuse_with_fresh_identity():
+    with Runtime(n_localities=1, workers_per_locality=2) as rt:
+        pool = rt.localities[0].pool
+        first = rt.run(lambda: transform(par, range(40), lambda x: x + 1))
+        assert first == list(range(1, 41))
+        assert pool._shell_pool, "completed tasks must be parked for reuse"
+        # Parked shells hold no user state: body, args and kwargs are all
+        # swapped for inert shared sentinels.
+        for shell in pool._shell_pool:
+            assert shell.args == ()
+            assert shell.kwargs is _NO_KWARGS
+            assert shell.fn() is None  # the parked placeholder body
+
+        probe = pool._shell_pool[-1]  # next submit pops this exact shell
+        old_tid, old_promise = probe.tid, probe._promise
+        second = rt.run(lambda: transform(par, range(40), lambda x: x * 3))
+        assert second == [x * 3 for x in range(40)]
+        # The recycled shell came back with a brand-new identity: a fresh
+        # tid and a fresh promise (the old promise's shared state may
+        # still be in user hands).
+        assert probe.tid != old_tid
+        assert probe._promise is not old_promise
+
+
+def test_thread_shell_reinit_still_validates_the_body():
+    with Runtime(n_localities=1, workers_per_locality=1) as rt:
+        pool = rt.localities[0].pool
+        rt.run(lambda: transform(par, range(8), lambda x: x))
+        assert pool._shell_pool  # the pooled-submit path is live
+        with pytest.raises(RuntimeStateError, match="callable"):
+            pool.submit("not callable")
+
+
+def test_failed_tasks_are_never_recycled():
+    with Runtime(n_localities=1, workers_per_locality=1) as rt:
+        pool = rt.localities[0].pool
+
+        def boom():
+            raise ValueError("kept for the postmortem")
+
+        def main():
+            future = pool.submit(boom)
+            try:
+                future.get()
+            except ValueError:
+                pass
+
+        rt.run(main)
+        assert pool.failures
+        failed_task = pool.failures[-1][0]
+        assert failed_task not in pool._shell_pool
+        # The failure record still knows what it was.
+        assert failed_task.description == "boom"
+
+
+def test_frame_pool_parks_cleared_frames():
+    with Runtime(n_localities=1, workers_per_locality=2) as rt:
+        pool = rt.localities[0].pool
+        rt.run(lambda: transform(par, range(16), lambda x: x))
+        assert pool._frame_pool
+        for frame in pool._frame_pool:
+            assert frame.task is None
+            assert frame.extras is None
+
+
+# Parcel shells ----------------------------------------------------------------
+
+
+def test_parcel_shells_park_cleared_and_reuse_with_fresh_identity():
+    with Runtime(n_localities=2, workers_per_locality=1) as rt:
+        assert rt._parcel_pool == []  # pooling enabled, nothing parked yet
+
+        def main():
+            futures = [rt.async_at(1, _remote_double, i) for i in range(12)]
+            return [f.get() for f in futures]
+
+        assert rt.run(main) == [2 * i for i in range(12)]
+        shells = rt._parcel_pool
+        assert shells, "handled parcels must be parked for reuse"
+        # Parked shells hold no payload, no by-ref body, no reply hook.
+        for shell in shells:
+            assert shell.payload == b""
+            assert shell.by_ref_body is None
+            assert shell.reply_promise is None
+
+        probe = shells[-1]  # the next send pops this exact shell
+        old_id = probe.parcel_id
+        assert rt.run(main) == [2 * i for i in range(12)]
+        # Reuse re-keyed it: dedupe tables and fault sequences never see
+        # a recycled shell under its previous parcel id.
+        assert probe.parcel_id != old_id
+
+
+def test_parcel_pool_disabled_under_fault_injection():
+    with Runtime(
+        n_localities=2,
+        workers_per_locality=1,
+        fault_injector=FaultInjector(seed=3, drop_rate=0.2),
+    ) as rt:
+        assert rt._parcel_pool is None
+
+        def main():
+            return rt.async_at(1, _remote_double, 21).get()
+
+        assert rt.run(main) == 42  # retries still work, just unpooled
+
+
+def test_parcel_pool_disabled_under_overload_control():
+    with Runtime(
+        n_localities=2,
+        workers_per_locality=1,
+        config=Config(overload__enabled=True),
+    ) as rt:
+        assert rt._parcel_pool is None
+
+        def main():
+            return rt.async_at(1, _remote_double, 21).get()
+
+        assert rt.run(main) == 42
