@@ -31,6 +31,18 @@ from typing import TYPE_CHECKING, Iterator
 
 from ..runtime import instrument
 from .deadlock import DeadlockDetector, WaitGraph
+
+# The schedule-space explorer is exposed as the submodule (its entry
+# point is ``explore.explore(...)``); the classes clients subclass or
+# construct are re-exported flat.
+from . import explore  # noqa: F401 - re-export
+from .explore import (
+    ExploreApp,
+    ExploreReport,
+    ScheduleController,
+    register_app,
+    replay_file,
+)
 from .race import AccessRecord, RaceDetector
 from .vector_clock import Epoch, VectorClock
 
@@ -41,12 +53,19 @@ __all__ = [
     "AccessRecord",
     "DeadlockDetector",
     "Epoch",
+    "ExploreApp",
+    "ExploreReport",
     "RaceDetector",
     "Sanitizers",
+    "ScheduleController",
     "VectorClock",
     "WaitGraph",
     "attach",
+    "explore",
+    "register_app",
+    "replay_file",
     "wait_graph",
+    "wait_graph_dot",
 ]
 
 
@@ -96,3 +115,8 @@ def wait_graph() -> WaitGraph:
         if isinstance(probe, DeadlockDetector):
             return probe.wait_graph()
     return WaitGraph()
+
+
+def wait_graph_dot() -> str:
+    """The live wait-for graph rendered as Graphviz DOT."""
+    return wait_graph().to_dot()

@@ -133,6 +133,45 @@ class WaitGraph:
             return "wait graph: empty (no blocked threads, no pending links)"
         return "blocked waits:\n" + self.render_chains()
 
+    def to_dot(self) -> str:
+        """Render as Graphviz DOT: blocked threads are boxes, awaited
+        states ellipses, and any wait cycle is highlighted in red."""
+        cycle = self.find_cycle() or []
+        cycle_nodes = set(cycle)
+        cycle_edges = {
+            (cycle[i], cycle[(i + 1) % len(cycle)]) for i in range(len(cycle))
+        }
+
+        def quote(text: str) -> str:
+            return '"' + text.replace("\\", "\\\\").replace('"', '\\"') + '"'
+
+        nodes = dict(self.names)
+        for src, dsts in self.edges.items():
+            nodes.setdefault(src, self.name(src))
+            for dst in dsts:
+                nodes.setdefault(dst, self.name(dst))
+        for waiter in self.waiters:
+            nodes.setdefault(waiter, self.name(waiter))
+        lines = ["digraph waitfor {", "  rankdir=LR;", "  node [fontsize=10];"]
+        for key in sorted(nodes):
+            # Thread nodes are negative tids (see DeadlockDetector); 0 is
+            # the main context.  Everything else is a shared state.
+            shape = "box" if key <= 0 else "ellipse"
+            attrs = f"shape={shape}"
+            if key in cycle_nodes:
+                attrs += ", color=red, penwidth=2"
+            elif key in self.waiters:
+                attrs += ", style=bold"
+            lines.append(f"  n{key & 0xFFFFFFFFFFFFFFFF} [label={quote(nodes[key])}, {attrs}];")
+        for src in sorted(self.edges):
+            for dst in self.edges[src]:
+                style = " [color=red, penwidth=2]" if (src, dst) in cycle_edges else ""
+                lines.append(
+                    f"  n{src & 0xFFFFFFFFFFFFFFFF} -> n{dst & 0xFFFFFFFFFFFFFFFF}{style};"
+                )
+        lines.append("}")
+        return "\n".join(lines)
+
 
 class DeadlockDetector(Probe):
     """Wait-for-graph deadlock detection for the cooperative runtime.
@@ -152,6 +191,12 @@ class DeadlockDetector(Probe):
         self._labels: Dict[int, str] = {}
         #: Strong refs keyed by id() so keys cannot be recycled.
         self._keepalive: Dict[int, Any] = {}
+        #: Graph snapshotted when a stall/hang verdict fired.  The live
+        #: ``wait_graph()`` empties as the DeadlockError unwinds the
+        #: blocked frames (each runs its ``wait_exit``), so post-mortem
+        #: consumers (CLI ``--dot``, the schedule explorer's replay
+        #: files) read the verdict-time graph from here.
+        self.last_graph: WaitGraph | None = None
 
     def _pin(self, obj: Any) -> int:
         key = id(obj)
@@ -290,6 +335,7 @@ class DeadlockDetector(Probe):
 
     def stalled(self, context: Any = None) -> None:
         graph = self.wait_graph()
+        self.last_graph = graph
         cycle = graph.find_cycle()
         self._emit(graph, "stall")
         if cycle is not None:
@@ -307,6 +353,7 @@ class DeadlockDetector(Probe):
         if not lost and not self._waits:
             return
         graph = self.wait_graph()
+        self.last_graph = graph
         self._emit(graph, "quiesced-with-pending")
         cycle = graph.find_cycle()
         if cycle is not None:

@@ -19,6 +19,9 @@ PX201   no OS ``threading``/``multiprocessing``/``concurrent.futures``
         primitives outside the scheduler -- HPX-threads only
 PX301   no blocking ``.get()`` inside a component action handler --
         suspension re-enters the scheduler on the locality's own pool
+PX302   the interprocedural form of PX301: the handler reaches a
+        blocking ``.get()`` through helper calls (``self._helper()`` or
+        a module-level function) -- the call chain is reported
 PX401   no LCO/promise ``set`` after retirement (``break_promise`` /
         ``close`` earlier in the same function)
 PX501   no mutable default arguments (``[]``/``{}``/``set()``/...)
@@ -32,13 +35,27 @@ PX702   no raw ``*.parcelport.send(...)`` calls outside the runtime's
         own parcel plumbing -- direct port sends bypass overload
         admission and credit accounting; route through the runtime
         invoke/apply APIs
+PX801   no iterating unordered collections of shared identity in an
+        action handler -- a ``for`` over a ``self.*`` set, or over a
+        dict that other handlers populate, dispatches in arrival/hash
+        order, which the schedule explorer will happily permute;
+        iterate ``sorted(...)`` instead
+PX811   no mutating captured outer-scope state from a spawned closure
+        (``pool.submit(fn)`` / ``future.then(fn)`` / ``dataflow``):
+        ``nonlocal`` rebinding or mutating a captured container/object
+        is unsynchronized sharing between HPX-threads -- return the
+        value, or communicate through a future/Channel/LCO
 ======  ================================================================
 
 Any finding can be suppressed with a trailing
 ``# repro-lint: disable=PX101`` comment (comma-separated codes, or
 ``all``) on the offending line, or for a whole file with a
 ``# repro-lint: disable-file=...`` comment anywhere in the file.
-``--json`` emits machine-readable findings for CI tooling.
+``--json`` emits machine-readable findings for CI tooling;
+``--select``/``--ignore`` filter by code prefix (ruff-style, e.g.
+``--select PX1,PX601 --ignore PX301``); ``--fix`` rewrites the
+auto-fixable findings in place (currently PX601: unused imports are
+removed, keeping the aliases that are used).
 """
 
 from __future__ import annotations
@@ -53,7 +70,15 @@ import tokenize
 from dataclasses import asdict, dataclass
 from typing import Dict, Iterable, Iterator, List, Sequence, Set
 
-__all__ = ["Finding", "lint_file", "lint_paths", "main"]
+__all__ = [
+    "Finding",
+    "filter_findings",
+    "fix_file",
+    "fix_source",
+    "lint_file",
+    "lint_paths",
+    "main",
+]
 
 _DISABLE_LINE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9,\s]+)")
 _DISABLE_FILE = re.compile(r"#\s*repro-lint:\s*disable-file=([A-Za-z0-9,\s]+)")
@@ -69,6 +94,20 @@ _RETIRING_METHODS = {"break_promise", "close"}
 _SETTING_METHODS = {"set_value", "set_exception", "set"}
 _GROWTH_METHODS = {"append", "extend", "appendleft", "extendleft"}
 _SHRINK_METHODS = {"pop", "popleft", "popitem", "remove", "clear", "discard"}
+#: Calls that hand a closure to another HPX-thread (PX811).
+_SPAWN_METHODS = {"submit", "then", "dataflow"}
+#: Container/object mutations that are unsynchronized when applied to
+#: captured state from a spawned closure (PX811).  LCO operations
+#: (``set``/``set_value``/``put``/...) are the *legal* way to publish
+#: from a closure and are deliberately absent.
+_MUTATING_METHODS = _GROWTH_METHODS | _SHRINK_METHODS | {
+    "add", "update", "insert", "setdefault",
+}
+#: Files whose job is implementing the synchronization layer itself:
+#: the closure-capture rule (PX811) does not apply to the futures/LCO
+#: internals, where continuation callbacks legitimately update shared
+#: completion state under the model's own rules.
+_PX811_EXEMPT_PARTS = ("runtime/futures.py", "runtime/lco/")
 #: Files allowed to call ``*.parcelport.send`` directly (PX702): the
 #: runtime's own parcel plumbing, where admission control lives.
 _PX702_EXEMPT_SUFFIXES = ("runtime/runtime.py", "parcel/parcelport.py")
@@ -138,11 +177,22 @@ class _Checker(ast.NodeVisitor):
         self.model_rules = apply_model_rules
         normalized = os.path.abspath(path).replace(os.sep, "/")
         self._px702_exempt = normalized.endswith(_PX702_EXEMPT_SUFFIXES)
+        self._px811_exempt = any(p in normalized for p in _PX811_EXEMPT_PARTS)
         self.findings: List[Finding] = []
         self._class_stack: List[bool] = []  # "is a Component subclass"
         self._imported: Dict[str, tuple[int, int, str]] = {}
         self._used_names: Set[str] = set()
         self._has_all_export = False
+        #: Module-level function bodies, for the PX302 call-graph walk.
+        self._module_funcs: Dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = {}
+
+    def prepare(self, tree: ast.Module) -> None:
+        """Pre-pass before ``visit``: index module-level functions so
+        handler call chains can be followed regardless of definition
+        order."""
+        for stmt in tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._module_funcs[stmt.name] = stmt
 
     def report(self, node: ast.AST, code: str, message: str) -> None:
         self.findings.append(
@@ -264,6 +314,8 @@ class _Checker(ast.NodeVisitor):
         self._class_stack.append(is_component)
         if self.model_rules and is_component:
             self._check_unbounded_growth(node)
+            self._check_unordered_iteration(node)
+            self._check_transitive_blocking(node)
         self.generic_visit(node)
         self._class_stack.pop()
 
@@ -354,7 +406,306 @@ class _Checker(ast.NodeVisitor):
                             f"guard) or shed under pressure",
                         )
 
+    def _check_unordered_iteration(self, node: ast.ClassDef) -> None:
+        """PX801: handlers iterating unordered shared collections.
+
+        Evidence that ``self.x`` is order-unstable: the class binds it
+        to a set anywhere, or a *public* (parcel-invokable) method
+        populates it (``self.x.add(...)`` / ``self.x[k] = ...``) --
+        then its iteration order is arrival order, which differs per
+        schedule.  A handler iterating such an attribute directly (or
+        via ``.keys()/.values()/.items()``) dispatches nondeterministically;
+        ``for gid in sorted(self.x)`` does not match and is the fix.
+        """
+        set_bound: Set[str] = set()
+        arrival_ordered: Set[str] = set()
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Assign):
+                value = sub.value
+                is_set = isinstance(value, (ast.Set, ast.SetComp)) or (
+                    isinstance(value, ast.Call)
+                    and _call_name(value).split(".")[-1] in ("set", "frozenset")
+                )
+                if is_set:
+                    for target in sub.targets:
+                        attr = self._self_attr(target)
+                        if attr is not None:
+                            set_bound.add(attr)
+        for stmt in node.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if stmt.name.startswith("_"):
+                continue
+            for sub in ast.walk(stmt):
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr == "add"
+                ):
+                    attr = self._self_attr(sub.func.value)
+                    if attr is not None:
+                        arrival_ordered.add(attr)
+                elif isinstance(sub, ast.Assign):
+                    for target in sub.targets:
+                        if isinstance(target, ast.Subscript):
+                            attr = self._self_attr(target.value)
+                            if attr is not None:
+                                arrival_ordered.add(attr)
+        unstable = set_bound | arrival_ordered
+        if not unstable:
+            return
+
+        def iterated_attr(expr: ast.expr) -> str | None:
+            attr = self._self_attr(expr)
+            if attr is not None:
+                return attr
+            if (
+                isinstance(expr, ast.Call)
+                and isinstance(expr.func, ast.Attribute)
+                and expr.func.attr in ("keys", "values", "items")
+            ):
+                return self._self_attr(expr.func.value)
+            return None
+
+        for stmt in node.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if stmt.name.startswith("_"):
+                continue
+            for sub in ast.walk(stmt):
+                iters = []
+                if isinstance(sub, (ast.For, ast.AsyncFor)):
+                    iters.append(sub.iter)
+                elif isinstance(sub, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                      ast.GeneratorExp)):
+                    iters.extend(gen.iter for gen in sub.generators)
+                for it in iters:
+                    attr = iterated_attr(it)
+                    if attr is None or attr not in unstable:
+                        continue
+                    why = (
+                        "a set" if attr in set_bound
+                        else "populated by action handlers"
+                    )
+                    self.report(
+                        it, "PX801",
+                        f"handler '{stmt.name}' iterates 'self.{attr}' "
+                        f"({why}): the order is arrival/hash order and "
+                        f"differs across schedules; iterate "
+                        f"sorted(self.{attr}) for deterministic dispatch",
+                    )
+
+    @staticmethod
+    def _blocking_gets(
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> List[ast.Call]:
+        """Direct no-argument ``.get()`` calls in ``fn``'s own body."""
+        return [
+            call
+            for call in ast.walk(fn)
+            if isinstance(call, ast.Call)
+            and isinstance(call.func, ast.Attribute)
+            and call.func.attr == "get"
+            and not call.args
+            and not call.keywords
+        ]
+
+    def _check_transitive_blocking(self, node: ast.ClassDef) -> None:
+        """PX302: a handler reaches a blocking ``.get()`` via helpers.
+
+        Follows ``self._helper()`` calls and module-level function
+        calls (an intra-module call graph) from each public method.
+        The direct case stays PX301; this reports only chains of
+        length >= 1, with the path.
+        """
+        methods: Dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = {
+            stmt.name: stmt
+            for stmt in node.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+
+        def callees(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> List[str]:
+            names: List[str] = []
+            for call in ast.walk(fn):
+                if not isinstance(call, ast.Call):
+                    continue
+                if isinstance(call.func, ast.Attribute):
+                    receiver = call.func.value
+                    if (
+                        isinstance(receiver, ast.Name)
+                        and receiver.id == "self"
+                        and call.func.attr in methods
+                    ):
+                        names.append(call.func.attr)
+                elif (
+                    isinstance(call.func, ast.Name)
+                    and call.func.id in self._module_funcs
+                ):
+                    names.append(call.func.id)
+            return names
+
+        def resolve(name: str) -> ast.FunctionDef | ast.AsyncFunctionDef:
+            return methods.get(name) or self._module_funcs[name]
+
+        for name, fn in methods.items():
+            if name.startswith("_"):
+                continue
+            # BFS from the handler; remember how each callee was reached.
+            came_from: Dict[str, str] = {}
+            queue = list(dict.fromkeys(callees(fn)))
+            for callee in queue:
+                came_from.setdefault(callee, name)
+            while queue:
+                current = queue.pop(0)
+                target = resolve(current)
+                blocking = self._blocking_gets(target)
+                if blocking:
+                    chain = [current]
+                    while chain[-1] in came_from and came_from[chain[-1]] != name:
+                        chain.append(came_from[chain[-1]])
+                    path = " -> ".join(f"'{c}'" for c in reversed(chain))
+                    self.report(
+                        fn, "PX302",
+                        f"action handler '{name}' reaches a blocking "
+                        f".get() through {path} (line "
+                        f"{blocking[0].lineno}); the suspension re-enters "
+                        f"the scheduler on the locality's pool -- chain "
+                        f"with .then()/dataflow instead",
+                    )
+                    break
+                for nxt in callees(target):
+                    if nxt not in came_from and nxt != name:
+                        came_from[nxt] = current
+                        queue.append(nxt)
+
+    def _check_spawned_closures(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        """PX811: spawned closures mutating captured outer-scope state."""
+        nested: Dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = {}
+        for sub in ast.walk(node):
+            if sub is not node and isinstance(
+                sub, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                nested[sub.name] = sub
+
+        # Spawn calls inside nested defs are analysed when the visitor
+        # reaches that def; skip them here so findings are not doubled.
+        inner_nodes: Set[int] = set()
+        for inner in nested.values():
+            for sub in ast.walk(inner):
+                if sub is not inner:
+                    inner_nodes.add(id(sub))
+
+        spawned: List[tuple[ast.AST, str]] = []
+        for call in ast.walk(node):
+            if not isinstance(call, ast.Call) or id(call) in inner_nodes:
+                continue
+            name = _call_name(call)
+            tail = name.split(".")[-1]
+            if tail not in _SPAWN_METHODS:
+                continue
+            for arg in call.args:
+                if isinstance(arg, ast.Lambda):
+                    spawned.append((arg, tail))
+                elif isinstance(arg, ast.Name) and arg.id in nested:
+                    spawned.append((nested[arg.id], tail))
+
+        reported: Set[int] = set()
+        for fn, spawn in spawned:
+            if id(fn) in reported:
+                continue
+            reported.add(id(fn))
+            self._check_one_closure(fn, spawn)
+
+    def _check_one_closure(self, fn: ast.AST, spawn: str) -> None:
+        label = getattr(fn, "name", "<lambda>")
+        args = fn.args  # type: ignore[attr-defined]
+        local: Set[str] = {
+            a.arg
+            for a in [*args.posonlyargs, *args.args, *args.kwonlyargs]
+        }
+        if args.vararg:
+            local.add(args.vararg.arg)
+        if args.kwarg:
+            local.add(args.kwarg.arg)
+        nonlocals: Set[str] = set()
+        for sub in ast.walk(fn):
+            if isinstance(sub, ast.Nonlocal):
+                nonlocals.update(sub.names)
+            elif isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if sub is not fn:
+                    local.add(sub.name)
+            elif isinstance(sub, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+                )
+                for target in targets:
+                    for leaf in ast.walk(target):
+                        # Store context only: ``x.attr = v`` / ``x[k] = v``
+                        # mutate a *captured* x, they do not bind it.
+                        if isinstance(leaf, ast.Name) and isinstance(
+                            leaf.ctx, ast.Store
+                        ):
+                            local.add(leaf.id)
+            elif isinstance(sub, (ast.For, ast.AsyncFor)):
+                for leaf in ast.walk(sub.target):
+                    if isinstance(leaf, ast.Name):
+                        local.add(leaf.id)
+            elif isinstance(sub, ast.comprehension):
+                for leaf in ast.walk(sub.target):
+                    if isinstance(leaf, ast.Name):
+                        local.add(leaf.id)
+        local -= nonlocals
+
+        def captured(name: str) -> bool:
+            return name not in local and name != "self"
+
+        for sub in ast.walk(fn):
+            if isinstance(sub, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Name) and target.id in nonlocals:
+                        self.report(
+                            sub, "PX811",
+                            f"closure '{label}' passed to {spawn}() rebinds "
+                            f"nonlocal '{target.id}': unsynchronized "
+                            f"cross-thread mutation; return the value or "
+                            f"publish through a future/Channel",
+                        )
+                    elif isinstance(target, (ast.Subscript, ast.Attribute)):
+                        root = target.value
+                        if isinstance(root, ast.Name) and captured(root.id):
+                            self.report(
+                                sub, "PX811",
+                                f"closure '{label}' passed to {spawn}() "
+                                f"mutates captured '{root.id}' without an "
+                                f"LCO: unsynchronized cross-thread "
+                                f"mutation; publish through a "
+                                f"future/Channel instead",
+                            )
+            elif (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr in _MUTATING_METHODS
+                and isinstance(sub.func.value, ast.Name)
+                and captured(sub.func.value.id)
+            ):
+                receiver = sub.func.value.id
+                self.report(
+                    sub, "PX811",
+                    f"closure '{label}' passed to {spawn}() calls "
+                    f"'{receiver}.{sub.func.attr}()' on captured "
+                    f"'{receiver}' without an LCO: unsynchronized "
+                    f"cross-thread mutation; publish through a "
+                    f"future/Channel instead",
+                )
+
     def _check_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        if self.model_rules and not self._px811_exempt:
+            self._check_spawned_closures(node)
         # PX501: mutable defaults.
         for default in list(node.args.defaults) + [
             d for d in node.args.kw_defaults if d is not None
@@ -472,6 +823,7 @@ def lint_source(source: str, path: str) -> List[Finding]:
             )
         ]
     checker = _Checker(path, apply_model_rules=_in_repro_package(path))
+    checker.prepare(tree)
     checker.visit(tree)
     checker.finish(tree)
     per_line, per_file = _collect_disables(source)
@@ -489,6 +841,103 @@ def lint_source(source: str, path: str) -> List[Finding]:
 def lint_file(path: str) -> List[Finding]:
     with open(path, "r", encoding="utf-8") as fh:
         return lint_source(fh.read(), path)
+
+
+def filter_findings(
+    findings: Iterable[Finding],
+    select: Sequence[str] = (),
+    ignore: Sequence[str] = (),
+) -> List[Finding]:
+    """Ruff-style code-prefix filtering.
+
+    A finding survives when its code starts with one of the ``select``
+    prefixes (all codes when ``select`` is empty) and with none of the
+    ``ignore`` prefixes.  Prefixes are case-insensitive: ``PX1``
+    matches ``PX101`` and ``PX102``.
+    """
+    keep = tuple(p.strip().upper() for p in select if p.strip())
+    drop = tuple(p.strip().upper() for p in ignore if p.strip())
+    kept: List[Finding] = []
+    for finding in findings:
+        code = finding.code.upper()
+        if keep and not code.startswith(keep):
+            continue
+        if drop and code.startswith(drop):
+            continue
+        kept.append(finding)
+    return kept
+
+
+def fix_source(source: str, path: str) -> tuple[str, int]:
+    """Apply the auto-fixable findings (PX601) to ``source``.
+
+    Unused imports are removed alias-by-alias: a statement binding a
+    mix of used and unused names keeps the used ones; a statement whose
+    every binding is unused is deleted.  Statements on lines carrying a
+    ``repro-lint`` suppression for PX601 (or files suppressing it) are
+    left alone -- the fixer never removes what the linter would not
+    report.  Returns ``(new_source, number_of_aliases_removed)``.
+    """
+    unused = {
+        (f.line, f.message.split("'")[1])
+        for f in lint_source(source, path)
+        if f.code == "PX601"
+    }
+    if not unused:
+        return source, 0
+    tree = ast.parse(source, filename=path)
+    lines = source.splitlines(True)
+    removed = 0
+    # Bottom-up so earlier line numbers stay valid while splicing.
+    statements = [
+        stmt
+        for stmt in ast.walk(tree)
+        if isinstance(stmt, (ast.Import, ast.ImportFrom))
+    ]
+    for stmt in sorted(statements, key=lambda s: s.lineno, reverse=True):
+        module = (stmt.module or "") if isinstance(stmt, ast.ImportFrom) else ""
+        kept_aliases: List[ast.alias] = []
+        for alias in stmt.names:
+            if isinstance(stmt, ast.ImportFrom):
+                original = f"{module}.{alias.name}"
+            else:
+                original = alias.name
+            if (stmt.lineno, original) in unused:
+                removed += 1
+            else:
+                kept_aliases.append(alias)
+        if len(kept_aliases) == len(stmt.names):
+            continue
+        indent = lines[stmt.lineno - 1][
+            : len(lines[stmt.lineno - 1]) - len(lines[stmt.lineno - 1].lstrip())
+        ]
+        if not kept_aliases:
+            replacement: List[str] = []
+        else:
+            rendered = ", ".join(
+                a.name + (f" as {a.asname}" if a.asname else "")
+                for a in kept_aliases
+            )
+            if isinstance(stmt, ast.ImportFrom):
+                dots = "." * stmt.level
+                text = f"{indent}from {dots}{module} import {rendered}\n"
+            else:
+                text = f"{indent}import {rendered}\n"
+            replacement = [text]
+        end = stmt.end_lineno or stmt.lineno
+        lines[stmt.lineno - 1 : end] = replacement
+    return "".join(lines), removed
+
+
+def fix_file(path: str) -> int:
+    """Rewrite ``path`` in place; returns the number of fixes applied."""
+    with open(path, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    fixed, count = fix_source(source, path)
+    if count:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(fixed)
+    return count
 
 
 def _iter_python_files(paths: Sequence[str]) -> Iterator[str]:
@@ -523,8 +972,28 @@ def main(argv: Iterable[str] | None = None) -> int:
         "--json", action="store_true",
         help="emit findings as a JSON array instead of text",
     )
+    parser.add_argument(
+        "--fix", action="store_true",
+        help="apply auto-fixes in place (PX601: remove unused imports)",
+    )
+    parser.add_argument(
+        "--select", default="",
+        help="comma-separated code prefixes to report (default: all)",
+    )
+    parser.add_argument(
+        "--ignore", default="",
+        help="comma-separated code prefixes to suppress",
+    )
     args = parser.parse_args(list(argv) if argv is not None else None)
-    findings = lint_paths(args.paths)
+    select = [p for p in args.select.split(",") if p.strip()]
+    ignore = [p for p in args.ignore.split(",") if p.strip()]
+    if args.fix and filter_findings(
+        [Finding("", 1, 1, "PX601", "")], select, ignore
+    ):
+        fixed = sum(fix_file(p) for p in _iter_python_files(args.paths))
+        if fixed and not args.json:
+            print(f"fixed {fixed} finding(s)")
+    findings = filter_findings(lint_paths(args.paths), select, ignore)
     if args.json:
         print(json.dumps([asdict(f) for f in findings], indent=2))
     else:

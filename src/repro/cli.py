@@ -189,6 +189,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_an.add_argument(
         "--json", action="store_true", help="machine-readable lint findings"
     )
+    p_an.add_argument(
+        "--fix",
+        action="store_true",
+        help="apply lint auto-fixes in place (PX601 unused imports)",
+    )
+    p_an.add_argument(
+        "--select",
+        default="",
+        help="lint: comma-separated code prefixes to report (ruff-style)",
+    )
+    p_an.add_argument(
+        "--ignore",
+        default="",
+        help="lint: comma-separated code prefixes to suppress",
+    )
     p_an.add_argument("--nodes", type=int, default=2)
     p_an.add_argument("--steps", type=int, default=4)
     p_an.add_argument(
@@ -196,6 +211,62 @@ def build_parser() -> argparse.ArgumentParser:
         default="work-stealing",
         choices=("work-stealing", "static", "fifo"),
         help="scheduler policy for the demo run",
+    )
+    p_an.add_argument(
+        "--explore",
+        action="store_true",
+        help="systematically explore HPX-thread interleavings of the "
+        "registered demo apps and check every terminal schedule against "
+        "the invariant oracle (bit-identical results, counters, "
+        "conservation, quiescence, no deadlock, race-free)",
+    )
+    p_an.add_argument(
+        "--app",
+        default="",
+        help="explore a single registered app (default: every demo app)",
+    )
+    p_an.add_argument(
+        "--strategy",
+        default="dpor",
+        choices=("dpor", "exhaustive", "pb", "random"),
+        help="schedule enumeration strategy (default: dpor)",
+    )
+    p_an.add_argument(
+        "--budget",
+        type=int,
+        default=200,
+        help="maximum schedules to execute per app (default: 200)",
+    )
+    p_an.add_argument(
+        "--preemptions",
+        type=int,
+        default=2,
+        help="preemption bound for --strategy pb (default: 2)",
+    )
+    p_an.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed for --strategy random",
+    )
+    p_an.add_argument(
+        "--replay",
+        metavar="FILE",
+        default="",
+        help="re-execute a recorded violating schedule deterministically",
+    )
+    p_an.add_argument(
+        "--replay-dir",
+        metavar="DIR",
+        default="",
+        help="write a replay file per violating app into DIR",
+    )
+    p_an.add_argument(
+        "--dot",
+        metavar="FILE",
+        default="",
+        help="write the wait-for graph as Graphviz DOT (with --deadlocks: "
+        "the demo run's graph; with --explore: the first deadlock found)",
     )
 
     p_bench = sub.add_parser(
@@ -381,6 +452,7 @@ def _cmd_analyze_dynamic(
     n_nodes: int,
     steps: int,
     scheduler: str,
+    dot_path: str = "",
 ) -> tuple[str, int]:
     """Run the distributed 1D demo under the dynamic sanitizers."""
     from . import analysis
@@ -423,28 +495,101 @@ def _cmd_analyze_dynamic(
                     lines.append("  " + str(race).replace("\n", "\n  "))
             else:
                 lines.append(f"races: none -- {demo} is happens-before clean")
+        if dot_path and sanitizers.deadlock is not None:
+            graph = (
+                sanitizers.deadlock.last_graph
+                or sanitizers.deadlock.wait_graph()
+            )
+            with open(dot_path, "w", encoding="utf-8") as fh:
+                fh.write(graph.to_dot())
+            lines.append(f"wait-graph DOT written to {dot_path}")
     return "\n".join(lines), status
 
 
+def _cmd_analyze_explore(args: argparse.Namespace) -> int:
+    """Schedule-space exploration over the registered demo apps."""
+    import os
+
+    from .analysis import explore as explore_mod
+
+    names = [args.app] if args.app else list(explore_mod.DEMO_APPS)
+    status = 0
+    dot_path = args.dot
+    for name in names:
+        app = explore_mod.get_app(name)
+        replay_path = None
+        if args.replay_dir:
+            os.makedirs(args.replay_dir, exist_ok=True)
+            replay_path = os.path.join(
+                args.replay_dir, name.replace("/", "_") + ".replay.json"
+            )
+        report = explore_mod.explore(
+            app,
+            strategy=args.strategy,
+            budget=args.budget,
+            preemptions=args.preemptions,
+            seed=args.seed,
+            replay_path=replay_path,
+        )
+        print(report.summary())
+        violation = report.violation
+        if violation is not None:
+            status = 1
+            print("  " + violation.describe().replace("\n", "\n  "))
+            if report.replay_path:
+                print(f"  replay written to {report.replay_path}")
+            if dot_path and violation.graph_dot:
+                with open(dot_path, "w", encoding="utf-8") as fh:
+                    fh.write(violation.graph_dot)
+                print(f"  wait-graph DOT written to {dot_path}")
+                dot_path = ""  # first deadlock wins
+    return status
+
+
+def _cmd_analyze_replay(path: str) -> int:
+    """Re-execute a recorded violating schedule and verify it."""
+    from .analysis import explore as explore_mod
+
+    outcome = explore_mod.replay_file(path)
+    print(outcome.summary())
+    return 0 if outcome.reproduced else 1
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    if args.replay:
+        return _cmd_analyze_replay(args.replay)
     want_races = args.races
     want_deadlocks = args.deadlocks
     want_lint = args.lint
-    if not (want_races or want_deadlocks or want_lint):
+    want_explore = args.explore
+    if not (want_races or want_deadlocks or want_lint or want_explore):
         want_races = want_deadlocks = want_lint = True
     status = 0
     if want_races or want_deadlocks:
         text, rc = _cmd_analyze_dynamic(
-            want_races, want_deadlocks, args.nodes, args.steps, args.scheduler
+            want_races,
+            want_deadlocks,
+            args.nodes,
+            args.steps,
+            args.scheduler,
+            dot_path=args.dot if want_deadlocks else "",
         )
         print(text)
         status |= rc
+    if want_explore:
+        status |= _cmd_analyze_explore(args)
     if want_lint:
         from .analysis import lint as lint_pass
 
         lint_argv = list(args.paths) or ["src"]
         if args.json:
             lint_argv.append("--json")
+        if args.fix:
+            lint_argv.append("--fix")
+        if args.select:
+            lint_argv.extend(["--select", args.select])
+        if args.ignore:
+            lint_argv.extend(["--ignore", args.ignore])
         status |= lint_pass.main(lint_argv)
     return status
 
@@ -483,7 +628,9 @@ def _launch_overload_storm(rt, factor: float) -> dict:
     depth_samples: list[int] = []
 
     def wave(index: int) -> None:
-        depth_samples.append(target_pool.pending())
+        # Waves form a chain (each submits the next), so appends are
+        # totally ordered by construction; no concurrent writer exists.
+        depth_samples.append(target_pool.pending())  # repro-lint: disable=PX811
         for _ in range(per_wave):
             rt.apply_at(
                 target,

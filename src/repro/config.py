@@ -75,6 +75,12 @@ _DEFAULTS: dict[str, Any] = {
     # Quiescence policy: what to do when the job drains with demanded
     # futures (dataflow/when_* targets, channel reads) left unfulfilled.
     "runtime.quiescence": "warn",  # warn | raise | ignore
+    # Deterministic replay (schedule exploration): disables every object
+    # pool (thread shells, parcel shells, execution frames) and the
+    # parcel batcher so object identity and send grouping cannot leak
+    # state between explored schedules.  repro.analysis.explore forces
+    # this on for every run it controls.
+    "runtime.deterministic_replay": False,
     # Determinism.
     "seed": 0,
 }

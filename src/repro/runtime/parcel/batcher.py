@@ -55,7 +55,7 @@ __all__ = ["ParcelBatcher"]
 _INF = float("inf")
 
 #: Event-hook signature (patched by the tracer): (kind, time, parcel_id, args).
-EventHook = Callable[[str, float, Optional[int], dict], None]
+EventHook = Callable[[str, float, Optional[int], "dict[str, object]"], None]
 
 
 class _Batch:

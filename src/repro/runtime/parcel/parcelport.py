@@ -210,11 +210,14 @@ class Parcelport:
         return self._transmit(parcel)
 
     def _transmit(self, parcel: Parcel) -> float:
+        router = self._router
+        if router is None:
+            raise ParcelError("parcelport has no router installed (runtime not booted)")
         arrival = self._arrival_time(parcel)
         parcel.attempts += 1
         if self.fault_injector is None:
             # Fault-free fast path: no fates to draw, no loss machinery.
-            self._router(parcel, arrival)
+            router(parcel, arrival)
             self.parcels_sent += 1
             self.bytes_sent += parcel.size_bytes
             self.parcels_delivered += 1
@@ -237,7 +240,7 @@ class Parcelport:
             return arrival
         if fate.kind == "delay":
             arrival += fate.extra_delay_s
-        self._router(parcel, arrival)
+        router(parcel, arrival)
         # Statistics move only after the router accepted the parcel: a
         # raising router must not leave phantom counts behind.
         self.parcels_sent += 1
@@ -250,7 +253,7 @@ class Parcelport:
             self.parcels_delayed += 1
         if fate.kind == "duplicate":
             dup_arrival = arrival + fate.extra_delay_s
-            self._router(parcel, dup_arrival)
+            router(parcel, dup_arrival)
             self.parcels_sent += 1
             self.bytes_sent += parcel.size_bytes
             self.parcels_delivered += 1

@@ -1,0 +1,46 @@
+"""Deterministic-replay mode switch for schedule exploration.
+
+The schedule explorer (:mod:`repro.analysis.explore`) re-runs the same
+job under many interleavings and replays recorded ones bit-identically.
+Object reuse is the enemy of that: the thread-shell, parcel-shell and
+execution-frame pools (PR 7) recycle objects whose *identity* leaks into
+probe-side bookkeeping, and the parcel batcher coalesces sends whose
+grouping depends on flush timing.  Under exploration every one of those
+must be off.
+
+Rather than sprinkling more ``instrument.enabled`` special cases through
+the hot paths, this module is the single guard: the explorer (or any
+client via ``Config(runtime__deterministic_replay=True)``) brackets a
+run with :func:`enable`/:func:`disable` and every pooling/batching site
+checks the one module-level boolean :data:`deterministic`.
+
+``enable``/``disable`` nest (the explorer runs schedules in a loop and
+a replayed schedule may itself build nested runtimes), so the flag only
+drops when the outermost bracket exits.
+"""
+
+from __future__ import annotations
+
+__all__ = ["deterministic", "enable", "disable"]
+
+#: True while at least one deterministic-replay bracket is open.  Hot
+#: call sites read this module attribute directly -- same pattern as
+#: :data:`repro.runtime.instrument.enabled`.
+deterministic: bool = False
+
+_depth: int = 0
+
+
+def enable() -> None:
+    """Enter deterministic-replay mode (nests)."""
+    global deterministic, _depth
+    _depth += 1
+    deterministic = True
+
+
+def disable() -> None:
+    """Leave deterministic-replay mode (outermost exit clears the flag)."""
+    global deterministic, _depth
+    if _depth > 0:
+        _depth -= 1
+    deterministic = _depth > 0

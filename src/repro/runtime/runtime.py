@@ -30,6 +30,7 @@ from ..errors import (
 from ..hardware.registry import MachineModel, machine as machine_lookup
 from . import context as ctx
 from . import instrument
+from . import replay
 from .context import _stack as _context_stack
 from .futures import pending_demand_states
 from .actions import get_action
@@ -161,8 +162,18 @@ class Runtime:
         # Parcel coalescing (see repro.runtime.parcel.batcher): per-
         # destination batches flushed on size/bytes/linger by the
         # progress engine.
+        # Deterministic replay (schedule exploration) forbids every
+        # reuse/coalescing optimisation whose observable behaviour
+        # depends on object identity or flush timing: the parcel-shell
+        # pool and the batcher below, plus the thread-shell and frame
+        # pools inside each ThreadPool (those read the same flag via
+        # repro.runtime.replay).
+        self._deterministic_replay = (
+            self.config.get_bool("runtime.deterministic_replay")
+            or replay.deterministic
+        )
         self._batcher = None
-        if self.config.get_bool("parcel.batching"):
+        if self.config.get_bool("parcel.batching") and not self._deterministic_replay:
             from .parcel.batcher import ParcelBatcher
 
             self._batcher = ParcelBatcher(
@@ -179,9 +190,25 @@ class Runtime:
         # the hot loop recycles shells instead of allocating.  Any
         # at-least-once machinery disables the pool outright.
         self._parcel_pool: list[Parcel] | None = (
-            [] if fault_injector is None and self._overload is None else None
+            []
+            if (
+                fault_injector is None
+                and self._overload is None
+                and not self._deterministic_replay
+            )
+            else None
         )
         self._started = False
+        # Config-driven replay mode brackets the module-level flag for
+        # the lifetime of this runtime so the thread pools (which cannot
+        # see the config) observe it too; closed in stop().
+        self._replay_bracket = False
+        if (
+            self.config.get_bool("runtime.deterministic_replay")
+            and not replay.deterministic
+        ):
+            replay.enable()
+            self._replay_bracket = True
 
     def _retry_policy_from_config(self) -> RetryPolicy:
         """Reliable-delivery knobs, with the base ack-timeout derived from
@@ -241,6 +268,12 @@ class Runtime:
         finally:
             ctx.pop()
             self._started = False
+            self._close_replay_bracket()
+
+    def _close_replay_bracket(self) -> None:
+        if self._replay_bracket:
+            self._replay_bracket = False
+            replay.disable()
 
     def __enter__(self) -> "Runtime":
         return self.start()
@@ -252,6 +285,7 @@ class Runtime:
             else:  # do not mask the user's exception with drain errors
                 ctx.pop()
                 self._started = False
+                self._close_replay_bracket()
 
     # Queries ------------------------------------------------------------------
     def here(self) -> Locality:
@@ -751,7 +785,9 @@ class Runtime:
         pool = self.localities[parcel.source_locality].pool
 
         def resume() -> None:
-            parcel.send_time = max(pool.now, at_time)
+            # The parcel is off the wire awaiting this resume; the task
+            # is its sole owner, so the stamp has no concurrent reader.
+            parcel.send_time = max(pool.now, at_time)  # repro-lint: disable=PX811
             self.parcelport.send(parcel)
 
         pool.submit(
@@ -770,7 +806,9 @@ class Runtime:
         pool = self.localities[parcel.source_locality].pool
 
         def retransmit() -> None:
-            parcel.send_time = pool.now
+            # A lost parcel awaiting retry is owned by this task alone;
+            # stamping the new send time races with nothing.
+            parcel.send_time = pool.now  # repro-lint: disable=PX811
             self.parcelport.retransmit(parcel)
 
         pool.submit(

@@ -24,6 +24,7 @@ from ...errors import DeadlockError, RuntimeStateError
 from .. import context as ctx
 from ..context import _stack as _context_stack
 from .. import instrument
+from .. import replay
 from ..futures import Future
 from .hpx_thread import _NO_KWARGS, HpxThread, ThreadPriority, ThreadState
 from .scheduler import Scheduler, WorkStealingScheduler, make_scheduler
@@ -97,6 +98,10 @@ class ThreadPool:
         # Backrefs installed by Locality/Runtime so task frames carry them.
         self.locality = None
         self.runtime = None
+        #: Schedule controller (repro.analysis.explore): when installed,
+        #: every dispatch exposes the full ready set and the controller
+        #: picks which task runs next.  None on the production path.
+        self.controller = None
 
     # Introspection -------------------------------------------------------------
     @property
@@ -179,7 +184,7 @@ class ThreadPool:
             else:
                 ready_time = self.makespan
         shells = self._shell_pool
-        if shells:
+        if shells and not replay.deterministic:
             task = shells.pop().reinit(
                 fn,
                 args,
@@ -221,6 +226,20 @@ class ThreadPool:
         for worker in workers:
             if worker.available_at < best.available_at:
                 best = worker
+        controller = self.controller
+        if controller is not None:
+            # Schedule-exploration seam: surface the whole ready set and
+            # let the strategy pick.  The chosen task runs on the
+            # earliest-available worker regardless of any static
+            # placement hint -- exploration probes *logical* orderings,
+            # not placement.
+            candidates = self.scheduler.snapshot()
+            if not candidates:
+                return None, None
+            task = controller.choose(self, candidates)
+            if task is None or not self.scheduler.remove(task):
+                return None, None
+            return task, best
         task = self.scheduler.acquire(best.worker_id)
         if task is not None:
             return task, best
@@ -252,7 +271,7 @@ class ThreadPool:
         # Frames live exactly for the duration of one _execute (nothing
         # retains them past the pop below), so they are recycled from a
         # per-pool freelist; ``frame.pool`` is ``self`` on every reuse.
-        frames = self._frame_pool
+        frames = None if replay.deterministic else self._frame_pool
         if frames:
             frame = frames.pop()
             frame.runtime = runtime
@@ -294,7 +313,8 @@ class ThreadPool:
             _context_stack.pop()
             frame.task = None
             frame.extras = None
-            frames.append(frame)
+            if frames is not None:
+                frames.append(frame)
         if task.finish_time > worker.available_at:
             worker.available_at = task.finish_time
         worker.tasks_run += 1
@@ -312,7 +332,11 @@ class ThreadPool:
         post-mortem).  The shell's user references are dropped so a
         parked shell never pins a closure, its arguments, or a result.
         """
-        if instrument.enabled or len(self._shell_pool) >= 1024:
+        if (
+            replay.deterministic
+            or instrument.enabled
+            or len(self._shell_pool) >= 1024
+        ):
             return
         failures = self.failures
         if failures and failures[-1][0] is task:

@@ -119,6 +119,28 @@ class _PriorityDeques:
         self.regular = 0
         return drained
 
+    def snapshot(self) -> list[HpxThread]:
+        """Every queued task, service order, without removing anything."""
+        return [*self._high, *self._normal, *self._low]
+
+    def remove(self, task: HpxThread) -> bool:
+        """Remove ``task`` from whichever level holds it (O(n) scan --
+        schedule-exploration only, never on the production dispatch path)."""
+        for queue, regular in (
+            (self._high, True),
+            (self._normal, True),
+            (self._low, False),
+        ):
+            try:
+                queue.remove(task)
+            except ValueError:
+                continue
+            self.size -= 1
+            if regular:
+                self.regular -= 1
+            return True
+        return False
+
     def __len__(self) -> int:
         return self.size
 
@@ -143,6 +165,22 @@ class Scheduler:
 
     def drain(self) -> list[HpxThread]:
         """Remove and return every queued task (crash decommissioning)."""
+        raise NotImplementedError
+
+    def snapshot(self) -> list[HpxThread]:
+        """Every queued task in canonical (worker, service) order.
+
+        The schedule-controller seam: an exploration strategy inspects
+        the full ready set at a dispatch point, then claims its pick via
+        :meth:`remove`.  Production dispatch never calls this.
+        """
+        raise NotImplementedError
+
+    def remove(self, task: HpxThread) -> bool:
+        """Withdraw a specific queued task (claimed by a controller).
+
+        Returns False if the task is not queued here.
+        """
         raise NotImplementedError
 
     def __len__(self) -> int:
@@ -183,6 +221,12 @@ class FifoScheduler(Scheduler):
 
     def drain(self) -> list[HpxThread]:
         return self._queue.drain()
+
+    def snapshot(self) -> list[HpxThread]:
+        return self._queue.snapshot()
+
+    def remove(self, task: HpxThread) -> bool:
+        return self._queue.remove(task)
 
     def __len__(self) -> int:
         return self._queue.size
@@ -229,6 +273,19 @@ class StaticScheduler(Scheduler):
             drained.extend(queue.drain())
         self._count = 0
         return drained
+
+    def snapshot(self) -> list[HpxThread]:
+        tasks: list[HpxThread] = []
+        for queue in self._queues:
+            tasks.extend(queue.snapshot())
+        return tasks
+
+    def remove(self, task: HpxThread) -> bool:
+        for queue in self._queues:
+            if queue.remove(task):
+                self._count -= 1
+                return True
+        return False
 
     def __len__(self) -> int:
         return self._count
@@ -310,6 +367,21 @@ class WorkStealingScheduler(Scheduler):
         self._count = 0
         self._stealable.clear()
         return drained
+
+    def snapshot(self) -> list[HpxThread]:
+        tasks: list[HpxThread] = []
+        for queue in self._queues:
+            tasks.extend(queue.snapshot())
+        return tasks
+
+    def remove(self, task: HpxThread) -> bool:
+        for worker_id, queue in enumerate(self._queues):
+            if queue.remove(task):
+                self._count -= 1
+                if not queue.regular:
+                    self._stealable.discard(worker_id)
+                return True
+        return False
 
     def __len__(self) -> int:
         return self._count

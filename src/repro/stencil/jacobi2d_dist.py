@@ -219,7 +219,7 @@ class Jacobi2DPartition(Component):
             "steps_done": self.steps_done,
             "edge_log": {
                 step: (np.array(top, copy=True), np.array(bottom, copy=True))
-                for step, (top, bottom) in self._edge_log.items()
+                for step, (top, bottom) in sorted(self._edge_log.items())
             },
             "cost_per_step": self.cost_per_step,
         }

@@ -1,0 +1,80 @@
+"""Lost update that breaks the work-conservation law.
+
+A producer publishes two work tokens through a channel; two consumers
+each take one and credit it to a plain (un-instrumented) completion
+ledger with a read-modify-write.  On the default schedule the producer
+runs first, both ``get_sync`` calls find a buffered token, neither
+consumer ever yields mid-update, and the ledger balances:
+``completed == submitted == 2``.
+
+With two preemptions the explorer can park *both* consumers between
+their read of ``ledger.completed`` and their write back: consumer one
+blocks on the empty channel, consumer two blocks on top of it, then the
+producer fulfils both.  Each consumer resumes with its stale snapshot
+(``0``) and writes ``1`` -- a lost update.  The race detector is blind
+(the ledger is a plain object, no marked accesses), so only the
+explorer's conservation-law oracle catches it:
+``completed != submitted``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.analysis.explore import ExploreApp
+from repro.runtime.lco import Channel
+from repro.runtime.runtime import Runtime
+
+#: Tokens the producer submits; the invariant checks the ledger
+#: credits exactly this many completions.
+SUBMITTED = 2
+
+
+class _Ledger:
+    """Deliberately plain: no Component marks, invisible to the race
+    detector."""
+
+    def __init__(self) -> None:
+        self.completed = 0
+
+
+def _build(rt: Runtime) -> Callable[[], Any]:
+    ledger = _Ledger()
+    ch = Channel("work")
+
+    def producer() -> None:
+        for _ in range(SUBMITTED):
+            ch.set(1)
+
+    def consumer() -> None:
+        credit = ledger.completed  # stale after a mid-update preemption
+        credit += ch.get_sync()
+        ledger.completed = credit
+
+    def job() -> int:
+        pool = rt.localities[0].pool
+        futures = [
+            pool.submit(producer, description="producer"),
+            pool.submit(consumer, description="consumer-1"),
+            pool.submit(consumer, description="consumer-2"),
+        ]
+        for f in futures:
+            f.get()
+        return ledger.completed
+
+    return job
+
+
+def _invariant(rt: Runtime, result: Any) -> str | None:
+    if result != SUBMITTED:
+        return (
+            f"conservation law violated: completed {result} != "
+            f"submitted {SUBMITTED}"
+        )
+    return None
+
+
+def make_app() -> ExploreApp:
+    return ExploreApp(name="corpus/conservation", build=_build,
+                      n_localities=1, workers_per_locality=1,
+                      invariant=_invariant)

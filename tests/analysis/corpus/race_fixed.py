@@ -1,0 +1,52 @@
+"""The repaired :mod:`.race_hidden`: the guard is a real LCO edge.
+
+Worker B waits on a channel that worker A fulfils *after* its write, so
+B's decision to skip is ordered after A's write on every schedule --
+there is no interleaving with two unordered writes.  The explorer finds
+no violation; the app exists so tests can compare search-space sizes on
+a clean program (DPOR must prove the same result while enumerating
+strictly fewer schedules than exhaustive search).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.analysis.explore import ExploreApp
+from repro.runtime.lco import Channel
+from repro.runtime.runtime import Runtime
+from .race_hidden import ResultCell
+
+
+def _build(rt: Runtime) -> Callable[[], Any]:
+    cell = ResultCell()
+    audit = Channel("audit")
+    primed = Channel("primed")
+
+    def write_primary() -> None:
+        audit.set("primary")
+        cell.mark_write("value")
+        cell.value = 1.0
+        primed.set(True)  # the fix: an LCO edge instead of a plain flag
+
+    def write_fallback() -> None:
+        audit.set("fallback")
+        if not primed.get_sync():
+            cell.mark_write("value")
+            cell.value = 2.0
+
+    def job() -> float:
+        pool = rt.localities[0].pool
+        fa = pool.submit(write_primary, description="writer-primary")
+        fb = pool.submit(write_fallback, description="writer-fallback")
+        fa.get()
+        fb.get()
+        audit.close()
+        return cell.value
+
+    return job
+
+
+def make_app() -> ExploreApp:
+    return ExploreApp(name="corpus/race_fixed", build=_build,
+                      n_localities=1, workers_per_locality=1)

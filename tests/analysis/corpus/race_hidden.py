@@ -1,0 +1,68 @@
+"""Write-write race hidden behind an unsynchronized flag.
+
+Two workers append an audit token to a shared channel and then update a
+result cell.  Worker B politely skips its write when it sees worker A's
+``primed`` flag -- but ``primed`` is a plain attribute, not an LCO, so
+the "coordination" is an unsynchronized read.  On the default FIFO
+schedule A always runs first, B always skips, and a race detector sees
+exactly one (marked) write: the run is clean.  Any schedule that
+dispatches B before A makes both workers perform marked writes of
+``cell.value`` with no happens-before edge between them -- a write-write
+data race the single-schedule sanitizers never get to observe.
+
+The audit-channel puts are what makes the bug *findable*: they give the
+two workers a visible (sync-object) dependence, so DPOR knows reversing
+their order can matter even though B's guarded write leaves no footprint
+on the reference schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.analysis.explore import ExploreApp
+from repro.runtime.agas.component import Component
+from repro.runtime.lco import Channel
+from repro.runtime.runtime import Runtime
+
+
+class ResultCell(Component):
+    """One shared output slot plus the buggy plain-attribute flag."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.value = 0.0
+        self.primed = False  # plain attribute: reads of it are invisible
+
+    def write_primary(self, audit: Channel) -> None:
+        audit.set("primary")
+        self.mark_write("value")
+        self.value = 1.0
+        self.primed = True
+
+    def write_fallback(self, audit: Channel) -> None:
+        audit.set("fallback")
+        if not self.primed:  # unsynchronized guard -- the bug
+            self.mark_write("value")
+            self.value = 2.0
+
+
+def _build(rt: Runtime) -> Callable[[], Any]:
+    cell = ResultCell()
+    audit = Channel("audit")
+
+    def job() -> float:
+        pool = rt.localities[0].pool
+        fa = pool.submit(cell.write_primary, audit, description="writer-primary")
+        fb = pool.submit(cell.write_fallback, audit, description="writer-fallback")
+        fa.get()
+        fb.get()
+        audit.close()
+        return cell.value
+
+    return job
+
+
+def make_app() -> ExploreApp:
+    return ExploreApp(name="corpus/race_hidden", build=_build,
+                      n_localities=1, workers_per_locality=1)

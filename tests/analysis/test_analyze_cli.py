@@ -47,3 +47,78 @@ def test_analyze_lint_json(tmp_path, capsys):
     code, out = run_cli(capsys, "analyze", "--lint", "--json", str(bad))
     assert code == 1
     assert json.loads(out)[0]["code"] == "PX501"
+
+
+def test_analyze_explore_single_app_clean(capsys):
+    code, out = run_cli(
+        capsys, "analyze", "--explore", "--app", "heat1d", "--budget", "8"
+    )
+    assert code == 0
+    assert "heat1d [dpor]" in out
+    assert "no violations" in out
+
+
+def test_analyze_explore_finds_corpus_bug_and_writes_replay(tmp_path, capsys):
+    import corpus  # noqa: F401 - registers the corpus apps
+
+    replay_dir = tmp_path / "replays"
+    code, out = run_cli(
+        capsys,
+        "analyze",
+        "--explore",
+        "--app",
+        "corpus/race_hidden",
+        "--replay-dir",
+        str(replay_dir),
+    )
+    assert code == 1
+    assert "[race]" in out
+    replay_file = replay_dir / "corpus_race_hidden.replay.json"
+    assert replay_file.exists()
+
+    code, out = run_cli(capsys, "analyze", "--replay", str(replay_file))
+    assert code == 0
+    assert "reproduced bit-identically" in out
+
+
+def test_analyze_explore_deadlock_writes_dot(tmp_path, capsys):
+    import corpus  # noqa: F401 - registers the corpus apps
+
+    dot = tmp_path / "waitfor.dot"
+    code, out = run_cli(
+        capsys,
+        "analyze",
+        "--explore",
+        "--app",
+        "corpus/andgate_deadlock",
+        "--dot",
+        str(dot),
+    )
+    assert code == 1
+    assert "[deadlock]" in out
+    assert dot.read_text().startswith("digraph")
+    assert "->" in dot.read_text()
+
+
+def test_analyze_deadlocks_dot_export(tmp_path, capsys):
+    dot = tmp_path / "demo.dot"
+    code, out = run_cli(
+        capsys, "analyze", "--deadlocks", "--steps", "2", "--dot", str(dot)
+    )
+    assert code == 0
+    assert "wait-graph DOT written" in out
+    assert dot.read_text().startswith("digraph")
+
+
+def test_analyze_lint_select_ignore_and_fix(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import os\n\ndef f(x=[]):\n    return x\n")
+    code, out = run_cli(
+        capsys, "analyze", "--lint", "--ignore", "PX501,PX601", str(bad)
+    )
+    assert code == 0
+    code, out = run_cli(
+        capsys, "analyze", "--lint", "--fix", "--select", "PX601", str(bad)
+    )
+    assert code == 0
+    assert "import os" not in bad.read_text()

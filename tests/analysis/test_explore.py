@@ -1,0 +1,246 @@
+"""Schedule-space explorer: corpus bugs, DPOR pruning, replay, pools.
+
+The seeded-bug corpus lives in ``tests/analysis/corpus``: each app's
+bug is invisible to a single (default-schedule) run under the dynamic
+sanitizers, and must be found by ``repro.analysis.explore`` within its
+default budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from corpus import CORPUS
+from repro import analysis
+from repro.analysis.explore import (
+    DEFAULT_BUDGET,
+    DEMO_APPS,
+    PrefixStrategy,
+    _run_schedule,
+    _violation_of,
+    explore,
+    get_app,
+    replay_file,
+)
+from repro.config import Config
+from repro.errors import ValidationError
+from repro.runtime import instrument, replay
+from repro.runtime.runtime import Runtime
+
+BUGGY = [name for name, (_, kind) in CORPUS.items() if kind is not None]
+CLEAN = [name for name, (_, kind) in CORPUS.items() if kind is None]
+
+
+# ---------------------------------------------------------------------------
+# Single-schedule sanitizers miss every corpus bug
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", BUGGY)
+def test_default_schedule_hides_the_bug(name):
+    """A plain run with both sanitizers attached reports nothing."""
+    app, _ = CORPUS[name]
+    outcome = _run_schedule(app, PrefixStrategy([]))
+    assert outcome.status == "ok"
+    assert outcome.races == []
+    assert outcome.pending_demands == []
+    assert outcome.invariant_error is None
+    assert _violation_of(outcome, outcome) is None
+
+
+# ---------------------------------------------------------------------------
+# The explorer finds every corpus bug within the default budget
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", BUGGY)
+def test_explore_finds_corpus_bug(name):
+    app, kind = CORPUS[name]
+    report = explore(app)  # default strategy (dpor) and budget
+    assert report.schedules_run <= DEFAULT_BUDGET
+    assert report.violation is not None
+    assert report.violation.kind == kind
+    assert report.violation.choices, "minimized trace should keep a choice"
+
+
+@pytest.mark.parametrize("name", BUGGY)
+def test_preemption_bounding_finds_corpus_bug(name):
+    """Every seeded bug is reachable within the default preemption bound."""
+    app, kind = CORPUS[name]
+    report = explore(app, strategy="pb", minimize=False)
+    assert report.violation is not None
+    assert report.violation.kind == kind
+
+
+def test_random_walk_finds_hidden_race():
+    app, kind = CORPUS["corpus/race_hidden"]
+    report = explore(app, strategy="random", seed=0, minimize=False)
+    assert report.violation is not None
+    assert report.violation.kind == kind
+
+
+def test_deadlock_violation_carries_wait_graph_dot():
+    app, _ = CORPUS["corpus/andgate_deadlock"]
+    report = explore(app, strategy="pb", minimize=False)
+    dot = report.violation.graph_dot
+    assert dot is not None and dot.startswith("digraph")
+    assert "->" in dot  # at least one wait edge, cycle path highlighted
+
+
+def test_minimization_shrinks_the_trace():
+    app, kind = CORPUS["corpus/andgate_deadlock"]
+    full = explore(app, minimize=False)
+    small = explore(app, minimize=True)
+    assert small.violation.kind == kind
+    assert len(small.violation.choices) <= len(full.violation.choices)
+    # The and-gate inversion needs exactly two non-default choices.
+    assert sum(1 for c in small.violation.choices if c) == 2
+
+
+# ---------------------------------------------------------------------------
+# Clean apps and demos stay clean; DPOR prunes the schedule space
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", CLEAN)
+def test_clean_corpus_apps_explore_clean(name):
+    app, _ = CORPUS[name]
+    report = explore(app)
+    assert report.violation is None
+    assert report.exhausted, "small clean apps should exhaust their space"
+
+
+@pytest.mark.parametrize("name", DEMO_APPS)
+def test_demo_apps_explore_clean(name):
+    report = explore(get_app(name), budget=10, minimize=False)
+    assert report.violation is None
+    assert report.schedules_run <= 10
+
+
+def test_dpor_explores_fewer_schedules_than_exhaustive():
+    """Persistent-set reduction: same verdict, measurably fewer runs."""
+    app, _ = CORPUS["corpus/independent"]
+    dpor = explore(app, strategy="dpor", budget=60, minimize=False)
+    exhaustive = explore(app, strategy="exhaustive", budget=60, minimize=False)
+    assert dpor.violation is None and exhaustive.violation is None
+    assert dpor.exhausted and exhaustive.exhausted
+    assert dpor.schedules_run < exhaustive.schedules_run
+
+
+def test_unknown_app_name_is_a_validation_error():
+    with pytest.raises(ValidationError):
+        get_app("corpus/no-such-app")
+
+
+# ---------------------------------------------------------------------------
+# Replay files re-execute deterministically
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", ["corpus/race_hidden", "corpus/conservation"])
+def test_replay_file_roundtrip_bit_identical(name, tmp_path):
+    app, kind = CORPUS[name]
+    path = tmp_path / "violation.json"
+    report = explore(app, replay_path=str(path))
+    assert report.replay_path == str(path)
+    outcome = replay_file(str(path))
+    assert outcome.recorded_kind == kind
+    assert outcome.reproduced
+    assert outcome.bit_identical
+    assert "bit-identically" in outcome.summary()
+
+
+def test_replay_file_roundtrip_deadlock(tmp_path):
+    app, kind = CORPUS["corpus/andgate_deadlock"]
+    path = tmp_path / "violation.json"
+    explore(app, replay_path=str(path))
+    outcome = replay_file(str(path))
+    assert outcome.recorded_kind == kind
+    assert outcome.reproduced
+
+
+def test_replay_file_rejects_foreign_json(tmp_path):
+    path = tmp_path / "not-a-replay.json"
+    path.write_text('{"kind": "something-else"}')
+    with pytest.raises(ValidationError):
+        replay_file(str(path))
+
+
+def test_exploration_is_deterministic():
+    """Two identical explorations agree choice-for-choice -- nothing
+    (pooled shells, batching, global counters) leaks between runs."""
+    app, _ = CORPUS["corpus/conservation"]
+    first = explore(app, strategy="random", seed=11, minimize=False)
+    second = explore(app, strategy="random", seed=11, minimize=False)
+    assert first.schedules_run == second.schedules_run
+    assert first.reference_sha256 == second.reference_sha256
+    assert first.violation.choices == second.violation.choices
+    assert first.violation.kind == second.violation.kind
+
+
+# ---------------------------------------------------------------------------
+# The deterministic-replay guard really disables the object pools
+# ---------------------------------------------------------------------------
+
+
+def _churn(pool, n=6):
+    def work():
+        return None
+
+    for _ in range(n):
+        pool.submit(work).get()
+    return None
+
+
+def test_replay_guard_disables_shell_and_frame_pools():
+    cfg = Config().replace(runtime__deterministic_replay=True)
+    with Runtime(n_localities=1, workers_per_locality=1, config=cfg) as rt:
+        assert replay.deterministic
+        pool = rt.localities[0].pool
+        rt.run(lambda: _churn(pool))
+        assert pool._shell_pool == []
+        assert pool._frame_pool == []
+        assert rt._parcel_pool is None
+        assert rt._batcher is None
+    assert not replay.deterministic  # bracket closed with the runtime
+
+
+def test_pools_recycle_without_the_guard():
+    """Control case: the same workload does reuse shells normally."""
+    with Runtime(n_localities=1, workers_per_locality=1) as rt:
+        assert not replay.deterministic
+        assert not instrument.enabled
+        pool = rt.localities[0].pool
+        rt.run(lambda: _churn(pool))
+        assert len(pool._shell_pool) > 0
+        assert len(pool._frame_pool) > 0
+
+
+def test_explorer_forces_the_guard_even_without_config():
+    app, _ = CORPUS["corpus/race_fixed"]
+    seen = []
+
+    def build(rt):
+        inner = app.build(rt)
+
+        def job():
+            seen.append(replay.deterministic)
+            return inner()
+
+        return job
+
+    probe_app = type(app)(name="corpus/_guard_probe", build=build,
+                          n_localities=1, workers_per_locality=1)
+    explore(probe_app, budget=2, minimize=False)
+    assert seen and all(seen)
+
+
+# ---------------------------------------------------------------------------
+# Wait-graph DOT export (satellite)
+# ---------------------------------------------------------------------------
+
+
+def test_wait_graph_dot_without_detector_is_empty_digraph():
+    dot = analysis.wait_graph_dot()
+    assert dot.startswith("digraph")
+    assert "->" not in dot

@@ -2,7 +2,14 @@
 
 import json
 
-from repro.analysis.lint import Finding, lint_paths, lint_source, main
+from repro.analysis.lint import (
+    Finding,
+    filter_findings,
+    fix_source,
+    lint_paths,
+    lint_source,
+    main,
+)
 
 # Fake paths: model rules (PX1xx/2xx/3xx) apply only inside a "repro"
 # package directory; generic rules (PX4xx/5xx/6xx) apply everywhere.
@@ -211,3 +218,247 @@ def test_repo_source_tree_is_lint_clean():
 def test_finding_render_format():
     finding = Finding(path="a.py", line=3, col=7, code="PX101", message="m")
     assert finding.render() == "a.py:3:7: PX101 m"
+
+
+# PX302 ----------------------------------------------------------------------
+def test_transitive_blocking_get_flagged():
+    src = (
+        "class C(Component):\n"
+        "    def handler(self):\n"
+        "        return self._helper()\n"
+        "    def _helper(self):\n"
+        "        return self._fetch()\n"
+        "    def _fetch(self):\n"
+        "        return self.future.get()\n"
+    )
+    found = lint_source(src, IN_REPRO)
+    assert "PX302" in codes(found)
+    message = next(f for f in found if f.code == "PX302").message
+    assert "'_helper'" in message and "'_fetch'" in message
+
+
+def test_transitive_blocking_through_module_function_flagged():
+    src = (
+        "def fetch(fut):\n"
+        "    return fut.get()\n\n"
+        "class C(Component):\n"
+        "    def handler(self, fut):\n"
+        "        return fetch(fut)\n"
+    )
+    assert "PX302" in codes(lint_source(src, IN_REPRO))
+
+
+def test_direct_get_is_px301_not_px302():
+    src = (
+        "class C(Component):\n"
+        "    def handler(self):\n"
+        "        return self.future.get()\n"
+    )
+    found = codes(lint_source(src, IN_REPRO))
+    assert "PX301" in found and "PX302" not in found
+
+
+def test_nonblocking_helper_chain_not_flagged():
+    src = (
+        "class C(Component):\n"
+        "    def handler(self):\n"
+        "        return self._helper()\n"
+        "    def _helper(self):\n"
+        "        return 42\n"
+    )
+    assert "PX302" not in codes(lint_source(src, IN_REPRO))
+
+
+# PX801 ----------------------------------------------------------------------
+def test_iterating_set_attribute_in_handler_flagged():
+    src = (
+        "class C(Component):\n"
+        "    def __init__(self):\n"
+        "        self.gids = set()\n"
+        "    def broadcast(self):\n"
+        "        for gid in self.gids:\n"
+        "            send(gid)\n"
+    )
+    assert "PX801" in codes(lint_source(src, IN_REPRO))
+
+
+def test_iterating_handler_populated_dict_flagged():
+    src = (
+        "class C(Component):\n"
+        "    def __init__(self):\n"
+        "        self.parts = {}\n"
+        "    def register(self, gid, home):\n"
+        "        self.parts[gid] = home\n"
+        "    def sweep(self):\n"
+        "        return [go(g) for g in self.parts]\n"
+    )
+    assert "PX801" in codes(lint_source(src, IN_REPRO))
+
+
+def test_sorted_iteration_not_flagged():
+    src = (
+        "class C(Component):\n"
+        "    def __init__(self):\n"
+        "        self.gids = set()\n"
+        "    def broadcast(self):\n"
+        "        for gid in sorted(self.gids):\n"
+        "            send(gid)\n"
+    )
+    assert "PX801" not in codes(lint_source(src, IN_REPRO))
+
+
+def test_private_method_iteration_not_flagged():
+    src = (
+        "class C(Component):\n"
+        "    def __init__(self):\n"
+        "        self.gids = set()\n"
+        "    def _internal(self):\n"
+        "        for gid in self.gids:\n"
+        "            send(gid)\n"
+    )
+    assert "PX801" not in codes(lint_source(src, IN_REPRO))
+
+
+# PX811 ----------------------------------------------------------------------
+def test_spawned_closure_nonlocal_write_flagged():
+    src = (
+        "def driver(pool):\n"
+        "    count = 0\n"
+        "    def work():\n"
+        "        nonlocal count\n"
+        "        count += 1\n"
+        "    pool.submit(work)\n"
+    )
+    assert "PX811" in codes(lint_source(src, IN_REPRO))
+
+
+def test_spawned_closure_container_mutation_flagged():
+    src = (
+        "def driver(pool):\n"
+        "    results = []\n"
+        "    def work():\n"
+        "        results.append(compute())\n"
+        "    pool.submit(work)\n"
+    )
+    assert "PX811" in codes(lint_source(src, IN_REPRO))
+
+
+def test_spawned_closure_attribute_write_flagged():
+    src = (
+        "def driver(pool, ledger):\n"
+        "    def work():\n"
+        "        ledger.completed = ledger.completed + 1\n"
+        "    pool.submit(work)\n"
+    )
+    assert "PX811" in codes(lint_source(src, IN_REPRO))
+
+
+def test_unspawned_closure_not_flagged():
+    src = (
+        "def driver():\n"
+        "    results = []\n"
+        "    def work():\n"
+        "        results.append(compute())\n"
+        "    work()\n"
+        "    return results\n"
+    )
+    assert "PX811" not in codes(lint_source(src, IN_REPRO))
+
+
+def test_spawned_closure_channel_publish_allowed():
+    src = (
+        "def driver(pool, ch):\n"
+        "    def work():\n"
+        "        ch.set(compute())\n"
+        "    pool.submit(work)\n"
+    )
+    assert "PX811" not in codes(lint_source(src, IN_REPRO))
+
+
+def test_spawned_closure_local_mutation_allowed():
+    src = (
+        "def driver(pool):\n"
+        "    def work():\n"
+        "        acc = []\n"
+        "        acc.append(1)\n"
+        "        return acc\n"
+        "    pool.submit(work)\n"
+    )
+    assert "PX811" not in codes(lint_source(src, IN_REPRO))
+
+
+def test_px811_not_applied_outside_repro():
+    src = (
+        "def driver(pool):\n"
+        "    results = []\n"
+        "    def work():\n"
+        "        results.append(compute())\n"
+        "    pool.submit(work)\n"
+    )
+    assert "PX811" not in codes(lint_source(src, OUTSIDE))
+
+
+# --select / --ignore --------------------------------------------------------
+def test_filter_findings_prefix_semantics():
+    found = [
+        Finding("p", 1, 1, "PX101", "m"),
+        Finding("p", 2, 1, "PX102", "m"),
+        Finding("p", 3, 1, "PX601", "m"),
+    ]
+    assert codes(filter_findings(found, select=["PX1"])) == ["PX101", "PX102"]
+    assert codes(filter_findings(found, ignore=["PX10"])) == ["PX601"]
+    assert codes(filter_findings(found, select=["PX1"], ignore=["PX102"])) == [
+        "PX101"
+    ]
+    assert codes(filter_findings(found)) == ["PX101", "PX102", "PX601"]
+
+
+def test_main_select_and_ignore(tmp_path, capsys):
+    target = tmp_path / "mod.py"
+    target.write_text("import os\n\ndef f(x=[]):\n    return x\n")
+    assert main([str(target), "--select", "PX5"]) == 1
+    assert "PX601" not in capsys.readouterr().out
+    assert main([str(target), "--ignore", "PX5,PX6"]) == 0
+
+
+# --fix ----------------------------------------------------------------------
+def test_fix_source_removes_unused_import():
+    fixed, count = fix_source("import os\n\nVALUE = 1\n", OUTSIDE)
+    assert count == 1
+    assert "import os" not in fixed
+
+
+def test_fix_source_keeps_used_aliases():
+    src = "from os.path import join, split\n\nprint(join('a', 'b'))\n"
+    fixed, count = fix_source(src, OUTSIDE)
+    assert count == 1
+    assert "from os.path import join\n" in fixed
+    assert "split" not in fixed
+
+
+def test_fix_source_preserves_asname_and_suppressions():
+    src = (
+        "import os  # repro-lint: disable=PX601\n"
+        "import json as j\n\n"
+        "print(j.dumps({}))\n"
+    )
+    fixed, count = fix_source(src, OUTSIDE)
+    assert count == 0
+    assert fixed == src
+
+
+def test_main_fix_rewrites_file(tmp_path, capsys):
+    target = tmp_path / "mod.py"
+    target.write_text("import os\nimport sys\n\nprint(sys.argv)\n")
+    assert main([str(target), "--fix"]) == 0
+    out = capsys.readouterr().out
+    assert "fixed 1 finding(s)" in out
+    assert target.read_text() == "import sys\n\nprint(sys.argv)\n"
+
+
+def test_fix_respects_ignore_filter(tmp_path):
+    target = tmp_path / "mod.py"
+    source = "import os\n\nVALUE = 1\n"
+    target.write_text(source)
+    assert main([str(target), "--fix", "--ignore", "PX601"]) == 0
+    assert target.read_text() == source
