@@ -1,0 +1,76 @@
+"""Job-service storm microbenchmarks: the price of durability.
+
+Three costs the job service pays for its crash-safety claims, measured
+separately so regressions point at the layer that moved:
+
+* **submission** -- journal-then-apply appends, with and without the
+  per-record ``fsync`` (``sync_journal``).  The fsync is the durability
+  guarantee; this pair quantifies exactly what it costs relative to the
+  OS-buffered variant used by tests.
+* **drain** -- claim/start/complete cycles through the full service
+  (fair scheduler, leases, admission control, counters) using the
+  zero-work ``faulty`` kind, so the measured time is pure service
+  overhead rather than stencil arithmetic.
+* **replay** -- reopening a store whose journal holds thousands of
+  records; recovery time is a startup cost every crash-restart pays.
+"""
+
+import itertools
+
+from repro.service import JobService, JobStore, ManualClock, ServicePolicy, TenantQuota
+
+SUBMITS = 200
+DRAIN_JOBS = 50
+REPLAY_RECORDS = 2000
+
+_ROUND = itertools.count()
+
+
+def _fresh(tmp_path):
+    return tmp_path / f"round-{next(_ROUND)}"
+
+
+def _submit_many(root, sync: bool) -> int:
+    with JobStore(root / "jobs.journal", clock=ManualClock(), sync=sync) as store:
+        for i in range(SUBMITS):
+            store.submit("tenant", "faulty", {"i": i})
+        return len(store)
+
+
+def test_submit_throughput_buffered(benchmark, tmp_path):
+    count = benchmark(lambda: _submit_many(_fresh(tmp_path), sync=False))
+    assert count == SUBMITS
+
+
+def test_submit_throughput_fsynced(benchmark, tmp_path):
+    """The durable configuration: one fsync per accepted record."""
+    count = benchmark(lambda: _submit_many(_fresh(tmp_path), sync=True))
+    assert count == SUBMITS
+
+
+def _drain(root) -> int:
+    policy = ServicePolicy(sync_journal=False)
+    with JobService(root, clock=ManualClock(), policy=policy) as service:
+        service.set_quota("tenant", TenantQuota(max_pending=2 * DRAIN_JOBS))
+        for i in range(DRAIN_JOBS):
+            service.submit("tenant", "faulty", {})
+        return service.drain("bench-worker")
+
+
+def test_drain_throughput(benchmark, tmp_path):
+    settled = benchmark(lambda: _drain(_fresh(tmp_path)))
+    assert settled == DRAIN_JOBS
+
+
+def test_replay_cost(benchmark, tmp_path):
+    # One journal, written once; every benchmark round replays it.
+    path = tmp_path / "jobs.journal"
+    with JobStore(path, clock=ManualClock(), sync=False) as store:
+        for i in range(REPLAY_RECORDS):
+            store.submit("tenant", "faulty", {"i": i})
+
+    def replay() -> int:
+        with JobStore(path, clock=ManualClock(), sync=False) as replayed:
+            return len(replayed)
+
+    assert benchmark(replay) == REPLAY_RECORDS

@@ -45,6 +45,13 @@ PX811   no mutating captured outer-scope state from a spawned closure
         ``nonlocal`` rebinding or mutating a captured container/object
         is unsynchronized sharing between HPX-threads -- return the
         value, or communicate through a future/Channel/LCO
+PX901   no bare ``except:`` and no swallowed broad exceptions in
+        service and handler code paths (``repro/service/`` files and
+        component action handlers): a bare ``except`` also traps
+        ``SystemExit``/``KeyboardInterrupt``, and an ``except
+        Exception:`` whose body does nothing hides job/parcel failures
+        the durability audits depend on seeing -- catch the specific
+        exception, or record/re-raise what was caught
 ======  ================================================================
 
 Any finding can be suppressed with a trailing
@@ -111,6 +118,12 @@ _PX811_EXEMPT_PARTS = ("runtime/futures.py", "runtime/lco/")
 #: Files allowed to call ``*.parcelport.send`` directly (PX702): the
 #: runtime's own parcel plumbing, where admission control lives.
 _PX702_EXEMPT_SUFFIXES = ("runtime/runtime.py", "parcel/parcelport.py")
+#: Paths whose every function is a "service code path" for PX901: the
+#: job service's durability audits only work when failures surface.
+_PX901_SERVICE_PARTS = ("repro/service/",)
+#: Exception names considered "broad" for the swallowed-handler half of
+#: PX901 (a bare ``except:`` is flagged regardless of its body).
+_PX901_BROAD_EXCEPTIONS = {"Exception", "BaseException"}
 
 
 @dataclass(frozen=True)
@@ -178,6 +191,10 @@ class _Checker(ast.NodeVisitor):
         normalized = os.path.abspath(path).replace(os.sep, "/")
         self._px702_exempt = normalized.endswith(_PX702_EXEMPT_SUFFIXES)
         self._px811_exempt = any(p in normalized for p in _PX811_EXEMPT_PARTS)
+        self._px901_file = any(p in normalized for p in _PX901_SERVICE_PARTS)
+        #: Nesting stack: True while inside a public component action
+        #: handler (the "handler code path" half of PX901's scope).
+        self._handler_stack: List[bool] = []
         self.findings: List[Finding] = []
         self._class_stack: List[bool] = []  # "is a Component subclass"
         self._imported: Dict[str, tuple[int, int, str]] = {}
@@ -776,11 +793,84 @@ class _Checker(ast.NodeVisitor):
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._check_function(node)
-        self.generic_visit(node)
+        self._visit_function_body(node)
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._check_function(node)
+        self._visit_function_body(node)
+
+    def _visit_function_body(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        is_handler = bool(
+            self._class_stack
+            and self._class_stack[-1]
+            and not node.name.startswith("_")
+        )
+        self._handler_stack.append(is_handler)
+        try:
+            self.generic_visit(node)
+        finally:
+            self._handler_stack.pop()
+
+    # Service / handler exception hygiene (PX901) ---------------------------
+    def visit_Try(self, node: ast.Try) -> None:
+        if self.model_rules and (
+            self._px901_file or any(self._handler_stack)
+        ):
+            for handler in node.handlers:
+                self._check_except_handler(handler)
         self.generic_visit(node)
+
+    def _check_except_handler(self, handler: ast.ExceptHandler) -> None:
+        if handler.type is None:
+            self.report(
+                handler, "PX901",
+                "bare 'except:' in a service/handler code path also traps "
+                "SystemExit and KeyboardInterrupt; name the exception you "
+                "mean to survive",
+            )
+            return
+        if self._broad_exception_names(handler.type) and self._swallows(
+            handler.body
+        ):
+            caught = ast.unparse(handler.type)
+            self.report(
+                handler, "PX901",
+                f"'except {caught}:' whose body does nothing swallows the "
+                f"failure; jobs/parcels that die here become invisible to "
+                f"the durability audits -- record a cause, re-raise, or "
+                f"catch the specific exception",
+            )
+
+    @staticmethod
+    def _broad_exception_names(expr: ast.expr) -> bool:
+        """True when the except clause catches Exception/BaseException."""
+        types = expr.elts if isinstance(expr, ast.Tuple) else [expr]
+        for t in types:
+            name = t.attr if isinstance(t, ast.Attribute) else (
+                t.id if isinstance(t, ast.Name) else ""
+            )
+            if name in _PX901_BROAD_EXCEPTIONS:
+                return True
+        return False
+
+    @staticmethod
+    def _swallows(body: Sequence[ast.stmt]) -> bool:
+        """True when the handler body discards the exception entirely:
+        nothing but ``pass``/``...``/``continue``/``break`` or a bare
+        constant ``return`` -- no call, no raise, no binding."""
+        for stmt in body:
+            if isinstance(stmt, (ast.Pass, ast.Continue, ast.Break)):
+                continue
+            if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+                continue
+            if isinstance(stmt, ast.Return) and (
+                stmt.value is None or isinstance(stmt.value, ast.Constant)
+            ):
+                continue
+            return False
+        return True
 
     # PX601 epilogue --------------------------------------------------------
     def finish(self, tree: ast.Module) -> None:

@@ -40,7 +40,19 @@ Commands mirror the evaluation workflow:
                                      (``--overload FACTOR``); verifies
                                      the result is bit-identical to a
                                      fault-free run and prints the
-                                     resilience/overload counters
+                                     resilience/overload counters.
+                                     Exit codes: 0 ok, 1 bit-identity
+                                     mismatch, 2 usage, 3 unexpected
+                                     application failure (structured
+                                     summary on stderr)
+* ``jobs``                        -- the durable multi-tenant job service
+                                     (see ``docs/job-service.md``):
+                                     ``submit``/``status``/``cancel``/
+                                     ``list``/``counters`` manage jobs in
+                                     a service directory, ``work`` runs a
+                                     worker loop, ``serve`` the asyncio
+                                     HTTP gateway, ``chaos`` the kill -9
+                                     crash-restart storm CI runs nightly
 """
 
 from __future__ import annotations
@@ -321,6 +333,114 @@ def build_parser() -> argparse.ArgumentParser:
         "rate) at the last locality with overload protection enabled; the "
         "run must stay depth/latency-bounded and finish bit-identically",
     )
+
+    p_jobs = sub.add_parser(
+        "jobs",
+        help="durable multi-tenant job service: submit/status/cancel/list, "
+        "worker loop, HTTP gateway, chaos storm (docs/job-service.md)",
+    )
+    jobs_sub = p_jobs.add_subparsers(dest="jobs_command", required=True)
+
+    def root_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--root",
+            required=True,
+            metavar="DIR",
+            help="service directory (journal + per-job checkpoint trails); "
+            "single-writer: one service process owns it at a time",
+        )
+
+    p_submit = jobs_sub.add_parser("submit", help="submit one job (idempotent)")
+    root_arg(p_submit)
+    p_submit.add_argument("--tenant", required=True)
+    p_submit.add_argument(
+        "--kind", default="stencil1d", choices=("stencil1d", "faulty")
+    )
+    p_submit.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="job parameter (repeatable; values parsed as JSON scalars)",
+    )
+    p_submit.add_argument(
+        "--dedupe-key",
+        metavar="KEY",
+        help="idempotency key: resubmitting with a used key returns the "
+        "original job instead of creating a new one",
+    )
+    p_submit.add_argument("--max-attempts", type=int, metavar="N")
+    p_submit.add_argument("--json", action="store_true")
+
+    p_status = jobs_sub.add_parser("status", help="show one job")
+    root_arg(p_status)
+    p_status.add_argument("job_id")
+
+    p_cancel = jobs_sub.add_parser("cancel", help="cancel a non-terminal job")
+    root_arg(p_cancel)
+    p_cancel.add_argument("job_id")
+
+    p_list = jobs_sub.add_parser("list", help="list jobs")
+    root_arg(p_list)
+    p_list.add_argument("--tenant")
+    p_list.add_argument(
+        "--state",
+        choices=("pending", "claimed", "running", "done", "failed", "cancelled"),
+    )
+    p_list.add_argument("--json", action="store_true")
+
+    p_jcnt = jobs_sub.add_parser(
+        "counters", help="per-tenant /jobs{tenant} service counters"
+    )
+    root_arg(p_jcnt)
+
+    p_work = jobs_sub.add_parser(
+        "work", help="run a worker loop over the service directory"
+    )
+    root_arg(p_work)
+    p_work.add_argument("--worker", default="worker-0", metavar="NAME")
+    p_work.add_argument(
+        "--poll",
+        type=float,
+        default=0.2,
+        metavar="SECONDS",
+        help="idle sleep while jobs wait out retry backoff",
+    )
+    p_work.add_argument("--max-jobs", type=int, metavar="N")
+    p_work.add_argument(
+        "--exit-when-idle",
+        action="store_true",
+        help="exit 0 once every job in the store is terminal",
+    )
+    p_work.add_argument(
+        "--epoch-steps",
+        type=int,
+        default=10,
+        metavar="K",
+        help="checkpoint the solution every K stencil steps",
+    )
+
+    p_serve = jobs_sub.add_parser(
+        "serve", help="asyncio HTTP gateway over the service directory"
+    )
+    root_arg(p_serve)
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8765)
+
+    p_chaos = jobs_sub.add_parser(
+        "chaos",
+        help="kill -9 crash-restart storm: submit a multi-tenant job storm, "
+        "SIGKILL workers at seeded-random points, drain, and audit "
+        "exactly-once terminal states and bit-identical results",
+    )
+    root_arg(p_chaos)
+    p_chaos.add_argument("--tenants", type=int, default=3)
+    p_chaos.add_argument("--jobs-per-tenant", type=int, default=3)
+    p_chaos.add_argument("--nx", type=int, default=32)
+    p_chaos.add_argument("--steps", type=int, default=30)
+    p_chaos.add_argument("--seed", type=int, default=0)
+    p_chaos.add_argument("--max-kills", type=int, default=4)
+    p_chaos.add_argument("--json", action="store_true")
 
     return parser
 
@@ -659,6 +779,7 @@ _RUN_COUNTER_PATHS = (
     "/checkpoints{total}/count/saved",
     "/checkpoints{total}/count/restored",
     "/checkpoints{total}/count/fallbacks",
+    "/checkpoints{total}/count/corrupt-skipped",
     "/checkpoints{total}/data/saved",
     "/checkpoints{total}/time/save",
     "/checkpoints{total}/time/restore",
@@ -669,6 +790,67 @@ _RUN_COUNTER_PATHS = (
     "/parcels{total}/count/dead-lettered",
     "/runtime/uptime",
 )
+
+
+def _run_failure_summary(
+    args: argparse.Namespace,
+    phase: str,
+    exc: Exception,
+    crashes: list,
+    last_run: dict,
+) -> str:
+    """Structured summary for an *unexpected* application failure.
+
+    A fault schedule is supposed to be survivable -- the recovery layers
+    re-drive dead-lettered work and restart from checkpoints -- so an
+    exception escaping ``execute`` is a bug, not an outcome.  It exits
+    with code 3 (distinct from 1 = bit-identity mismatch, 2 = usage) and
+    reports where the run was when it died instead of a bare traceback.
+    """
+    lines = [
+        "repro run: UNEXPECTED FAILURE (exit 3)",
+        f"  phase:              {phase}",
+        f"  app:                {args.app}, {args.nodes} localities x 2 workers, "
+        f"{args.steps} steps, seed={args.seed}",
+        f"  error:              {type(exc).__name__}: {exc}",
+    ]
+    if crashes:
+        lines.append(
+            "  crash schedule:     "
+            + ", ".join(f"locality {loc} at t={at:g}" for loc, at in crashes)
+        )
+    if args.drop_rate > 0:
+        lines.append(f"  drop rate:          {args.drop_rate:g}")
+    solver = last_run.get("solver")
+    parts = getattr(solver, "_parts", None) if solver is not None else None
+    if parts:
+        progress = [part.steps_done for part in parts]
+        lines.append(
+            f"  partition progress: min {min(progress)} / max {max(progress)} "
+            f"of {args.steps} steps"
+        )
+        if args.checkpoint_every > 0:
+            epoch = (min(progress) // args.checkpoint_every) * args.checkpoint_every
+            lines.append(
+                f"  last checkpoint:    epoch <= step {epoch} "
+                f"(epoch length {args.checkpoint_every})"
+            )
+        else:
+            lines.append("  last checkpoint:    none (checkpointing disabled)")
+    rt = last_run.get("rt")
+    if rt is not None:
+        lines.append(
+            f"  checkpoints saved:  {rt.checkpoints_saved}, "
+            f"restored: {rt.checkpoints_restored}"
+        )
+        if rt.decommissioned:
+            lines.append(
+                f"  decommissioned:     localities {sorted(rt.decommissioned)}"
+            )
+        suspected = sorted(rt.parcelport.suspected_dead)
+        if suspected:
+            lines.append(f"  suspected dead:     localities {suspected}")
+    return "\n".join(lines)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -691,6 +873,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"malformed --crash {spec!r}; expected LOC@T", file=sys.stderr)
             return 2
     resilient = bool(crashes or args.drop_rate > 0)
+    # Progress breadcrumbs for the structured failure summary (exit 3):
+    # the innermost run stashes its runtime and solver here so a crash
+    # escaping every recovery layer can still be located.
+    last_run: dict = {}
 
     def execute(faulted: bool) -> tuple[np.ndarray, "Runtime", dict]:
         injector = None
@@ -710,6 +896,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             config=config,
             fault_injector=injector,
         ) as rt:
+            last_run["rt"] = rt
             if args.app == "heat1d":
                 nx = 16 * args.nodes
                 solver = DistributedHeat1D(
@@ -721,6 +908,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 solver = DistributedJacobi2D(rt, ny, 16, cost_per_step=1e-3)
                 rng = np.random.default_rng(args.seed)
                 solver.initialize(rng.random((ny, 16)))
+            last_run["solver"] = solver
             storm: dict = {}
             if faulted and args.overload > 0:
                 storm = _launch_overload_storm(rt, args.overload)
@@ -739,8 +927,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 out = rt.run(job)
             return out, rt, storm
 
-    faulted_out, faulted_rt, storm = execute(faulted=True)
-    reference_out, _, _ = execute(faulted=False)
+    phase = "faulted run"
+    try:
+        faulted_out, faulted_rt, storm = execute(faulted=True)
+        phase = "fault-free reference run"
+        reference_out, _, _ = execute(faulted=False)
+    except Exception as exc:  # noqa: BLE001 - reported structurally, exit 3
+        print(
+            _run_failure_summary(args, phase, exc, crashes, last_run),
+            file=sys.stderr,
+        )
+        return 3
     identical = bool(np.array_equal(faulted_out, reference_out))
 
     lines = [
@@ -823,6 +1020,164 @@ def _cmd_counters_sampled(
     return text.rstrip("\n")
 
 
+def _parse_job_params(pairs: Sequence[str]) -> dict:
+    """``KEY=VALUE`` pairs -> params dict; values parse as JSON scalars."""
+    import json as json_mod
+
+    params: dict = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise ValueError(f"malformed --param {pair!r}; expected KEY=VALUE")
+        try:
+            params[key] = json_mod.loads(value)
+        except json_mod.JSONDecodeError:
+            params[key] = value  # bare strings are fine unquoted
+    return params
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    import json as json_mod
+    import time
+
+    from .errors import JobShedError, JobStateError, UnknownJobError
+    from .service import JobService, ServicePolicy
+
+    if args.jobs_command == "chaos":
+        from .service.chaos import run_storm
+
+        report = run_storm(
+            args.root,
+            tenants=args.tenants,
+            jobs_per_tenant=args.jobs_per_tenant,
+            nx=args.nx,
+            steps=args.steps,
+            seed=args.seed,
+            max_kills=args.max_kills,
+        )
+        if args.json:
+            print(json_mod.dumps(report, indent=2))
+        else:
+            print(
+                f"chaos storm: {report['accepted']} jobs accepted, "
+                f"{report['kills']} worker kill(s), "
+                f"{report['journal_records']} journal records"
+                + (" (torn tail tolerated)" if report["torn_tail_seen"] else "")
+            )
+            print(f"terminal states: {report['states']}")
+            for violation in report["violations"]:
+                print(f"VIOLATION: {violation}", file=sys.stderr)
+        return 0 if not report["violations"] else 1
+
+    if args.jobs_command == "work":
+        policy = ServicePolicy(epoch_steps=args.epoch_steps)
+        with JobService(args.root, policy=policy) as service:
+            settled = 0
+            while args.max_jobs is None or settled < args.max_jobs:
+                if service.run_one(args.worker) is not None:
+                    settled += 1
+                    continue
+                if not service.open_jobs():
+                    if args.exit_when_idle:
+                        break
+                # Open jobs exist but none is claimable right now
+                # (retry backoff / foreign leases); poll on real time --
+                # the worker loop is the process boundary.
+                time.sleep(args.poll)  # repro-lint: disable=PX101
+            print(f"worker {args.worker}: settled {settled} job(s)")
+        return 0
+
+    if args.jobs_command == "serve":
+        import asyncio
+
+        from .service.gateway import JobGateway
+
+        with JobService(args.root) as service:
+            gateway = JobGateway(service, host=args.host, port=args.port)
+
+            async def _serve() -> None:
+                await gateway.start()
+                print(f"job gateway listening on {gateway.host}:{gateway.port}")
+                await gateway.serve_forever()
+
+            try:
+                asyncio.run(_serve())
+            except KeyboardInterrupt:
+                print("gateway stopped")
+        return 0
+
+    with JobService(args.root) as service:
+        if args.jobs_command == "submit":
+            try:
+                params = _parse_job_params(args.param)
+            except ValueError as exc:
+                print(str(exc), file=sys.stderr)
+                return 2
+            try:
+                job, created = service.submit(
+                    args.tenant,
+                    args.kind,
+                    params,
+                    dedupe_key=args.dedupe_key,
+                    max_attempts=args.max_attempts,
+                )
+            except JobShedError as exc:
+                print(
+                    f"submission shed: {exc} (retry after {exc.retry_after:g}s)",
+                    file=sys.stderr,
+                )
+                return 1
+            if args.json:
+                print(json_mod.dumps({"job": job.describe(), "created": created}))
+            else:
+                verb = "created" if created else "deduplicated to existing"
+                print(f"{verb} {job.job_id} ({job.state})")
+            return 0
+        if args.jobs_command == "status":
+            try:
+                print(json_mod.dumps(service.status(args.job_id), indent=2))
+            except UnknownJobError as exc:
+                print(str(exc), file=sys.stderr)
+                return 1
+            return 0
+        if args.jobs_command == "cancel":
+            try:
+                job = service.cancel(args.job_id)
+            except (UnknownJobError, JobStateError) as exc:
+                print(str(exc), file=sys.stderr)
+                return 1
+            print(f"cancelled {job.job_id}")
+            return 0
+        if args.jobs_command == "list":
+            jobs = service.list_jobs(tenant=args.tenant, state=args.state)
+            if args.json:
+                print(json_mod.dumps([job.describe() for job in jobs], indent=2))
+            else:
+                rows = [
+                    [
+                        job.job_id,
+                        job.tenant,
+                        job.kind,
+                        str(job.state),
+                        f"{job.attempts}/{job.max_attempts}",
+                        (job.failure or "")[:40],
+                    ]
+                    for job in jobs
+                ]
+                print(
+                    format_table(
+                        ["job", "tenant", "kind", "state", "attempts", "failure"],
+                        rows,
+                    )
+                )
+            return 0
+        if args.jobs_command == "counters":
+            for path, value in service.counters().items():
+                print(f"{path:<46} {value}")
+            return 0
+    return 2  # pragma: no cover - argparse guards
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv[:1] == ["bench"]:
@@ -868,6 +1223,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return bench.main(args.bench_args)
     elif args.command == "run":
         return _cmd_run(args)
+    elif args.command == "jobs":
+        return _cmd_jobs(args)
     else:  # pragma: no cover - argparse guards
         return 2
     return 0

@@ -32,6 +32,12 @@ __all__ = [
     "ReplicateError",
     "CheckpointError",
     "CheckpointCorruptionError",
+    "CheckpointCorruptionWarning",
+    "ServiceError",
+    "JournalCorruptError",
+    "JobStateError",
+    "UnknownJobError",
+    "JobShedError",
     "TopologyError",
     "PinningError",
     "SimdError",
@@ -172,6 +178,61 @@ class CheckpointCorruptionError(CheckpointError):
     older epoch that still verifies; this error escapes only when *no*
     retained checkpoint is intact.
     """
+
+
+class CheckpointCorruptionWarning(UserWarning):
+    """A retained checkpoint epoch failed verification and was skipped.
+
+    Emitted (warning level) by
+    :meth:`~repro.resilience.checkpoint.CheckpointStore.restore_latest_valid`
+    when it falls back past a corrupt epoch: recovery still succeeds
+    from an older snapshot, but re-computation ground was silently at
+    stake, so the skip is surfaced via this warning, the
+    ``/checkpoints{total}/count/corrupt-skipped`` perfcounter, and a
+    ``checkpoint_corrupt_skipped`` trace event.
+    """
+
+
+class ServiceError(ReproError):
+    """Base class for multi-tenant job-service failures."""
+
+
+class JournalCorruptError(ServiceError):
+    """A *non-final* journal record failed framing or checksum checks.
+
+    A torn final record (the crash-mid-append case) is tolerated and
+    dropped on replay; corruption anywhere earlier means the store
+    cannot be trusted and replay refuses to proceed.
+    """
+
+
+class JobStateError(ServiceError):
+    """An illegal job state transition was attempted.
+
+    The job state machine is strict (``pending -> claimed -> running ->
+    done | failed | cancelled`` with lease-expiry requeues back to
+    ``pending``); in particular a *terminal* job never transitions
+    again, which is what makes terminal states exactly-once.
+    """
+
+
+class UnknownJobError(ServiceError):
+    """A job id could not be resolved in the store."""
+
+
+class JobShedError(ServiceError):
+    """Admission control rejected a job submission (never silently).
+
+    Raised when the tenant is over quota, the service backlog is at its
+    bound, or the tenant's circuit breaker is open.  ``retry_after``
+    hints how many seconds the client should wait before resubmitting
+    (0.0 when no estimate is available) -- the job-level analogue of
+    :class:`ParcelShedError`.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class TopologyError(ReproError):

@@ -34,10 +34,16 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
-from ..errors import CheckpointCorruptionError, CheckpointError, ConfigError
+from ..errors import (
+    CheckpointCorruptionError,
+    CheckpointCorruptionWarning,
+    CheckpointError,
+    ConfigError,
+)
 from ..runtime import context as ctx
 from ..runtime.parcel.serialization import deserialize, serialize
 
@@ -283,9 +289,11 @@ class CheckpointStore:
             ckpt = self._epochs[epoch]
             try:
                 restore_checkpoint(ckpt, *objects)
-            except CheckpointCorruptionError:
-                if self.runtime is not None:
-                    self.runtime.checkpoint_fallbacks += 1
+            except CheckpointCorruptionError as exc:
+                # A skipped epoch is lost recovery ground, never a
+                # silent non-event: count it, warn, and surface it as a
+                # trace event so dashboards and the tracer both see it.
+                self._report_corrupt_skip(epoch, ckpt, exc)
                 continue
             cost = self._charge(ckpt.size_bytes)
             if self.runtime is not None:
@@ -295,6 +303,28 @@ class CheckpointStore:
         raise CheckpointCorruptionError(
             f"every retained checkpoint ({len(self._epochs)}) failed verification"
         )
+
+    def _report_corrupt_skip(
+        self, epoch: int, ckpt: Checkpoint, exc: CheckpointCorruptionError
+    ) -> None:
+        """A retained epoch failed verification and was skipped."""
+        warnings.warn(
+            f"checkpoint epoch {epoch} failed verification and was skipped "
+            f"during restore; falling back to an older epoch ({exc})",
+            CheckpointCorruptionWarning,
+            stacklevel=3,
+        )
+        if self.runtime is None:
+            return
+        self.runtime.checkpoint_fallbacks += 1
+        self.runtime.checkpoint_corrupt_skipped += 1
+        hook = getattr(self.runtime, "checkpoint_event_hook", None)
+        if hook is not None:
+            hook(
+                "checkpoint_corrupt_skipped",
+                ckpt.virtual_time,
+                {"epoch": epoch, "size_bytes": ckpt.size_bytes, "level": "warning"},
+            )
 
     def _path(self, epoch: int) -> str:
         assert self.directory is not None

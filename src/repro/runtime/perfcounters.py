@@ -52,7 +52,8 @@ Supported counter types::
     /localities/count/decommissioned  localities declared permanently dead
     /checkpoints/count/saved       checkpoint epochs written
     /checkpoints/count/restored    successful checkpoint restores
-    /checkpoints/count/fallbacks   corrupt epochs skipped during restore
+    /checkpoints/count/fallbacks   restores that fell back past an epoch
+    /checkpoints/count/corrupt-skipped  corrupt epochs skipped (warned)
     /checkpoints/data/saved        serialized checkpoint bytes written
     /checkpoints/time/save         virtual seconds charged for saves
     /checkpoints/time/restore      virtual seconds charged for restores
@@ -141,6 +142,7 @@ _CHECKPOINT_COUNTERS = {
     "count/saved": "checkpoints_saved",
     "count/restored": "checkpoints_restored",
     "count/fallbacks": "checkpoint_fallbacks",
+    "count/corrupt-skipped": "checkpoint_corrupt_skipped",
     "data/saved": "checkpoint_bytes_saved",
     "time/save": "checkpoint_save_time_s",
     "time/restore": "checkpoint_restore_time_s",

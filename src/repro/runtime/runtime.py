@@ -82,9 +82,14 @@ class Runtime:
         self.checkpoints_saved = 0
         self.checkpoints_restored = 0
         self.checkpoint_fallbacks = 0
+        self.checkpoint_corrupt_skipped = 0
         self.checkpoint_bytes_saved = 0
         self.checkpoint_save_time_s = 0.0
         self.checkpoint_restore_time_s = 0.0
+        #: Patched by an attached Tracer: called as
+        #: ``hook(kind, time, args)`` for checkpoint-layer events (a
+        #: corrupt epoch skipped during restore, today).
+        self.checkpoint_event_hook = None
         if isinstance(machine, str):
             machine = machine_lookup(machine)
         self.machine: Optional[MachineModel] = machine

@@ -17,7 +17,7 @@ work, so thieves stop probing obviously-empty queues.
 from __future__ import annotations
 
 from collections import deque
-from typing import Optional
+from typing import Container, Generic, Optional, TypeVar
 
 from ...errors import ConfigError, RuntimeStateError
 from .hpx_thread import HpxThread, ThreadPriority
@@ -26,9 +26,12 @@ __all__ = [
     "Scheduler",
     "FifoScheduler",
     "StaticScheduler",
+    "WeightedFairQueues",
     "WorkStealingScheduler",
     "make_scheduler",
 ]
+
+T = TypeVar("T")
 
 #: Priorities in service order: HIGH tasks always run before NORMAL/LOW
 #: on the same worker (HPX's priority-queue scheduler behaviour).
@@ -140,6 +143,113 @@ class _PriorityDeques:
                 self.regular -= 1
             return True
         return False
+
+    def __len__(self) -> int:
+        return self.size
+
+
+class WeightedFairQueues(Generic[T]):
+    """Stride scheduling over named flows, one FIFO deque per flow.
+
+    The same shape as the per-worker :class:`_PriorityDeques` bundle one
+    level up: explicit incremental size counters, deque storage, and a
+    deterministic pop order.  Here the "priority" axis is *fairness
+    between flows* instead of urgency within one queue: every flow
+    carries a weight, each pop advances the flow's virtual pass by
+    ``scale / weight``, and :meth:`pop` always serves the non-empty flow
+    with the smallest pass (ties broken by flow name, so the order is a
+    pure function of the push/pop history).  A flow with weight 2 is
+    therefore served twice as often as a weight-1 flow under sustained
+    backlog, and an idle flow accumulates no credit: when it becomes
+    non-empty again its pass is advanced to the current global floor.
+
+    The multi-tenant job service layers its per-tenant scheduling on
+    this structure; it is generic so queued items can be jobs, tasks, or
+    anything else with FIFO-per-flow semantics.
+    """
+
+    __slots__ = ("scale", "_queues", "_weights", "_passes", "size")
+
+    def __init__(self, scale: float = 1024.0) -> None:
+        if scale <= 0:
+            raise ConfigError("WeightedFairQueues scale must be positive")
+        self.scale = scale
+        self._queues: dict[str, deque[T]] = {}
+        self._weights: dict[str, float] = {}
+        self._passes: dict[str, float] = {}
+        self.size = 0
+
+    def set_weight(self, flow: str, weight: float) -> None:
+        """Register ``flow`` (or update its weight).  Weight must be > 0."""
+        if weight <= 0:
+            raise ConfigError(f"flow {flow!r} weight must be positive, got {weight}")
+        self._weights[flow] = weight
+        if flow not in self._queues:
+            self._queues[flow] = deque()
+            self._passes[flow] = self._floor()
+
+    def _floor(self) -> float:
+        """Global virtual-pass floor: min pass among backlogged flows."""
+        backlogged = [
+            self._passes[flow] for flow, q in self._queues.items() if q
+        ]
+        return min(backlogged, default=0.0)
+
+    def push(self, flow: str, item: T) -> None:
+        """Queue ``item`` on ``flow`` (registered with weight 1 if new)."""
+        if flow not in self._queues:
+            self.set_weight(flow, self._weights.get(flow, 1.0))
+        queue = self._queues[flow]
+        if not queue:
+            # Re-entering service: no credit accrues while idle.
+            self._passes[flow] = max(self._passes[flow], self._floor())
+        queue.append(item)
+        self.size += 1
+
+    def pop(self, skip: Container[str] = ()) -> Optional[tuple[str, T]]:
+        """Serve the eligible flow with the smallest virtual pass.
+
+        Flows named in ``skip`` (e.g. tenants at their concurrency cap)
+        are passed over without being charged.  Returns ``(flow, item)``
+        or None when every non-empty flow is skipped.
+        """
+        best: Optional[str] = None
+        best_pass = 0.0
+        for flow in sorted(self._queues):
+            if not self._queues[flow] or flow in skip:
+                continue
+            flow_pass = self._passes[flow]
+            if best is None or flow_pass < best_pass:
+                best = flow
+                best_pass = flow_pass
+        if best is None:
+            return None
+        item = self._queues[best].popleft()
+        self._passes[best] = best_pass + self.scale / self._weights[best]
+        self.size -= 1
+        return (best, item)
+
+    def pending(self, flow: Optional[str] = None) -> int:
+        if flow is None:
+            return self.size
+        queue = self._queues.get(flow)
+        return len(queue) if queue else 0
+
+    def flows(self) -> list[str]:
+        """Registered flow names, sorted."""
+        return sorted(self._queues)
+
+    def remove(self, flow: str, item: T) -> bool:
+        """Withdraw one queued item (cancellation); O(n) on the flow."""
+        queue = self._queues.get(flow)
+        if not queue:
+            return False
+        try:
+            queue.remove(item)
+        except ValueError:
+            return False
+        self.size -= 1
+        return True
 
     def __len__(self) -> int:
         return self.size

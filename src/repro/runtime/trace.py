@@ -69,7 +69,10 @@ class TraceEvent:
     runtime with an :class:`~repro.resilience.overload.OverloadController`
     is attached, and ``parcel_batch_flush`` (one coalesced wire message
     departing; ``args`` carries destination, parcel count, bytes, and
-    the flush reason) when ``parcel.batching`` is enabled.  ``pool``/``worker_id``
+    the flush reason) when ``parcel.batching`` is enabled, and
+    ``checkpoint_corrupt_skipped`` (warning level: a retained
+    checkpoint epoch failed verification during restore and was
+    skipped; ``args`` carries the epoch and size).  ``pool``/``worker_id``
     locate the event when known (parcel events carry the locality pool
     of their sender/receiver); ``parcel_id`` correlates the send and
     receive sides of one parcel, which is what the Chrome-trace flow
@@ -122,6 +125,7 @@ class Tracer:
                 self._patch_pool(pool, patched)
             if runtime is not None:
                 self._patch_parcelport(runtime, patched)
+                self._patch_checkpoint_hook(runtime, patched)
                 self._record_outages(runtime)
             yield self
         finally:
@@ -266,6 +270,17 @@ class Tracer:
 
             batcher.event_hook = batch_hook
             patched.append((batcher, "event_hook", orig_batch_hook))
+
+    def _patch_checkpoint_hook(self, runtime: "Runtime", patched: list) -> None:
+        orig_ckpt_hook = runtime.checkpoint_event_hook
+
+        def checkpoint_hook(kind, time, args, original=orig_ckpt_hook):
+            self.events.append(TraceEvent(kind=kind, time=time, args=args))
+            if original is not None:
+                original(kind, time, args)
+
+        runtime.checkpoint_event_hook = checkpoint_hook
+        patched.append((runtime, "checkpoint_event_hook", orig_ckpt_hook))
 
     def _record_outages(self, runtime: "Runtime") -> None:
         injector = getattr(runtime, "fault_injector", None)

@@ -1,0 +1,294 @@
+"""Kill -9 chaos harness for the job service (nightly CI).
+
+The harness is the executable form of the durability claims in
+``docs/job-service.md``:
+
+1. **Submit** a multi-tenant job storm (including deliberate dedupe-key
+   resubmissions and fault-injecting ``faulty`` jobs) into a fresh
+   service directory.
+2. **Storm**: repeatedly start a worker process (``repro jobs work``),
+   let it run for a seeded-random interval, and SIGKILL it -- mid-epoch,
+   mid-journal-append, wherever the clock lands.
+3. **Drain**: run one final worker to completion.
+4. **Audit** the survivors *from the journal itself*: every accepted
+   job reached a terminal state exactly once (counted over raw journal
+   records, not in-memory state), dedupe resubmissions mapped to the
+   original job ids, and every ``done`` job's result digest is
+   bit-identical to an uninterrupted reference run of the same job.
+
+Only one service process may own a service directory at a time (the
+journal is single-writer), so the harness runs workers strictly
+sequentially -- which is exactly the crash/restart pattern the service
+must survive.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import subprocess
+import sys
+import time
+from typing import Any, Optional
+
+from .executor import JobRunner
+from .jobs import Job, JobState, TERMINAL_STATES
+from .journal import read_journal
+from .service import JobService, ServicePolicy
+
+__all__ = ["run_storm"]
+
+#: Terminal state names, for auditing raw journal records.
+_TERMINAL_NAMES = frozenset(state.value for state in TERMINAL_STATES)
+
+
+def _expected_result(
+    kind: str, params: dict[str, Any], scratch: str, policy: ServicePolicy
+) -> Optional[dict[str, Any]]:
+    """Uninterrupted reference run of one job (digest oracle)."""
+    if kind != "stencil1d":
+        return None
+    runner = JobRunner(
+        scratch, epoch_steps=policy.epoch_steps, keep_epochs=policy.keep_epochs
+    )
+    job = Job(
+        job_id=f"ref-{len(os.listdir(scratch)) if os.path.isdir(scratch) else 0}",
+        tenant="reference",
+        kind=kind,
+        params=params,
+        dedupe_key=None,
+        max_attempts=1,
+        submitted_at=0.0,
+        attempts=1,
+    )
+    result = runner.run(job)
+    runner.cleanup(job.job_id)
+    return result
+
+
+def _submit_storm(
+    root: str,
+    scratch: str,
+    *,
+    tenants: int,
+    jobs_per_tenant: int,
+    nx: int,
+    steps: int,
+    policy: ServicePolicy,
+) -> tuple[dict[str, str], dict[str, str], int]:
+    """Fill the service; returns (expected digests, dedupe map, accepted)."""
+    expected: dict[str, str] = {}
+    dedupe_original: dict[str, str] = {}
+    accepted = 0
+    with JobService(root, policy=policy) as service:
+        for t in range(tenants):
+            tenant = f"tenant-{t}"
+            for i in range(jobs_per_tenant):
+                params = {
+                    "nx": nx,
+                    "steps": steps,
+                    "localities": 1 + (i % 2),
+                    "mode": 1 + (t % 3),
+                    "distributed": i % 2 == 0,
+                }
+                key = f"{tenant}-job-{i}"
+                job, created = service.submit(
+                    tenant, "stencil1d", params, dedupe_key=key
+                )
+                assert created, "fresh dedupe keys must create jobs"
+                accepted += 1
+                dedupe_original[key] = job.job_id
+                reference = _expected_result(
+                    "stencil1d", params, scratch, policy
+                )
+                assert reference is not None
+                expected[job.job_id] = reference["digest"]
+            # One retryable fault and one budget-exhausting fault per
+            # tenant: retries and failed-with-cause both get exercised.
+            for name, fails in (("flaky", 1), ("doomed", policy.max_attempts + 2)):
+                job, created = service.submit(
+                    tenant,
+                    "faulty",
+                    {"fail_attempts": fails},
+                    dedupe_key=f"{tenant}-{name}",
+                )
+                assert created
+                accepted += 1
+            # Resubmit an already-used key: must dedupe, not create.
+            job, created = service.submit(
+                tenant,
+                "stencil1d",
+                {"nx": nx, "steps": steps},
+                dedupe_key=f"{tenant}-job-0",
+            )
+            assert not created, "dedupe-key resubmission must not create"
+            assert job.job_id == dedupe_original[f"{tenant}-job-0"]
+    return expected, dedupe_original, accepted
+
+
+def _worker_argv(root: str, worker: str) -> list[str]:
+    return [
+        sys.executable,
+        "-m",
+        "repro",
+        "jobs",
+        "work",
+        "--root",
+        root,
+        "--worker",
+        worker,
+        "--exit-when-idle",
+        "--poll",
+        "0.05",
+    ]
+
+
+def run_storm(
+    root: str,
+    *,
+    tenants: int = 3,
+    jobs_per_tenant: int = 3,
+    nx: int = 32,
+    steps: int = 30,
+    seed: int = 0,
+    max_kills: int = 4,
+    kill_after: tuple[float, float] = (0.4, 1.5),
+    drain_timeout: float = 300.0,
+    policy: Optional[ServicePolicy] = None,
+) -> dict[str, Any]:
+    """Run the full chaos storm; returns an audit report.
+
+    ``report["violations"]`` is empty iff every durability invariant
+    held; CI fails on any entry.
+    """
+    policy = policy or ServicePolicy(
+        lease_seconds=10.0,
+        epoch_steps=5,
+        retry_base_seconds=0.05,
+        retry_cap_seconds=0.2,
+    )
+    rng = random.Random(seed)
+    scratch = os.path.join(root, "reference-scratch")
+    os.makedirs(scratch, exist_ok=True)
+    expected, dedupe_original, accepted = _submit_storm(
+        os.path.join(root, "svc"),
+        scratch,
+        tenants=tenants,
+        jobs_per_tenant=jobs_per_tenant,
+        nx=nx,
+        steps=steps,
+        policy=policy,
+    )
+    svc_root = os.path.join(root, "svc")
+
+    kills = 0
+    for k in range(max_kills):
+        proc = subprocess.Popen(_worker_argv(svc_root, f"chaos-{k}"))
+        delay = rng.uniform(*kill_after)
+        time.sleep(delay)  # repro-lint: disable=PX101
+        if proc.poll() is None:
+            proc.kill()  # SIGKILL: no cleanup, no journal flush courtesy
+            proc.wait()
+            kills += 1
+        elif proc.returncode != 0:
+            raise RuntimeError(
+                f"chaos worker {k} exited {proc.returncode} before the kill"
+            )
+
+    # Final drain: one worker allowed to finish everything.
+    proc = subprocess.Popen(_worker_argv(svc_root, "finisher"))
+    try:
+        drained_rc = proc.wait(timeout=drain_timeout)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.wait()
+        raise RuntimeError(f"final drain did not finish within {drain_timeout}s")
+    if drained_rc != 0:
+        raise RuntimeError(f"final drain worker exited {drained_rc}")
+
+    return _audit(
+        svc_root,
+        policy,
+        expected=expected,
+        dedupe_original=dedupe_original,
+        accepted=accepted,
+        kills=kills,
+    )
+
+
+def _audit(
+    svc_root: str,
+    policy: ServicePolicy,
+    *,
+    expected: dict[str, str],
+    dedupe_original: dict[str, str],
+    accepted: int,
+    kills: int,
+) -> dict[str, Any]:
+    violations: list[str] = []
+
+    # Exactly-once terminal transitions, counted over RAW journal
+    # records -- the in-memory store would hide a double-terminate
+    # because replay rejects it, so audit the bytes.
+    records, torn = read_journal(os.path.join(svc_root, "jobs.journal"))
+    terminal_counts: dict[str, int] = {}
+    for record in records:
+        if record.get("op") == "transition" and record.get("to") in _TERMINAL_NAMES:
+            job_id = record["job_id"]
+            terminal_counts[job_id] = terminal_counts.get(job_id, 0) + 1
+    for job_id, count in sorted(terminal_counts.items()):
+        if count > 1:
+            violations.append(
+                f"job {job_id} has {count} terminal transitions in the journal"
+            )
+
+    with JobService(svc_root, policy=policy) as service:
+        jobs = service.store.jobs()
+        if len(jobs) != accepted:
+            violations.append(
+                f"store holds {len(jobs)} jobs, {accepted} were accepted"
+            )
+        states: dict[str, int] = {}
+        for job in jobs:
+            states[job.state.value] = states.get(job.state.value, 0) + 1
+            if not job.terminal:
+                violations.append(
+                    f"job {job.job_id} ({job.tenant}) is non-terminal: {job.state}"
+                )
+                continue
+            if terminal_counts.get(job.job_id, 0) != 1:
+                violations.append(
+                    f"job {job.job_id} terminal in store but journalled "
+                    f"{terminal_counts.get(job.job_id, 0)} terminal transitions"
+                )
+            if job.state is JobState.DONE and job.job_id in expected:
+                digest = (job.result or {}).get("digest")
+                if digest != expected[job.job_id]:
+                    violations.append(
+                        f"job {job.job_id} digest {digest!r} != uninterrupted "
+                        f"reference {expected[job.job_id]!r}"
+                    )
+            if job.state is JobState.FAILED and not job.failure:
+                violations.append(f"job {job.job_id} failed without a cause")
+        # Dedupe keys still resolve to their original jobs after replay.
+        for key, job_id in sorted(dedupe_original.items()):
+            tenant = key.split("-job-")[0].split("-flaky")[0].split("-doomed")[0]
+            job, created = service.store.submit(
+                tenant, "stencil1d", {}, dedupe_key=key
+            )
+            if created or job.job_id != job_id:
+                violations.append(
+                    f"dedupe key {key!r} resolved to {job.job_id} "
+                    f"(created={created}), expected {job_id}"
+                )
+        counters = service.counters()
+
+    return {
+        "accepted": accepted,
+        "kills": kills,
+        "torn_tail_seen": torn,
+        "journal_records": len(records),
+        "states": dict(sorted(states.items())),
+        "violations": violations,
+        "counters": counters,
+    }

@@ -1,0 +1,49 @@
+"""The service's clock seam.
+
+Everything inside the runtime lives on the *virtual* clock; the job
+service sits outside it -- leases, retry backoff, and ``retry_after``
+hints are promises made to external clients about real elapsed time.
+This module is the single sanctioned crossing point: every service
+component takes a ``clock: Clock`` argument, tests inject a
+:class:`ManualClock` so lease expiry and backoff schedules stay exactly
+deterministic, and production entry points (CLI, gateway) pass
+:func:`wall_clock`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+__all__ = ["Clock", "ManualClock", "wall_clock"]
+
+#: A clock is any zero-argument callable returning monotonic seconds.
+Clock = Callable[[], float]
+
+
+class ManualClock:
+    """A deterministic clock tests drive by hand."""
+
+    __slots__ = ("now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+
+    def advance(self, dt: float) -> float:
+        if dt < 0:
+            raise ValueError("a clock cannot run backwards")
+        self.now += dt
+        return self.now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def wall_clock() -> Clock:
+    """The production clock: monotonic wall time.
+
+    The job service is the process boundary of the system -- leases must
+    outlive virtual schedules and SIGKILLs, so this is deliberately real
+    time, not pool time.
+    """
+    return time.monotonic  # repro-lint: disable=PX101

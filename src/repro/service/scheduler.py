@@ -1,0 +1,92 @@
+"""Weighted fair scheduling of pending jobs across tenants.
+
+A single FIFO ready queue lets one chatty tenant starve everyone else.
+:class:`FairJobScheduler` instead layers per-tenant queues under stride
+scheduling -- the runtime's generic
+:class:`~repro.runtime.threads.scheduler.WeightedFairQueues` -- so over
+any window each backlogged tenant is served in proportion to its
+configured weight, regardless of how deep anyone's backlog is.
+
+Jobs in retry backoff (``not_before`` in the future) park in a delay
+room and only enter their tenant's queue once eligible, so a tenant
+cannot burn its fair share on jobs that are not yet runnable.
+"""
+
+from __future__ import annotations
+
+from typing import Container, Optional
+
+from ..runtime.threads.scheduler import WeightedFairQueues
+
+__all__ = ["FairJobScheduler"]
+
+
+class FairJobScheduler:
+    """Per-tenant fair queues plus a delay room for backoff."""
+
+    def __init__(self) -> None:
+        self._queues: WeightedFairQueues[str] = WeightedFairQueues()
+        # job_id -> (tenant, not_before) for jobs waiting out a backoff.
+        self._delayed: dict[str, tuple[str, float]] = {}
+
+    def set_weight(self, tenant: str, weight: float) -> None:
+        self._queues.set_weight(tenant, weight)
+
+    def enqueue(self, tenant: str, job_id: str, *, not_before: float, now: float) -> None:
+        """Make a pending job schedulable (immediately or after backoff)."""
+        if not_before > now:
+            self._delayed[job_id] = (tenant, not_before)
+        else:
+            self._queues.push(tenant, job_id)
+
+    def promote(self, now: float) -> int:
+        """Move delay-room jobs whose backoff has elapsed into the queues."""
+        ready = sorted(
+            job_id
+            for job_id, (_, not_before) in self._delayed.items()
+            if not_before <= now
+        )
+        for job_id in ready:
+            tenant, _ = self._delayed.pop(job_id)
+            self._queues.push(tenant, job_id)
+        return len(ready)
+
+    def next_job(
+        self, now: float, *, skip_tenants: Container[str] = ()
+    ) -> Optional[tuple[str, str]]:
+        """Pop ``(tenant, job_id)`` for the fairest eligible tenant.
+
+        ``skip_tenants`` holds tenants currently at their concurrency
+        quota; their queued jobs stay put and their virtual pass is not
+        charged.
+        """
+        self.promote(now)
+        return self._queues.pop(skip=skip_tenants)
+
+    def remove(self, tenant: str, job_id: str) -> bool:
+        """Drop a job wherever it is queued (cancellation)."""
+        if job_id in self._delayed:
+            del self._delayed[job_id]
+            return True
+        return self._queues.remove(tenant, job_id)
+
+    def pending(self, tenant: Optional[str] = None) -> int:
+        """Jobs waiting (queued or delayed), optionally for one tenant."""
+        queued = self._queues.pending(tenant)
+        if tenant is None:
+            return queued + len(self._delayed)
+        return queued + sum(
+            1 for owner, _ in self._delayed.values() if owner == tenant
+        )
+
+    def delayed(self) -> int:
+        return len(self._delayed)
+
+    def next_wakeup(self) -> Optional[float]:
+        """Earliest ``not_before`` in the delay room (idle-loop hint)."""
+        if not self._delayed:
+            return None
+        return min(not_before for _, not_before in self._delayed.values())
+
+    def __len__(self) -> int:
+        return self.pending()

@@ -1,0 +1,478 @@
+"""The durable multi-tenant job service, tying the layers together.
+
+:class:`JobService` owns one service directory (journal + per-job
+checkpoint trails) and composes the store, lease manager, fair
+scheduler, admission control, and executor into the lifecycle clients
+see::
+
+    submit --> pending --> claim (lease) --> running --> done
+                  ^            |                 |-----> failed (cause)
+                  |            |                 '-----> cancelled
+                  '---- lease expiry / retry backoff ----'
+
+Durability invariants (asserted by the chaos suite):
+
+* every state change is journalled before it is visible;
+* opening the service after a crash requeues claimed/running jobs --
+  their in-process workers cannot have survived the process;
+* terminal transitions are exactly-once: replay can never re-terminate
+  a job, a resubmit with a used dedupe key returns the original job.
+
+Observability: every tenant gets ``/jobs{tenant}/count/...``
+perfcounters (the service-side mirror of the runtime's counter path
+grammar) and every lifecycle edge emits a
+:class:`~repro.runtime.trace.TraceEvent` through ``event_hook``.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from ..errors import ConfigError, JobShedError, JobStateError, UnknownJobError
+from ..runtime.trace import TraceEvent
+from .admission import AdmissionControl, TenantQuota
+from .clock import Clock, wall_clock
+from .executor import JobRunner
+from .jobs import Job, JobState, JobStore, TERMINAL_STATES
+from .leases import Lease, LeaseManager, RetryBudget
+from .scheduler import FairJobScheduler
+
+__all__ = ["JobService", "ServicePolicy"]
+
+#: States meaning "a worker owns this job right now".
+_ACTIVE_STATES = frozenset({JobState.CLAIMED, JobState.RUNNING})
+
+#: Per-tenant counter names the service maintains.
+_COUNTER_NAMES = (
+    "submitted",
+    "deduped",
+    "completed",
+    "failed",
+    "cancelled",
+    "retried",
+    "requeued",
+    "shed",
+    "lease-expired",
+)
+
+
+@dataclass(frozen=True)
+class ServicePolicy:
+    """All the service's tunable knobs in one immutable bundle."""
+
+    lease_seconds: float = 30.0
+    max_attempts: int = 3
+    retry_base_seconds: float = 0.5
+    retry_factor: float = 2.0
+    retry_cap_seconds: float = 30.0
+    max_backlog: int = 1024
+    breaker_threshold: int = 5
+    breaker_reset_seconds: float = 30.0
+    epoch_steps: int = 10
+    keep_epochs: int = 2
+    cleanup_on_terminal: bool = True
+    sync_journal: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError("max_attempts must be >= 1")
+        if self.epoch_steps < 1:
+            raise ConfigError("epoch_steps must be >= 1")
+
+
+class JobService:
+    """One durable job service over one service directory."""
+
+    def __init__(
+        self,
+        root: str | os.PathLike[str],
+        *,
+        clock: Optional[Clock] = None,
+        policy: Optional[ServicePolicy] = None,
+    ) -> None:
+        self.root = os.fspath(root)
+        self.policy = policy or ServicePolicy()
+        self._clock: Clock = clock if clock is not None else wall_clock()
+        os.makedirs(self.root, exist_ok=True)
+        self.store = JobStore(
+            os.path.join(self.root, "jobs.journal"),
+            clock=self._clock,
+            sync=self.policy.sync_journal,
+        )
+        self.leases = LeaseManager(
+            self._clock, lease_seconds=self.policy.lease_seconds
+        )
+        self.scheduler = FairJobScheduler()
+        self.admission = AdmissionControl(
+            self._clock,
+            max_backlog=self.policy.max_backlog,
+            breaker_threshold=self.policy.breaker_threshold,
+            breaker_reset_seconds=self.policy.breaker_reset_seconds,
+        )
+        self.retry = RetryBudget(
+            base_seconds=self.policy.retry_base_seconds,
+            factor=self.policy.retry_factor,
+            cap_seconds=self.policy.retry_cap_seconds,
+        )
+        self.runner = JobRunner(
+            os.path.join(self.root, "work"),
+            epoch_steps=self.policy.epoch_steps,
+            keep_epochs=self.policy.keep_epochs,
+        )
+        self._counters: dict[str, int] = {}
+        self.events: deque[TraceEvent] = deque(maxlen=10_000)
+        #: Patch point for external trace sinks (mirrors the runtime's
+        #: ``OverloadController.event_hook`` convention).
+        self.event_hook: Optional[Callable[[TraceEvent], None]] = None
+        self.recovered_jobs = self._recover()
+
+    # ------------------------------------------------------------------
+    # observability
+
+    def _bump(self, tenant: str, name: str, delta: int = 1) -> None:
+        path = f"/jobs{{{tenant}}}/count/{name}"
+        self._counters[path] = self._counters.get(path, 0) + delta
+
+    def _emit(self, kind: str, tenant: str, job_id: str, **args: Any) -> None:
+        event = TraceEvent(
+            kind=kind,
+            time=self._clock(),
+            args={"tenant": tenant, "job_id": job_id, **args},
+        )
+        self.events.append(event)
+        hook = self.event_hook
+        if hook is not None:
+            hook(event)
+
+    def counters(self) -> dict[str, int]:
+        """All per-tenant counters, sorted by path."""
+        return dict(sorted(self._counters.items()))
+
+    def query_counter(self, path: str) -> int:
+        return self._counters.get(path, 0)
+
+    # ------------------------------------------------------------------
+    # recovery
+
+    def _recover(self) -> int:
+        """Requeue every non-terminal job found in the replayed journal.
+
+        The service process just started, so any worker that held a
+        lease is gone: ``claimed``/``running`` jobs go straight back to
+        ``pending`` (keeping their attempt count and backoff), and
+        ``pending`` jobs re-enter the fair queues.
+        """
+        now = self._clock()
+        recovered = 0
+        for job in self.store.jobs():
+            # Reconstruct the durable counters from replayed state so
+            # `repro jobs counters` means the same thing across
+            # restarts.  Event-ish counters (deduped, shed, requeued,
+            # lease-expired) stay process-local.
+            self._bump(job.tenant, "submitted")
+            self._bump(job.tenant, "retried", max(0, job.attempts - 1))
+            if job.state is JobState.DONE:
+                self._bump(job.tenant, "completed")
+            elif job.state is JobState.FAILED:
+                self._bump(job.tenant, "failed")
+            elif job.state is JobState.CANCELLED:
+                self._bump(job.tenant, "cancelled")
+            if job.terminal:
+                continue
+            if job.state in _ACTIVE_STATES:
+                self.store.transition(
+                    job.job_id,
+                    JobState.PENDING,
+                    lease_owner=None,
+                    lease_expires_at=None,
+                )
+                self._bump(job.tenant, "requeued")
+                self._emit("job_requeued", job.tenant, job.job_id, reason="restart")
+            self.scheduler.enqueue(
+                job.tenant, job.job_id, not_before=job.not_before, now=now
+            )
+            recovered += 1
+        return recovered
+
+    # ------------------------------------------------------------------
+    # client surface
+
+    def set_quota(self, tenant: str, quota: TenantQuota) -> None:
+        self.admission.set_quota(tenant, quota)
+        self.scheduler.set_weight(tenant, quota.weight)
+
+    def submit(
+        self,
+        tenant: str,
+        kind: str,
+        params: dict[str, Any],
+        *,
+        dedupe_key: Optional[str] = None,
+        max_attempts: Optional[int] = None,
+    ) -> tuple[Job, bool]:
+        """Admit and durably create a job; idempotent under ``dedupe_key``.
+
+        Returns ``(job, created)``.  A resubmission with a dedupe key
+        the tenant already used returns the *original* job (whatever its
+        state, including terminal) without consulting admission control
+        -- retrying a submit must never be punished as new load.
+        Rejections raise :class:`~repro.errors.JobShedError` carrying
+        ``retry_after``; nothing is ever dropped silently.
+        """
+        job, created = self._submit_dedupe_check(tenant, dedupe_key)
+        if job is not None:
+            return job, created
+        backlog = self.store.jobs(states=None)
+        open_jobs = [j for j in backlog if not j.terminal]
+        tenant_pending = sum(1 for j in open_jobs if j.tenant == tenant)
+        try:
+            self.admission.check(
+                tenant, tenant_pending=tenant_pending, total_backlog=len(open_jobs)
+            )
+        except JobShedError as exc:
+            self._bump(tenant, "shed")
+            self._emit(
+                "job_shed", tenant, "", reason=str(exc), retry_after=exc.retry_after
+            )
+            raise
+        job, created = self.store.submit(
+            tenant,
+            kind,
+            params,
+            dedupe_key=dedupe_key,
+            max_attempts=max_attempts or self.policy.max_attempts,
+        )
+        self.scheduler.enqueue(
+            tenant, job.job_id, not_before=job.not_before, now=self._clock()
+        )
+        self._bump(tenant, "submitted")
+        self._emit("job_submitted", tenant, job.job_id, job_kind=kind)
+        return job, created
+
+    def _submit_dedupe_check(
+        self, tenant: str, dedupe_key: Optional[str]
+    ) -> tuple[Optional[Job], bool]:
+        if dedupe_key is None:
+            return None, True
+        job, created = None, True
+        for candidate in self.store.jobs(tenant=tenant):
+            if candidate.dedupe_key == dedupe_key:
+                job, created = candidate, False
+                self._bump(tenant, "deduped")
+                self._emit("job_deduped", tenant, candidate.job_id)
+                break
+        return job, created
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        job = self.store.get(job_id)
+        info = job.describe()
+        lease = self.leases.holder(job_id)
+        info["lease"] = (
+            None
+            if lease is None
+            else {"owner": lease.owner, "expires_at": lease.expires_at}
+        )
+        return info
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel wherever the job is; terminal jobs refuse (exactly-once)."""
+        job = self.store.get(job_id)
+        if job.terminal:
+            raise JobStateError(
+                f"job {job_id!r} is already terminal ({job.state}); "
+                f"terminal states are exactly-once"
+            )
+        self.scheduler.remove(job.tenant, job_id)
+        self.leases.revoke(job_id)
+        job = self.store.transition(
+            job_id, JobState.CANCELLED, lease_owner=None, lease_expires_at=None
+        )
+        self._bump(job.tenant, "cancelled")
+        self._emit("job_cancelled", job.tenant, job_id)
+        return job
+
+    def list_jobs(
+        self, *, tenant: Optional[str] = None, state: Optional[str] = None
+    ) -> list[Job]:
+        states = None if state is None else [JobState(state)]
+        return self.store.jobs(tenant=tenant, states=states)
+
+    # ------------------------------------------------------------------
+    # worker surface
+
+    def _tenants_at_capacity(self) -> set[str]:
+        active: dict[str, int] = {}
+        for job in self.store.jobs(states=_ACTIVE_STATES):
+            active[job.tenant] = active.get(job.tenant, 0) + 1
+        return {
+            tenant
+            for tenant, count in active.items()
+            if count >= self.admission.quota(tenant).max_active
+        }
+
+    def claim(self, worker: str) -> Optional[tuple[Job, Lease]]:
+        """Hand the fairest eligible pending job to ``worker``.
+
+        Expired leases are harvested first, so a dead worker's job can
+        be re-claimed by the very call that notices it.  Returns None
+        when nothing is runnable right now (everything terminal, leased,
+        in backoff, or its tenant at quota).
+        """
+        self.expire_leases()
+        picked = self.scheduler.next_job(
+            self._clock(), skip_tenants=self._tenants_at_capacity()
+        )
+        if picked is None:
+            return None
+        tenant, job_id = picked
+        job = self.store.get(job_id)
+        lease = self.leases.grant(job_id, worker)
+        job = self.store.transition(
+            job_id,
+            JobState.CLAIMED,
+            attempts=job.attempts + 1,
+            lease_owner=worker,
+            lease_expires_at=lease.expires_at,
+        )
+        self._emit("job_claimed", tenant, job_id, worker=worker, attempt=job.attempts)
+        return job, lease
+
+    def _check_owner(self, job_id: str, worker: str) -> Job:
+        job = self.store.get(job_id)
+        lease = self.leases.holder(job_id)
+        if lease is None or lease.owner != worker or lease.expired(self._clock()):
+            raise JobStateError(
+                f"{worker!r} does not hold a live lease on job {job_id!r}"
+            )
+        return job
+
+    def start(self, job_id: str, worker: str) -> Job:
+        self._check_owner(job_id, worker)
+        job = self.store.transition(job_id, JobState.RUNNING)
+        self._emit("job_started", job.tenant, job_id, worker=worker)
+        return job
+
+    def renew(self, job_id: str, worker: str) -> Lease:
+        self._check_owner(job_id, worker)
+        return self.leases.renew(job_id, worker)
+
+    def complete(self, job_id: str, worker: str, result: dict[str, Any]) -> Job:
+        job = self._check_owner(job_id, worker)
+        job = self.store.transition(
+            job_id,
+            JobState.DONE,
+            result=result,
+            lease_owner=None,
+            lease_expires_at=None,
+        )
+        self.leases.release(job_id, worker)
+        self.admission.record_outcome(job.tenant, failed=False)
+        if self.policy.cleanup_on_terminal:
+            self.runner.cleanup(job_id)
+        self._bump(job.tenant, "completed")
+        self._emit("job_done", job.tenant, job_id, worker=worker)
+        return job
+
+    def fail_attempt(self, job_id: str, worker: str, cause: str) -> Job:
+        """One attempt failed: retry with backoff, or fail with cause."""
+        job = self._check_owner(job_id, worker)
+        self.leases.release(job_id, worker)
+        return self._retry_or_fail(job, cause)
+
+    def _retry_or_fail(self, job: Job, cause: str) -> Job:
+        if self.retry.exhausted(job.attempts, job.max_attempts):
+            job = self.store.transition(
+                job.job_id,
+                JobState.FAILED,
+                failure=(
+                    f"{cause} (retry budget exhausted after "
+                    f"{job.attempts}/{job.max_attempts} attempts)"
+                ),
+                lease_owner=None,
+                lease_expires_at=None,
+            )
+            self.admission.record_outcome(job.tenant, failed=True)
+            if self.policy.cleanup_on_terminal:
+                self.runner.cleanup(job.job_id)
+            self._bump(job.tenant, "failed")
+            self._emit("job_failed", job.tenant, job.job_id, cause=cause)
+            return job
+        delay = self.retry.delay(job.attempts - 1)
+        not_before = self._clock() + delay
+        job = self.store.transition(
+            job.job_id,
+            JobState.PENDING,
+            not_before=not_before,
+            lease_owner=None,
+            lease_expires_at=None,
+        )
+        self.scheduler.enqueue(
+            job.tenant, job.job_id, not_before=not_before, now=self._clock()
+        )
+        self._bump(job.tenant, "retried")
+        self._emit(
+            "job_retried", job.tenant, job.job_id, cause=cause, backoff=delay
+        )
+        return job
+
+    def expire_leases(self) -> list[str]:
+        """Harvest expired leases; requeue or fail their jobs."""
+        expired = []
+        for lease in self.leases.expired():
+            try:
+                job = self.store.get(lease.job_id)
+            except UnknownJobError:  # pragma: no cover - defensive
+                continue
+            if job.state not in _ACTIVE_STATES:
+                continue
+            self._bump(job.tenant, "lease-expired")
+            self._emit(
+                "lease_expired", job.tenant, job.job_id, worker=lease.owner
+            )
+            self._retry_or_fail(
+                job, f"lease expired (worker {lease.owner!r} presumed dead)"
+            )
+            expired.append(job.job_id)
+        return expired
+
+    # ------------------------------------------------------------------
+    # in-process worker loop (CLI `repro jobs work`, tests, chaos)
+
+    def run_one(self, worker: str) -> Optional[Job]:
+        """Claim, drive, and settle a single job; None when idle."""
+        claimed = self.claim(worker)
+        if claimed is None:
+            return None
+        job, _lease = claimed
+        self.start(job.job_id, worker)
+        try:
+            result = self.runner.run(self.store.get(job.job_id))
+        except Exception as exc:  # noqa: BLE001 - the workload is arbitrary
+            return self.fail_attempt(job.job_id, worker, f"{type(exc).__name__}: {exc}")
+        return self.complete(job.job_id, worker, result)
+
+    def drain(self, worker: str, *, max_jobs: Optional[int] = None) -> int:
+        """Run jobs until nothing is claimable; returns jobs settled."""
+        settled = 0
+        while max_jobs is None or settled < max_jobs:
+            if self.run_one(worker) is None:
+                break
+            settled += 1
+        return settled
+
+    # ------------------------------------------------------------------
+
+    def open_jobs(self) -> list[Job]:
+        return [job for job in self.store.jobs() if not job.terminal]
+
+    def close(self) -> None:
+        self.store.close()
+
+    def __enter__(self) -> "JobService":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

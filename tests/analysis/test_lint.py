@@ -398,6 +398,105 @@ def test_px811_not_applied_outside_repro():
     assert "PX811" not in codes(lint_source(src, OUTSIDE))
 
 
+# PX901 ----------------------------------------------------------------------
+IN_SERVICE = "src/repro/service/fake_service.py"
+
+_TRY_BARE = "def f():\n    try:\n        work()\n    except:\n        pass\n"
+_TRY_SWALLOW = (
+    "def f():\n    try:\n        work()\n    except Exception:\n        pass\n"
+)
+
+
+def test_px901_bare_except_in_service_file():
+    found = lint_source(_TRY_BARE, IN_SERVICE)
+    assert "PX901" in codes(found)
+    assert "SystemExit" in found[0].message
+
+
+def test_px901_swallowed_broad_except_in_service_file():
+    assert "PX901" in codes(lint_source(_TRY_SWALLOW, IN_SERVICE))
+    swallowed_return = (
+        "def f():\n"
+        "    try:\n"
+        "        work()\n"
+        "    except BaseException:\n"
+        "        return None\n"
+    )
+    assert "PX901" in codes(lint_source(swallowed_return, IN_SERVICE))
+    in_tuple = (
+        "def f():\n"
+        "    try:\n"
+        "        work()\n"
+        "    except (ValueError, Exception):\n"
+        "        ...\n"
+    )
+    assert "PX901" in codes(lint_source(in_tuple, IN_SERVICE))
+
+
+def test_px901_handled_or_narrow_excepts_are_fine():
+    narrow = (
+        "def f():\n"
+        "    try:\n"
+        "        work()\n"
+        "    except OSError:\n"
+        "        pass\n"
+    )
+    assert "PX901" not in codes(lint_source(narrow, IN_SERVICE))
+    reported = (
+        "def f():\n"
+        "    try:\n"
+        "        work()\n"
+        "    except Exception as exc:\n"
+        "        log(exc)\n"
+    )
+    assert "PX901" not in codes(lint_source(reported, IN_SERVICE))
+    reraised = (
+        "def f():\n"
+        "    try:\n"
+        "        work()\n"
+        "    except Exception:\n"
+        "        raise\n"
+    )
+    assert "PX901" not in codes(lint_source(reraised, IN_SERVICE))
+
+
+def test_px901_applies_inside_component_action_handlers():
+    src = (
+        "class Thing(Component):\n"
+        "    def act(self):\n"
+        "        try:\n"
+        "            work()\n"
+        "        except Exception:\n"
+        "            pass\n"
+    )
+    assert "PX901" in codes(lint_source(src, IN_REPRO))
+
+
+def test_px901_skips_private_methods_and_plain_repro_code():
+    private = (
+        "class Thing(Component):\n"
+        "    def _cleanup(self):\n"
+        "        try:\n"
+        "            work()\n"
+        "        except Exception:\n"
+        "            pass\n"
+    )
+    assert "PX901" not in codes(lint_source(private, IN_REPRO))
+    assert "PX901" not in codes(lint_source(_TRY_SWALLOW, IN_REPRO))
+    assert "PX901" not in codes(lint_source(_TRY_SWALLOW, OUTSIDE))
+
+
+def test_px901_suppressible_inline():
+    src = (
+        "def f():\n"
+        "    try:\n"
+        "        work()\n"
+        "    except Exception:  # repro-lint: disable=PX901\n"
+        "        pass\n"
+    )
+    assert "PX901" not in codes(lint_source(src, IN_SERVICE))
+
+
 # --select / --ignore --------------------------------------------------------
 def test_filter_findings_prefix_semantics():
     found = [

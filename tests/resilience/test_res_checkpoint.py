@@ -14,6 +14,7 @@ import pytest
 from repro.config import Config
 from repro.errors import (
     CheckpointCorruptionError,
+    CheckpointCorruptionWarning,
     CheckpointError,
     RuntimeStateError,
 )
@@ -117,8 +118,65 @@ def test_store_falls_back_to_previous_epoch_on_corruption():
     store._epochs[10] = dataclasses.replace(
         newest, payload=newest.payload[:-1] + b"\x00"
     )
-    assert store.restore_latest_valid([box]).epoch == 5
+    with pytest.warns(CheckpointCorruptionWarning):
+        assert store.restore_latest_valid([box]).epoch == 5
     assert box.value == 5
+
+
+def test_store_corrupt_skip_warns_counts_and_emits_event():
+    """A skipped corrupt epoch is never silent: warning + counter + event."""
+    with Runtime(n_localities=1, workers_per_locality=1) as rt:
+        events = []
+        rt.checkpoint_event_hook = lambda kind, time, args: events.append(
+            (kind, args)
+        )
+        store = CheckpointStore(runtime=rt, keep=3)
+        box = Box(0)
+
+        def job():
+            for epoch in (0, 5, 10):
+                box.value = epoch
+                store.save(epoch, [box])
+            newest = store.checkpoint(10)
+            store._epochs[10] = dataclasses.replace(
+                newest, payload=newest.payload[:-1] + b"\x00"
+            )
+            with pytest.warns(CheckpointCorruptionWarning, match="epoch 10"):
+                assert store.restore_latest_valid([box]).epoch == 5
+
+        rt.run(job)
+        assert rt.checkpoint_corrupt_skipped == 1
+        assert rt.checkpoint_fallbacks == 1
+        kind, args = events[0]
+        assert kind == "checkpoint_corrupt_skipped"
+        assert args["epoch"] == 10
+        assert args["level"] == "warning"
+
+        from repro.runtime.perfcounters import query
+
+        assert query(rt, "/checkpoints{total}/count/corrupt-skipped") == 1.0
+
+
+def test_tracer_records_corrupt_skip_event():
+    from repro.runtime.trace import Tracer
+
+    tracer = Tracer()
+    with Runtime(n_localities=1, workers_per_locality=1) as rt:
+        store = CheckpointStore(runtime=rt, keep=2)
+        box = Box(0)
+
+        def job():
+            store.save(0, [box])
+            store.save(1, [box])
+            bad = store.checkpoint(1)
+            store._epochs[1] = dataclasses.replace(bad, payload=b"garbage")
+            with pytest.warns(CheckpointCorruptionWarning):
+                store.restore_latest_valid([box])
+
+        with tracer.attach(rt):
+            rt.run(job)
+    kinds = [event.kind for event in tracer.events]
+    assert "checkpoint_corrupt_skipped" in kinds
 
 
 def test_store_all_epochs_corrupt_raises_corruption():
@@ -127,7 +185,9 @@ def test_store_all_epochs_corrupt_raises_corruption():
     store.save(0, [box])
     ckpt = store.checkpoint(0)
     store._epochs[0] = dataclasses.replace(ckpt, payload=b"garbage")
-    with pytest.raises(CheckpointCorruptionError):
+    with pytest.raises(CheckpointCorruptionError), pytest.warns(
+        CheckpointCorruptionWarning
+    ):
         store.restore_latest_valid([box])
 
 

@@ -72,6 +72,50 @@ def test_breaker_force_open_is_idempotent():
     assert breaker.opened_at == 2.0
 
 
+def test_breaker_duplicated_probe_ack_closes_exactly_once():
+    """A retransmitted ack of the half-open probe must not report a second
+    close transition or corrupt the consecutive-failure count."""
+    breaker = CircuitBreaker(threshold=1, reset_s=1.0)
+    breaker.record_failure(0.0)
+    assert breaker.allow(1.0) == "probe"
+    assert breaker.record_success()  # probe acked: the one close transition
+    assert not breaker.record_success()  # duplicate ack: no second transition
+    assert not breaker.record_success()
+    assert breaker.state == "closed"
+    assert breaker.failures == 0
+    assert not breaker.probing
+    assert breaker.allow(1.5) == "send"
+
+
+def test_breaker_duplicate_ack_does_not_mask_later_failures():
+    """Duplicated acks reset nothing extra: the threshold still counts
+    consecutive failures from zero, not from a negative balance."""
+    breaker = CircuitBreaker(threshold=2, reset_s=1.0)
+    breaker.record_failure(0.0)
+    breaker.allow(1.0)  # probe window... still closed (threshold not hit)
+    breaker.record_success()
+    breaker.record_success()  # duplicate
+    assert not breaker.record_failure(2.0)  # 1 of 2: must NOT open yet
+    assert breaker.state == "closed"
+    assert breaker.record_failure(2.0)  # 2 of 2: opens on schedule
+    assert breaker.state == "open"
+
+
+def test_breaker_stale_ack_in_half_open_closes_without_probe():
+    """An ack that raced the reset window (sent pre-open, delivered after
+    the breaker went half-open) closes the breaker and releases the
+    probe slot -- it never wedges ``probing`` so that no probe can run."""
+    breaker = CircuitBreaker(threshold=1, reset_s=1.0)
+    breaker.record_failure(0.0)
+    assert breaker.allow(1.0) == "probe"  # half-open, probe in flight
+    assert breaker.record_success()  # stale/duplicated ack arrives first
+    assert breaker.state == "closed"
+    assert not breaker.probing
+    # The probe's own ack is now just another duplicate.
+    assert not breaker.record_success()
+    assert breaker.allow(1.2) == "send"
+
+
 # Phi-accrual detector ---------------------------------------------------------
 
 
@@ -244,6 +288,50 @@ def test_credits_stall_and_resume_without_losing_parcels():
         assert controller.credit_resumes == controller.credit_stalls
         assert controller.parcels_completed == 10
         assert controller.stalled_count() == 0
+
+
+def test_controller_duplicated_probe_ack_closes_once_and_stays_closed():
+    """A retransmitted ack of the half-open probe reaches the controller
+    twice; the breaker closes exactly once, the probe completion is not
+    double-counted, and the peer is only un-suspected once."""
+    with _overload_runtime() as rt:
+        controller = rt._overload
+        breaker = controller.breaker(1)
+        breaker.force_open(0.0)
+        rt.parcelport.suspected_dead.add(1)
+        probe = Parcel(source_locality=0, payload=b"x" * 8, target_locality=1)
+        controller._probe_ids.add(probe.parcel_id)
+
+        controller.on_ack(probe, 1, 2.0)
+        assert breaker.state == "closed"
+        assert controller.breaker_closes == 1
+        assert controller.parcels_completed == 1
+        assert 1 not in rt.parcelport.suspected_dead
+
+        controller.on_ack(probe, 1, 2.5)  # the duplicate
+        assert breaker.state == "closed"
+        assert breaker.failures == 0
+        assert controller.breaker_closes == 1  # no phantom second close
+        assert controller.parcels_completed == 1  # not double-counted
+
+
+def test_controller_duplicated_credit_ack_returns_credit_once():
+    """Acking the same credit-holding parcel twice must not mint an extra
+    credit: the second delivery sees ``holds_credit`` already cleared."""
+    with _overload_runtime() as rt:
+        controller = rt._overload
+        parcel = Parcel(source_locality=0, payload=b"x" * 8, target_locality=1)
+        parcel.holds_credit = True
+        controller._inflight[1] = 1
+
+        controller.on_ack(parcel, 1, 1.0)
+        assert not parcel.holds_credit
+        assert controller.inflight(1) == 0
+        assert controller.parcels_completed == 1
+
+        controller.on_ack(parcel, 1, 1.5)  # the duplicate
+        assert controller.inflight(1) == 0  # never goes negative
+        assert controller.parcels_completed == 1
 
 
 def test_credit_flow_is_deterministic():

@@ -55,9 +55,12 @@ class TestContextStack:
 
 class TestErrorHierarchy:
     def test_every_error_derives_from_repro_error(self):
+        # Warnings must subclass Warning (Python requirement), so the
+        # exported hierarchy is: ReproError for raisables, Warning for
+        # the rest (e.g. CheckpointCorruptionWarning).
         for name in errors.__all__:
             cls = getattr(errors, name)
-            assert issubclass(cls, ReproError), name
+            assert issubclass(cls, (ReproError, Warning)), name
 
     def test_specific_parentage(self):
         assert issubclass(errors.FutureAlreadySetError, errors.FutureError)

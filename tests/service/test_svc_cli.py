@@ -1,0 +1,81 @@
+"""``repro jobs ...`` CLI: submit/status/list/cancel/counters/work."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def root(tmp_path):
+    return str(tmp_path / "svc")
+
+
+def _submit(root, capsys, *extra):
+    rc = main(
+        ["jobs", "submit", "--root", root, "--tenant", "t", "--kind", "faulty",
+         "--json", *extra]
+    )
+    assert rc == 0
+    return json.loads(capsys.readouterr().out)
+
+
+def test_submit_is_idempotent_across_invocations(root, capsys):
+    first = _submit(root, capsys, "--dedupe-key", "k")
+    assert first["created"]
+    again = _submit(root, capsys, "--dedupe-key", "k")
+    assert not again["created"]
+    assert again["job"]["job_id"] == first["job"]["job_id"]
+
+
+def test_submit_parses_params_as_json_scalars(root, capsys):
+    payload = _submit(
+        root, capsys, "--param", "fail_attempts=2", "--param", "note=\"hi\""
+    )
+    assert payload["job"]["params"] == {"fail_attempts": 2, "note": "hi"}
+    rc = main(
+        ["jobs", "submit", "--root", root, "--tenant", "t", "--param", "broken"]
+    )
+    assert rc == 2
+    assert "KEY=VALUE" in capsys.readouterr().err
+
+
+def test_status_cancel_and_unknown_job(root, capsys):
+    job_id = _submit(root, capsys)["job"]["job_id"]
+    assert main(["jobs", "status", "--root", root, job_id]) == 0
+    assert json.loads(capsys.readouterr().out)["state"] == "pending"
+    assert main(["jobs", "cancel", "--root", root, job_id]) == 0
+    capsys.readouterr()
+    # Terminal jobs are exactly-once: a second cancel is an error.
+    assert main(["jobs", "cancel", "--root", root, job_id]) == 1
+    assert main(["jobs", "status", "--root", root, "job-nope"]) == 1
+
+
+def test_work_drains_and_counters_report(root, capsys):
+    _submit(root, capsys, "--dedupe-key", "a")
+    _submit(root, capsys, "--dedupe-key", "b")
+    rc = main(
+        ["jobs", "work", "--root", root, "--worker", "w0", "--exit-when-idle",
+         "--poll", "0.01"]
+    )
+    assert rc == 0
+    assert "settled 2 job(s)" in capsys.readouterr().out
+    assert main(["jobs", "list", "--root", root, "--state", "done", "--json"]) == 0
+    done = json.loads(capsys.readouterr().out)
+    assert len(done) == 2
+    assert all(job["result"]["digest"] == "ok" for job in done)
+    assert main(["jobs", "counters", "--root", root]) == 0
+    out = capsys.readouterr().out
+    assert "/jobs{t}/count/completed" in out
+
+
+def test_list_table_and_tenant_filter(root, capsys):
+    _submit(root, capsys)
+    rc = main(["jobs", "list", "--root", root, "--tenant", "t"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "pending" in out and "job-" in out
+    rc = main(["jobs", "list", "--root", root, "--tenant", "nobody", "--json"])
+    assert rc == 0
+    assert json.loads(capsys.readouterr().out) == []

@@ -1,0 +1,97 @@
+"""Leases (temporal ownership) and the bounded retry budget."""
+
+import pytest
+
+from repro.errors import ConfigError, JobStateError
+from repro.service import Lease, LeaseManager, ManualClock, RetryBudget
+
+
+@pytest.fixture()
+def clock():
+    return ManualClock()
+
+
+@pytest.fixture()
+def leases(clock):
+    return LeaseManager(clock, lease_seconds=10.0)
+
+
+class TestLeases:
+    def test_grant_and_holder(self, leases, clock):
+        lease = leases.grant("j1", "w1")
+        assert lease == Lease("j1", "w1", granted_at=0.0, expires_at=10.0)
+        assert leases.holder("j1") == lease
+        assert len(leases) == 1
+
+    def test_double_grant_refused_while_live(self, leases):
+        leases.grant("j1", "w1")
+        with pytest.raises(JobStateError, match="already leased"):
+            leases.grant("j1", "w2")
+
+    def test_expired_lease_can_be_regranted(self, leases, clock):
+        leases.grant("j1", "w1")
+        clock.advance(10.0)  # expiry is inclusive: now >= expires_at
+        lease = leases.grant("j1", "w2")
+        assert lease.owner == "w2"
+
+    def test_renew_extends_only_live_own_leases(self, leases, clock):
+        leases.grant("j1", "w1")
+        clock.advance(6.0)
+        renewed = leases.renew("j1", "w1")
+        assert renewed.expires_at == 16.0
+        assert renewed.granted_at == 0.0  # original grant time preserved
+        with pytest.raises(JobStateError, match="holds no lease"):
+            leases.renew("j1", "w2")
+        clock.advance(11.0)
+        with pytest.raises(JobStateError, match="expired"):
+            leases.renew("j1", "w1")
+
+    def test_release_is_owner_scoped(self, leases):
+        leases.grant("j1", "w1")
+        leases.release("j1", "w2")  # foreign release: no-op
+        assert leases.holder("j1") is not None
+        leases.release("j1", "w1")
+        assert leases.holder("j1") is None
+
+    def test_expired_harvests_and_drops(self, leases, clock):
+        leases.grant("a", "w1")
+        clock.advance(5.0)
+        leases.grant("b", "w2")
+        clock.advance(5.0)  # "a" expired, "b" has 5s left
+        dead = leases.expired()
+        assert [lease.job_id for lease in dead] == ["a"]
+        assert leases.holder("a") is None
+        assert leases.holder("b") is not None
+        assert leases.expired() == []  # harvest is one-shot
+
+    def test_revoke_unconditional(self, leases):
+        leases.grant("j1", "w1")
+        leases.revoke("j1")
+        assert leases.holder("j1") is None
+        leases.revoke("j1")  # idempotent
+
+    def test_config_validation(self, clock):
+        with pytest.raises(ConfigError):
+            LeaseManager(clock, lease_seconds=0.0)
+
+
+class TestRetryBudget:
+    def test_capped_exponential_backoff(self):
+        budget = RetryBudget(base_seconds=0.5, factor=2.0, cap_seconds=3.0)
+        assert [budget.delay(n) for n in range(5)] == [0.5, 1.0, 2.0, 3.0, 3.0]
+
+    def test_exhaustion_is_attempt_bounded(self):
+        budget = RetryBudget()
+        assert not budget.exhausted(2, 3)
+        assert budget.exhausted(3, 3)
+        assert budget.exhausted(4, 3)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RetryBudget(base_seconds=0.0)
+        with pytest.raises(ConfigError):
+            RetryBudget(factor=0.5)
+        with pytest.raises(ConfigError):
+            RetryBudget(base_seconds=2.0, cap_seconds=1.0)
+        with pytest.raises(ValueError):
+            RetryBudget().delay(-1)

@@ -1,0 +1,148 @@
+"""JobStore: strict state machine, idempotent submission, replay."""
+
+import pytest
+
+from repro.errors import JobStateError, UnknownJobError
+from repro.service import JobState, JobStore, ManualClock, TERMINAL_STATES, read_journal
+
+
+@pytest.fixture()
+def store(tmp_path):
+    with JobStore(tmp_path / "jobs.journal", clock=ManualClock(), sync=False) as s:
+        yield s
+
+
+def _drive(store, job_id, *states):
+    for state in states:
+        store.transition(job_id, state)
+
+
+class TestStateMachine:
+    def test_happy_path(self, store):
+        job, created = store.submit("t", "stencil1d", {"nx": 8})
+        assert created and job.state is JobState.PENDING
+        _drive(store, job.job_id, JobState.CLAIMED, JobState.RUNNING, JobState.DONE)
+        assert store.get(job.job_id).state is JobState.DONE
+        assert store.get(job.job_id).terminal
+
+    @pytest.mark.parametrize("terminal", sorted(TERMINAL_STATES, key=str))
+    def test_terminal_states_are_absorbing(self, store, terminal):
+        job, _ = store.submit("t", "stencil1d", {})
+        if terminal is JobState.CANCELLED:
+            _drive(store, job.job_id, terminal)
+        else:
+            _drive(store, job.job_id, JobState.CLAIMED, JobState.RUNNING, terminal)
+        for target in JobState:
+            with pytest.raises(JobStateError, match="exactly-once"):
+                store.transition(job.job_id, target)
+
+    def test_illegal_edges_refused_before_journalling(self, store, tmp_path):
+        job, _ = store.submit("t", "stencil1d", {})
+        before = (tmp_path / "jobs.journal").read_bytes()
+        with pytest.raises(JobStateError):
+            store.transition(job.job_id, JobState.DONE)  # pending -> done
+        with pytest.raises(JobStateError):
+            store.transition(job.job_id, JobState.RUNNING)  # pending -> running
+        assert (tmp_path / "jobs.journal").read_bytes() == before
+
+    def test_retry_requeue_edge(self, store):
+        job, _ = store.submit("t", "stencil1d", {})
+        _drive(
+            store, job.job_id,
+            JobState.CLAIMED, JobState.RUNNING, JobState.PENDING,
+            JobState.CLAIMED, JobState.RUNNING, JobState.DONE,
+        )
+        assert store.get(job.job_id).state is JobState.DONE
+
+    def test_unknown_job(self, store):
+        with pytest.raises(UnknownJobError):
+            store.get("job-nope")
+        with pytest.raises(UnknownJobError):
+            store.transition("job-nope", JobState.CLAIMED)
+
+    def test_transition_rejects_foreign_fields(self, store):
+        job, _ = store.submit("t", "stencil1d", {})
+        with pytest.raises(JobStateError, match="may not set"):
+            store.transition(job.job_id, JobState.CLAIMED, tenant="other")
+
+
+class TestIdempotentSubmission:
+    def test_resubmit_returns_original(self, store):
+        first, created = store.submit("t", "stencil1d", {"nx": 8}, dedupe_key="k")
+        assert created
+        again, created = store.submit("t", "stencil1d", {"nx": 8}, dedupe_key="k")
+        assert not created
+        assert again.job_id == first.job_id
+        assert len(store) == 1
+
+    def test_resubmit_of_terminal_job_returns_it(self, store):
+        job, _ = store.submit("t", "stencil1d", {}, dedupe_key="k")
+        _drive(store, job.job_id, JobState.CANCELLED)
+        again, created = store.submit("t", "stencil1d", {}, dedupe_key="k")
+        assert not created and again.job_id == job.job_id
+        assert again.state is JobState.CANCELLED
+
+    def test_dedupe_keys_are_per_tenant(self, store):
+        a, _ = store.submit("alice", "stencil1d", {}, dedupe_key="k")
+        b, _ = store.submit("bob", "stencil1d", {}, dedupe_key="k")
+        assert a.job_id != b.job_id
+
+    def test_resubmit_journals_nothing(self, store, tmp_path):
+        store.submit("t", "stencil1d", {}, dedupe_key="k")
+        before = (tmp_path / "jobs.journal").read_bytes()
+        store.submit("t", "stencil1d", {}, dedupe_key="k")
+        assert (tmp_path / "jobs.journal").read_bytes() == before
+
+    def test_no_dedupe_key_always_creates(self, store):
+        a, _ = store.submit("t", "stencil1d", {})
+        b, _ = store.submit("t", "stencil1d", {})
+        assert a.job_id != b.job_id
+
+
+class TestReplay:
+    def test_replay_round_trips_everything(self, tmp_path):
+        path = tmp_path / "jobs.journal"
+        clock = ManualClock()
+        with JobStore(path, clock=clock, sync=False) as store:
+            done, _ = store.submit("t", "stencil1d", {"nx": 8}, dedupe_key="d")
+            _drive(store, done.job_id, JobState.CLAIMED, JobState.RUNNING)
+            clock.advance(3.0)
+            store.transition(done.job_id, JobState.DONE, result={"digest": "abc"})
+            failed, _ = store.submit("t", "faulty", {}, max_attempts=2)
+            _drive(store, failed.job_id, JobState.CLAIMED)
+            store.transition(failed.job_id, JobState.FAILED, failure="boom")
+            pending, _ = store.submit("u", "stencil1d", {})
+
+        with JobStore(path, clock=ManualClock(), sync=False) as replayed:
+            assert len(replayed) == 3
+            d = replayed.get(done.job_id)
+            assert d.state is JobState.DONE
+            assert d.result == {"digest": "abc"}
+            assert d.updated_at == 3.0
+            f = replayed.get(failed.job_id)
+            assert f.state is JobState.FAILED and f.failure == "boom"
+            assert replayed.get(pending.job_id).state is JobState.PENDING
+            # Dedupe index survives replay.
+            again, created = replayed.submit("t", "stencil1d", {}, dedupe_key="d")
+            assert not created and again.job_id == done.job_id
+
+    def test_job_ids_are_replay_stable_and_unique(self, tmp_path):
+        path = tmp_path / "jobs.journal"
+        with JobStore(path, clock=ManualClock(), sync=False) as store:
+            ids = [store.submit("t", "stencil1d", {})[0].job_id for _ in range(5)]
+        assert len(set(ids)) == 5
+        with JobStore(path, clock=ManualClock(), sync=False) as replayed:
+            fresh, _ = replayed.submit("t", "stencil1d", {})
+        assert fresh.job_id not in ids
+
+    def test_journal_is_append_only_across_sessions(self, tmp_path):
+        path = tmp_path / "jobs.journal"
+        with JobStore(path, clock=ManualClock(), sync=False) as store:
+            job, _ = store.submit("t", "stencil1d", {})
+        first = path.read_bytes()
+        with JobStore(path, clock=ManualClock(), sync=False) as store:
+            store.transition(job.job_id, JobState.CANCELLED)
+        assert path.read_bytes().startswith(first)
+        records, torn = read_journal(path)
+        assert not torn
+        assert [r["op"] for r in records] == ["submit", "transition"]
