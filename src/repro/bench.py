@@ -33,6 +33,8 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import platform
 import sys
 from typing import Any, Callable, Sequence
 
@@ -66,6 +68,23 @@ _SIZES = {
     "heat1d_steps": (40, 8),
     "jacobi2d_steps": (30, 6),
 }
+
+#: (full, quick) problem sizes for the ``scaling_cores`` workloads.  The
+#: grids are deliberately much larger than the virtual-time benches so
+#: that per-step NumPy compute dominates the cross-process transport.
+_SCALING_SIZES = {
+    # (nx, steps) -- split into _SCALING_PARTS partitions
+    "heat1d": ((1 << 17, 20), (1 << 14, 5)),
+    # (ny_interior_rows, nx, steps)
+    "jacobi2d": ((128, 512, 20), (32, 64, 5)),
+    # (n_handlers, array_size, sweeps)
+    "parcel_storm": ((24, 100_000, 8), (8, 25_000, 3)),
+}
+
+#: Total partitions/handler-stride kept constant across process counts so
+#: the numerics are bit-identical at every P.
+_SCALING_PARTS = 4
+_SCALING_PROCESSES = (1, 2, 4)
 
 _REPEATS_FULL = 3
 _REPEATS_QUICK = 2
@@ -309,6 +328,131 @@ def _bench_jacobi2d(steps: int, repeats: int) -> BenchResult:
     return _result(measurement, n_tasks=tasks, virtual_makespan=makespan)
 
 
+def _scaling_compute_handler(seed: int, size: int, sweeps: int) -> float:
+    """Module-level compute kernel for the scaling storm.
+
+    Builds its working set locally from ``seed`` (nothing big rides the
+    parcel), then runs ``sweeps`` vectorized passes -- real CPU work that
+    each worker process executes outside every other process's GIL.
+    """
+    a = np.full(size, float(seed % 7 + 1))
+    for _ in range(sweeps):
+        a = np.sqrt(a * 1.0001 + float(seed % 13))
+    return float(a.sum())
+
+
+def _scaling_runtime(processes: int) -> "Any":
+    """A multiprocess-backend runtime with one locality per process."""
+    from repro.runtime import Runtime
+
+    config = Config(
+        runtime__backend="multiprocess", runtime__processes=processes
+    )
+    return Runtime(n_localities=processes, workers_per_locality=1, config=config)
+
+
+def _scaling_heat1d(processes: int, quick: bool) -> tuple[float, float]:
+    """(timed run seconds, checksum) -- spawn/teardown excluded."""
+    from repro.perf.harness import time_call
+    from repro.stencil import DistributedHeat1D, Heat1DParams, analytic_heat_profile
+
+    nx, steps = _SCALING_SIZES["heat1d"][quick]
+    with _scaling_runtime(processes) as rt:
+        solver = DistributedHeat1D(
+            rt, nx, Heat1DParams(),
+            partitions_per_locality=_SCALING_PARTS // processes,
+        )
+        solver.initialize(analytic_heat_profile(nx))
+        wall, out = time_call(lambda: solver.run(steps))
+    return wall, float(np.sum(out))
+
+
+def _scaling_jacobi2d(processes: int, quick: bool) -> tuple[float, float]:
+    from repro.perf.harness import time_call
+    from repro.stencil.jacobi2d_dist import DistributedJacobi2D
+
+    rows, nx, steps = _SCALING_SIZES["jacobi2d"][quick]
+    ny = rows + 2
+    rng = np.random.default_rng(0)
+    field = rng.random((ny, nx))
+    with _scaling_runtime(processes) as rt:
+        solver = DistributedJacobi2D(
+            rt, ny, nx, partitions_per_locality=_SCALING_PARTS // processes
+        )
+        solver.initialize(field)
+        wall, out = time_call(lambda: solver.run(steps))
+    return wall, float(np.sum(out))
+
+
+def _scaling_parcel_storm(processes: int, quick: bool) -> tuple[float, float]:
+    from repro.perf.harness import time_call
+    from repro.runtime import when_all
+
+    n, size, sweeps = _SCALING_SIZES["parcel_storm"][quick]
+    with _scaling_runtime(processes) as rt:
+
+        def run() -> float:
+            futures = [
+                rt.async_at(i % processes, _scaling_compute_handler, i, size, sweeps)
+                for i in range(n)
+            ]
+            return float(sum(f.get() for f in when_all(futures).get()))
+
+        wall, total = time_call(run)
+    return wall, total
+
+
+_SCALING_WORKLOADS: dict[str, Callable[[int, bool], tuple[float, float]]] = {
+    "heat1d": _scaling_heat1d,
+    "jacobi2d": _scaling_jacobi2d,
+    "parcel_storm": _scaling_parcel_storm,
+}
+
+
+def _bench_scaling_cores(quick: bool, repeats: int) -> dict[str, Any]:
+    """Real multi-core scaling of the multiprocess backend.
+
+    Runs each workload at 1, 2 and 4 OS processes with the *same total
+    work* (constant partition/handler count), timing only the solve --
+    process spawn and teardown are excluded.  Wall numbers are
+    best-of-``repeats``; the checksums must agree across every process
+    count (the backend bit-identity contract).  Speedups are only
+    physically achievable when the host grants that many cores, so
+    ``cpu_count`` is recorded alongside and this entry is informational:
+    it carries no job-wide ``wall_seconds`` and is never gated by
+    ``compare_to_baseline``.
+    """
+    workloads: dict[str, Any] = {}
+    for name, fn in _SCALING_WORKLOADS.items():
+        walls: dict[str, float] = {}
+        checksums: list[float] = []
+        for processes in _SCALING_PROCESSES:
+            samples = []
+            checksum = None
+            for _ in range(repeats):
+                wall, checksum = fn(processes, quick)
+                samples.append(wall)
+            walls[str(processes)] = min(samples)
+            checksums.append(checksum)
+        workloads[name] = {
+            "wall_seconds": walls,
+            "speedup_2x": walls["1"] / walls["2"] if walls["2"] > 0 else None,
+            "speedup_4x": walls["1"] / walls["4"] if walls["4"] > 0 else None,
+            "checksum_identical": len(set(checksums)) == 1,
+        }
+    return {
+        "processes": list(_SCALING_PROCESSES),
+        "cpu_count": os.cpu_count(),
+        "workloads": workloads,
+        "best_speedup_4x": max(
+            w["speedup_4x"] for w in workloads.values() if w["speedup_4x"]
+        ),
+        "checksums_identical": all(
+            w["checksum_identical"] for w in workloads.values()
+        ),
+    }
+
+
 #: name -> callable(quick, repeats) for every suite entry, in run order.
 SUITE: dict[str, Callable[[bool, int], BenchResult]] = {
     "task_spawn": lambda quick, repeats: _bench_task_spawn(
@@ -344,6 +488,7 @@ SUITE: dict[str, Callable[[bool, int], BenchResult]] = {
     "fig4_jacobi2d": lambda quick, repeats: _bench_jacobi2d(
         _SIZES["jacobi2d_steps"][quick], repeats
     ),
+    "scaling_cores": _bench_scaling_cores,
 }
 
 #: The composite "runtime micro" rollup is the sum of these entries --
@@ -407,7 +552,21 @@ def run_suite(
         "mode": "quick" if quick else "full",
         "repeats": n_repeats,
         "python": ".".join(str(v) for v in sys.version_info[:3]),
+        "platform": _platform_metadata(),
         "results": results,
+    }
+
+
+def _platform_metadata() -> dict[str, Any]:
+    """Host facts a reader needs to interpret the wall numbers."""
+    config = Config()
+    return {
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "cpu_count": os.cpu_count(),
+        "python": ".".join(str(v) for v in sys.version_info[:3]),
+        "backend": config.get_str("runtime.backend"),
+        "processes": config.get_int("runtime.processes"),
     }
 
 
@@ -510,6 +669,22 @@ def format_results(document: dict[str, Any]) -> str:
     for name, entry in document["results"].items():
         if "skipped" in entry:
             lines.append(f"  {name:<24} SKIPPED: {entry['skipped']}")
+            continue
+        if "workloads" in entry:
+            lines.append(
+                f"  {name:<24} cpu_count={entry['cpu_count']}  "
+                f"best 4-process speedup {entry['best_speedup_4x']:.2f}x  "
+                f"checksums {'identical' if entry['checksums_identical'] else 'DRIFTED'}"
+            )
+            for wname, wl in entry["workloads"].items():
+                walls = "  ".join(
+                    f"P={p}: {wl['wall_seconds'][p] * 1e3:8.2f} ms"
+                    for p in wl["wall_seconds"]
+                )
+                lines.append(
+                    f"    {wname:<22} {walls}  "
+                    f"(4x speedup {wl['speedup_4x']:.2f})"
+                )
             continue
         parts = [f"{entry['wall_seconds'] * 1e3:9.2f} ms"]
         if entry.get("tasks_per_sec"):

@@ -41,6 +41,11 @@ Commands mirror the evaluation workflow:
                                      the result is bit-identical to a
                                      fault-free run and prints the
                                      resilience/overload counters.
+                                     ``--backend multiprocess
+                                     [--processes N]`` runs the primary
+                                     execution on real OS processes and
+                                     checks it bit-identical against the
+                                     virtual-clock reference.
                                      Exit codes: 0 ok, 1 bit-identity
                                      mismatch, 2 usage, 3 unexpected
                                      application failure (structured
@@ -323,6 +328,22 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.0,
         help="additionally drop this fraction of parcels (transient faults)",
+    )
+    p_run.add_argument(
+        "--backend",
+        default="virtual",
+        choices=("virtual", "multiprocess"),
+        help="execution backend for the primary run; the reference run "
+        "always uses the virtual-clock backend, so a multiprocess run is "
+        "verified bit-identical *across backends*",
+    )
+    p_run.add_argument(
+        "--processes",
+        type=int,
+        default=0,
+        metavar="N",
+        help="OS process count for --backend multiprocess "
+        "(0 or omitted: one process per locality)",
     )
     p_run.add_argument(
         "--overload",
@@ -856,6 +877,7 @@ def _run_failure_summary(
 def _cmd_run(args: argparse.Namespace) -> int:
     """Faulted/overloaded run vs fault-free reference run; compare bits."""
     from .config import Config
+    from .errors import ConfigError
     from .observability.metrics import OVERLOAD_COUNTERS
     from .resilience import FaultInjector
     from .runtime import Runtime
@@ -873,6 +895,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"malformed --crash {spec!r}; expected LOC@T", file=sys.stderr)
             return 2
     resilient = bool(crashes or args.drop_rate > 0)
+    if args.backend == "multiprocess" and (resilient or args.overload > 0):
+        print(
+            "--backend multiprocess cannot combine with --crash, --drop-rate "
+            "or --overload: fault injection and the overload storm are "
+            "defined on the virtual clock (use --backend virtual)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.backend != "multiprocess" and args.processes:
+        print("--processes requires --backend multiprocess", file=sys.stderr)
+        return 2
     # Progress breadcrumbs for the structured failure summary (exit 3):
     # the innermost run stashes its runtime and solver here so a crash
     # escaping every recovery layer can still be located.
@@ -890,6 +923,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
             # reference run keeps defaults so "bit-identical" proves the
             # storm + admission decisions never touch the answer.
             config = Config(overload__enabled=True, parcel__retry_jitter=0.25)
+        if faulted and args.backend == "multiprocess":
+            # Only the primary run crosses process boundaries; the
+            # reference stays on the virtual-clock backend, so the final
+            # comparison is a cross-backend bit-identity check.
+            config = Config(
+                runtime__backend="multiprocess",
+                runtime__processes=args.processes,
+            )
         with Runtime(
             n_localities=args.nodes,
             workers_per_locality=2,
@@ -932,6 +973,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         faulted_out, faulted_rt, storm = execute(faulted=True)
         phase = "fault-free reference run"
         reference_out, _, _ = execute(faulted=False)
+    except ConfigError as exc:
+        print(f"repro run: configuration error: {exc}", file=sys.stderr)
+        return 2
     except Exception as exc:  # noqa: BLE001 - reported structurally, exit 3
         print(
             _run_failure_summary(args, phase, exc, crashes, last_run),
@@ -942,7 +986,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     lines = [
         f"{args.app}: {args.nodes} localities x 2 workers, {args.steps} steps, "
-        f"checkpoint_every={args.checkpoint_every}, seed={args.seed}",
+        f"checkpoint_every={args.checkpoint_every}, seed={args.seed}, "
+        f"backend={args.backend}",
     ]
     if crashes:
         lines.append(
@@ -952,6 +997,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.drop_rate > 0:
         lines.append(f"drop rate: {args.drop_rate:g}")
     counter_paths = list(_RUN_COUNTER_PATHS)
+    if args.backend == "multiprocess":
+        counter_paths.extend(
+            (
+                "/backend{total}/count/processes",
+                "/backend{total}/count/forwarded",
+                "/backend{total}/count/relayed",
+                "/backend{total}/count/replies-sent",
+                "/backend{total}/count/remote-tasks",
+                "/backend{total}/data/sent",
+            )
+        )
     if storm:
         counter_paths.extend(OVERLOAD_COUNTERS)
     for path in counter_paths:

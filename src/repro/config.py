@@ -72,6 +72,16 @@ _DEFAULTS: dict[str, Any] = {
     "checkpoint.keep": 2,  # retained epochs (>= 2 enables corruption fallback)
     "checkpoint.cost_base_s": 1e-6,  # fixed virtual cost per save/restore
     "checkpoint.cost_per_byte_s": 1e-9,  # virtual seconds per serialized byte
+    # Execution backend: where the localities live.  "virtual" is the
+    # deterministic single-process simulation on the virtual clock (the
+    # CI/sanitizer/explorer mode); "multiprocess" runs one OS process per
+    # locality with parcels carried over pipes, doing real concurrent
+    # work on real cores (see repro.runtime.backend).
+    "runtime.backend": "virtual",  # virtual | multiprocess
+    "runtime.processes": 0,  # multiprocess: OS process count; 0 = one per locality
+    "runtime.mp_start_method": "auto",  # auto | fork | spawn
+    "runtime.mp_stall_timeout_s": 60.0,  # blocked-on-transport stall diagnosis
+    "runtime.mp_sync_rounds": 64,  # shutdown termination-detection round cap
     # Quiescence policy: what to do when the job drains with demanded
     # futures (dataflow/when_* targets, channel reads) left unfulfilled.
     "runtime.quiescence": "warn",  # warn | raise | ignore
@@ -88,6 +98,8 @@ _DEFAULTS: dict[str, Any] = {
 _VALID_SCHEDULERS = ("work-stealing", "static", "fifo")
 _VALID_CHUNKERS = ("auto", "static")
 _VALID_QUIESCENCE = ("warn", "raise", "ignore")
+_VALID_BACKENDS = ("virtual", "multiprocess")
+_VALID_START_METHODS = ("auto", "fork", "spawn")
 
 
 class Config(Mapping[str, Any]):
@@ -137,6 +149,23 @@ class Config(Mapping[str, Any]):
                 f"runtime.quiescence must be one of {_VALID_QUIESCENCE}, "
                 f"got {quiescence!r}"
             )
+        backend = self._values["runtime.backend"]
+        if backend not in _VALID_BACKENDS:
+            raise ConfigError(
+                f"runtime.backend must be one of {_VALID_BACKENDS}, got {backend!r}"
+            )
+        start_method = self._values["runtime.mp_start_method"]
+        if start_method not in _VALID_START_METHODS:
+            raise ConfigError(
+                f"runtime.mp_start_method must be one of {_VALID_START_METHODS}, "
+                f"got {start_method!r}"
+            )
+        if int(self._values["runtime.processes"]) < 0:
+            raise ConfigError("runtime.processes must be >= 0 (0 = one per locality)")
+        if float(self._values["runtime.mp_stall_timeout_s"]) <= 0:
+            raise ConfigError("runtime.mp_stall_timeout_s must be positive")
+        if int(self._values["runtime.mp_sync_rounds"]) < 1:
+            raise ConfigError("runtime.mp_sync_rounds must be >= 1")
         if int(self._values["threads.per_core"]) < 1:
             raise ConfigError("threads.per_core must be >= 1")
         if int(self._values["threads.steal_attempts"]) < 0:

@@ -39,6 +39,10 @@ class AgasService:
         self._table: dict[Gid, _Entry] = {}
         #: Called with (gid, obj) when a refcount hits zero.
         self.on_destroy: Callable[[Gid, Any], None] | None = None
+        #: Cross-process resolution fallback (multiprocess backend): asked
+        #: for ``(home, obj)`` when a GID is unknown locally; None means
+        #: genuinely unregistered.  The answer is cached in the table.
+        self.broker: Callable[[Gid], tuple[int, Any] | None] | None = None
 
     # Registration ---------------------------------------------------------------
     def register(self, obj: Any, home: int) -> Gid:
@@ -46,6 +50,24 @@ class AgasService:
         self._check_locality(home)
         self._counters[home] += 1
         gid = Gid(msb_locality=home, lsb=self._counters[home])
+        self._table[gid] = _Entry(obj, home)
+        return gid
+
+    def register_at(self, obj: Any, gid: Gid, home: int) -> Gid:
+        """Bind ``obj`` under a fixed, externally-allocated GID.
+
+        The cross-process mirroring primitive: every process replays the
+        allocating process's registrations under identical GIDs (the
+        non-home processes bind a placeholder).  Advances the local
+        counter so a later local :meth:`register` cannot collide.
+        """
+        self._check_locality(home)
+        if gid in self._table:
+            raise AgasError(f"{gid!r} is already registered")
+        counters = self._counters
+        owner = gid.msb_locality
+        if gid.lsb > counters[owner]:
+            counters[owner] = gid.lsb
         self._table[gid] = _Entry(obj, home)
         return gid
 
@@ -170,6 +192,13 @@ class AgasService:
         try:
             return self._table[gid]
         except KeyError:
+            if self.broker is not None:
+                resolved = self.broker(gid)
+                if resolved is not None:
+                    home, obj = resolved
+                    entry = _Entry(obj, home)
+                    self._table[gid] = entry
+                    return entry
             raise UnknownGidError(f"{gid!r} is not (or no longer) registered") from None
 
     def _check_locality(self, locality: int) -> None:

@@ -1,0 +1,32 @@
+"""Execution backends: virtual-clock simulation or real multi-core.
+
+See :mod:`repro.runtime.backend.base` for the interface contract,
+:mod:`~repro.runtime.backend.virtual` for the deterministic default, and
+:mod:`~repro.runtime.backend.multiprocess` for the process-per-locality
+backend that turns the same program into real concurrent work.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ...errors import ConfigError
+from .base import ExecutionBackend
+from .virtual import VirtualClockBackend
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...config import Config
+
+__all__ = ["ExecutionBackend", "VirtualClockBackend", "create_backend"]
+
+
+def create_backend(config: "Config") -> ExecutionBackend:
+    """Instantiate the backend named by ``runtime.backend``."""
+    name = config.get_str("runtime.backend")
+    if name == "virtual":
+        return VirtualClockBackend()
+    if name == "multiprocess":
+        from .multiprocess import MultiprocessBackend
+
+        return MultiprocessBackend()
+    raise ConfigError(f"unknown runtime.backend {name!r}")  # pragma: no cover

@@ -1,0 +1,23 @@
+"""The deterministic virtual-clock backend (the default).
+
+Every locality is a cooperatively-stepped :class:`ThreadPool` in this
+process and time is the modelled virtual clock.  This is the mode every
+deterministic artefact depends on -- the sanitizers, the schedule
+explorer, deterministic replay, fault injection, and the committed
+benchmark baselines -- so the backend is deliberately inert: it installs
+no hooks and the Runtime's progress and send paths are bit-identical to
+what they were before the backend seam existed.
+"""
+
+from __future__ import annotations
+
+from .base import ExecutionBackend
+
+__all__ = ["VirtualClockBackend"]
+
+
+class VirtualClockBackend(ExecutionBackend):
+    """All localities in-process, on the virtual clock."""
+
+    name = "virtual"
+    distributed = False

@@ -1,0 +1,89 @@
+"""Wire protocol for cross-process parcel transport.
+
+Messages between the driver (locality 0) and the workers are tuples
+``(kind, ...)`` encoded with the parcel layer's own
+:func:`~repro.runtime.parcel.serialization.serialize` -- the same
+encode-once format parcels already use -- and framed by
+``multiprocessing.Connection.send_bytes``.  Parcel payloads inside a
+``"parcels"`` message are the *already-encoded* bytes produced by
+``Runtime._encode``; they are never re-pickled, only wrapped.
+
+Message kinds
+-------------
+``("parcels", [entry, ...])``
+    Batch of parcels for this process, ``entry = (source, destination,
+    payload, target_gid, target_locality, token, fire_and_forget,
+    priority)``.  ``token`` is ``(origin_locality, seq)`` for sends that
+    expect a reply, ``None`` for fire-and-forget.
+``("reply", origin, token, ok, data)``
+    Result of a tokened parcel: ``data`` is the serialized value when
+    ``ok``, the serialized exception otherwise.  Routed to ``origin``.
+``("create", origin, gid, home, data)``
+    AGAS mirror of a new registration; ``data`` is the serialized
+    component (decoded only by the home process).
+``("resolve", req_id, gid, origin)`` / ``("resolved", req_id, gid, home)``
+    Synchronous AGAS brokering for a GID unknown locally (``home`` is
+    -1 when the driver does not know it either).
+``("sync", seq)`` / ("sync-ack", seq, worker, busy)``
+    Termination-detection round: the worker acks with ``busy`` True
+    while it has pending tasks, outstanding reply tokens, or sent
+    traffic since its last ack.
+``("stop",)`` / ``("stopped", worker, stats)``
+    Clean shutdown; the worker answers with its runtime statistics
+    (perfcounter aggregation back to locality 0) and exits.
+``("abort",)``
+    Error-path shutdown: exit immediately, no draining.
+``("error", worker, text)``
+    A worker process died; ``text`` is its formatted traceback.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from ..parcel.serialization import deserialize, serialize
+
+if TYPE_CHECKING:  # pragma: no cover
+    from multiprocessing.connection import Connection  # repro-lint: disable=PX201
+
+    from ..parcel.parcel import Parcel
+
+__all__ = ["encode_message", "decode_message", "parcel_entry", "send_message"]
+
+
+def encode_message(message: tuple) -> bytes:
+    """Frame one protocol message as wire bytes."""
+    return serialize(message)
+
+
+def decode_message(data: bytes) -> tuple:
+    """Inverse of :func:`encode_message`."""
+    return deserialize(data)
+
+
+def send_message(conn: "Connection", message: tuple) -> int:
+    """Encode and write one message; returns the byte count written."""
+    data = encode_message(message)
+    conn.send_bytes(data)
+    return len(data)
+
+
+def parcel_entry(
+    parcel: "Parcel", destination: int, token: tuple[int, int] | None
+) -> tuple[Any, ...]:
+    """The wire entry for one cross-process parcel.
+
+    ``by_ref_body`` deliberately does not travel: a zero-copy loopback
+    send downgrades to the real serialized payload the moment it crosses
+    a process boundary.
+    """
+    return (
+        parcel.source_locality,
+        destination,
+        parcel.payload,
+        parcel.target_gid,
+        parcel.target_locality,
+        token,
+        parcel.fire_and_forget,
+        parcel.priority,
+    )

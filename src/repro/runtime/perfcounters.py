@@ -57,7 +57,25 @@ Supported counter types::
     /checkpoints/data/saved        serialized checkpoint bytes written
     /checkpoints/time/save         virtual seconds charged for saves
     /checkpoints/time/restore      virtual seconds charged for restores
+    /backend{total}/count/forwarded      parcels shipped to another process
+    /backend{total}/count/received       parcels delivered from another process
+    /backend{total}/count/relayed        worker-to-worker parcels relayed here
+    /backend{total}/count/replies-sent   serialized reply messages sent
+    /backend{total}/count/replies-received  reply messages consumed
+    /backend{total}/count/messages       wire messages written to the pipes
+    /backend{total}/data/sent            wire bytes written to the pipes
+    /backend{total}/count/agas-creates   AGAS registrations mirrored out
+    /backend{total}/count/agas-resolves  cross-process GID resolutions brokered
+    /backend{total}/count/sync-rounds    termination-detection rounds run
+    /backend{total}/count/processes      OS processes in the job (driver only)
+    /backend{total}/count/remote-tasks   tasks executed in worker processes
+    /backend{total}/count/remote-parcels parcels sent by worker parcelports
     /runtime/uptime                virtual makespan (s)
+
+All ``/backend`` counters read 0.0 on the virtual-clock backend, so
+consumers need no feature test; the ``remote-*`` aggregates are
+collected from the workers' ``("stopped", ...)`` statistics and are
+final only after :meth:`Runtime.stop`.
 
 Instance syntax: ``{locality#N/total}`` selects one locality,
 ``{locality#N/worker#W}`` selects one worker of one locality (thread
@@ -132,6 +150,25 @@ _BREAKER_COUNTERS = {
     "count/opens": "breaker_opens",
     "count/closes": "breaker_closes",
     "count/half-open-probes": "breaker_probes",
+}
+
+#: Cross-process transport statistics: counter suffix -> key in
+#: ``ExecutionBackend.counters()``.  The virtual backend returns an
+#: empty dict, so every path reads 0.0 without a feature test.
+_BACKEND_COUNTERS = {
+    "count/forwarded": "parcels_forwarded",
+    "count/received": "parcels_received",
+    "count/relayed": "parcels_relayed",
+    "count/replies-sent": "replies_sent",
+    "count/replies-received": "replies_received",
+    "count/messages": "messages_sent",
+    "data/sent": "wire_bytes_sent",
+    "count/agas-creates": "agas_creates",
+    "count/agas-resolves": "agas_resolves",
+    "count/sync-rounds": "sync_rounds",
+    "count/processes": "processes",
+    "count/remote-tasks": "remote_tasks_executed",
+    "count/remote-parcels": "remote_parcels_sent",
 }
 
 #: Thread counters valid per worker (``{locality#N/worker#W}``).
@@ -313,6 +350,14 @@ def query(runtime: "Runtime", path: str) -> float:
             return float(getattr(runtime, _CHECKPOINT_COUNTERS[counter]))
         raise RuntimeStateError(f"unknown checkpoints counter {counter!r}")
 
+    if obj == "backend":
+        if instance not in (None, "total"):
+            raise RuntimeStateError("backend counters are job-wide; use {total}")
+        if counter in _BACKEND_COUNTERS:
+            stats = runtime.backend.counters()
+            return float(stats.get(_BACKEND_COUNTERS[counter], 0.0))
+        raise RuntimeStateError(f"unknown backend counter {counter!r}")
+
     if obj == "runtime":
         if counter == "uptime":
             return runtime.makespan
@@ -366,5 +411,8 @@ def discover(runtime: "Runtime") -> list[str]:
     paths.append("/localities{total}/count/decommissioned")
     for counter in _CHECKPOINT_COUNTERS:
         paths.append(f"/checkpoints{{total}}/{counter}")
+    if runtime.distributed:
+        for counter in _BACKEND_COUNTERS:
+            paths.append(f"/backend{{total}}/{counter}")
     paths.append("/runtime/uptime")
     return paths

@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from ..config import Config, default_config
 from ..errors import (
+    ConfigError,
     DeadlockError,
     ParcelDeadLetterError,
     ParcelError,
@@ -35,6 +36,7 @@ from .context import _stack as _context_stack
 from .futures import pending_demand_states
 from .actions import get_action
 from .agas.component import Component
+from .backend import ExecutionBackend, create_backend
 from .agas.gid import Gid
 from .agas.service import AgasService
 from .futures import Future, Promise
@@ -67,6 +69,7 @@ class Runtime:
         workers_per_locality: int | None = None,
         config: Config | None = None,
         fault_injector: "FaultInjector | None" = None,
+        _backend: "ExecutionBackend | None" = None,
     ) -> None:
         if n_localities < 1:
             raise RuntimeStateError("need at least one locality")
@@ -102,6 +105,23 @@ class Runtime:
         self.n_localities = n_localities
         self.workers_per_locality = workers_per_locality
         self.agas = AgasService(n_localities)
+
+        # Execution backend: where the localities live.  The default
+        # virtual-clock backend is inert (every hook a no-op) so the
+        # simulation paths below are bit-identical to the pre-backend
+        # runtime.  Worker processes pass their pre-connected endpoint
+        # via the private ``_backend`` parameter.
+        self.backend: ExecutionBackend = (
+            _backend if _backend is not None else create_backend(self.config)
+        )
+        self.backend.attach(self)
+        #: Non-None exactly when other localities live in other OS
+        #: processes; hot paths branch on this single reference.
+        self._remote: ExecutionBackend | None = (
+            self.backend if self.backend.distributed else None
+        )
+        if self._remote is not None:
+            self._check_distributed_config(fault_injector)
 
         scheduler = self.config.get_str("threads.scheduler")
         steal_attempts = self.config.get_int("threads.steal_attempts")
@@ -215,6 +235,48 @@ class Runtime:
             replay.enable()
             self._replay_bracket = True
 
+    def _check_distributed_config(self, fault_injector: "FaultInjector | None") -> None:
+        """Reject features whose semantics are defined on the virtual clock.
+
+        The multiprocess backend runs on real wall time, so outage
+        windows, credit timing, schedule replay, and modelled
+        interconnects have no meaning there -- failing eagerly beats
+        silently measuring something else.
+        """
+        requires = "requires the virtual-clock backend (runtime.backend='virtual')"
+        if fault_injector is not None:
+            raise ConfigError(
+                f"fault injection {requires}: outage windows and parcel "
+                "faults are defined on the virtual clock"
+            )
+        if self.config.get_bool("runtime.deterministic_replay") or replay.deterministic:
+            raise ConfigError(
+                f"deterministic replay / schedule exploration {requires}: "
+                "real OS scheduling cannot be replayed"
+            )
+        if self.config.get_bool("overload.enabled"):
+            raise ConfigError(
+                f"overload admission control {requires}: credits and "
+                "phi-accrual suspicion are virtual-clock quantities"
+            )
+        if self.machine is not None:
+            raise ConfigError(
+                f"modelled machine interconnects {requires}: the "
+                "multiprocess backend measures the real host instead"
+            )
+        if not self.config.get_bool("parcel.serialize"):
+            raise ConfigError(
+                "parcel.serialize=False carries bodies by reference and "
+                "cannot cross process boundaries"
+            )
+        processes = self.config.get_int("runtime.processes")
+        if processes not in (0, self.n_localities):
+            raise ConfigError(
+                f"runtime.processes={processes} with n_localities="
+                f"{self.n_localities}: the multiprocess backend runs one "
+                "process per locality (use 0, or make them equal)"
+            )
+
     def _retry_policy_from_config(self) -> RetryPolicy:
         """Reliable-delivery knobs, with the base ack-timeout derived from
         the network's round-trip estimate unless pinned explicitly."""
@@ -246,6 +308,10 @@ class Runtime:
         # headroom.
         if sys.getrecursionlimit() < 20000:
             sys.setrecursionlimit(20000)
+        # Bring up the transport (multiprocess: fork/spawn the workers)
+        # before any execution context exists, so child processes never
+        # inherit a live frame stack.
+        self.backend.start()
         ctx.push(
             ctx.ExecutionContext(
                 runtime=self,
@@ -269,11 +335,18 @@ class Runtime:
         if not self._started:
             raise RuntimeStateError("runtime is not started")
         try:
+            if self._remote is not None:
+                # Cross-process traffic still in flight must land (and
+                # execute) before the local drain can mean anything.
+                self._remote.quiesce()
             self.progress_all()
         finally:
-            ctx.pop()
-            self._started = False
-            self._close_replay_bracket()
+            try:
+                self.backend.stop()
+            finally:
+                ctx.pop()
+                self._started = False
+                self._close_replay_bracket()
 
     def _close_replay_bracket(self) -> None:
         if self._replay_bracket:
@@ -288,6 +361,7 @@ class Runtime:
             if exc_type is None:
                 self.stop()
             else:  # do not mask the user's exception with drain errors
+                self.backend.abort()
                 ctx.pop()
                 self._started = False
                 self._close_replay_bracket()
@@ -311,6 +385,16 @@ class Runtime:
     def makespan(self) -> float:
         """Virtual completion time across all localities."""
         return max(loc.pool.makespan for loc in self.localities)
+
+    @property
+    def distributed(self) -> bool:
+        """True when other localities live in other OS processes.
+
+        Application drivers branch on this to route state access through
+        parcels (invoke) instead of touching component objects directly
+        -- direct references are stale copies in distributed mode.
+        """
+        return self._remote is not None
 
     # Progress engine -------------------------------------------------------------
     def _next_locality(self) -> tuple[Locality | None, float]:
@@ -381,7 +465,13 @@ class Runtime:
         :class:`~repro.errors.DeadlockError`.
         """
         batcher = self._batcher
+        remote = self._remote
         while not predicate():
+            # Distributed mode: poll the transport opportunistically (the
+            # backend rate-limits internally) so relays and replies land
+            # while local work is still running.
+            if remote is not None and remote.maybe_service():
+                continue
             loc, hint = self._next_locality()
             # Coalesced parcels whose linger expires before the next task
             # starts go out first (hint is inf on a stall, draining every
@@ -390,6 +480,11 @@ class Runtime:
             if batcher is not None and batcher.pending and batcher.flush_due(hint):
                 continue
             if loc is None:
+                # Nothing runnable here, but the awaited value may be on
+                # its way from another process: block on the transport
+                # before diagnosing a stall.
+                if remote is not None and remote.on_stall():
+                    continue
                 self._raise_stalled()
             self._step_locality(loc, hint)
         # The predicate can flip mid-task (e.g. the awaited future
@@ -397,14 +492,19 @@ class Runtime:
         # Unbatched they would already be on the wire: drain them.
         if batcher is not None and batcher.pending:
             batcher.flush_all()
+        if remote is not None:
+            remote.flush()
 
     def progress_before(self, predicate: Callable[[], bool], deadline: float) -> bool:
         """Like :meth:`progress_until`, but only step work that can start
         at or before virtual ``deadline``; returns the final predicate
         value instead of raising on a stall (timeout machinery)."""
         batcher = self._batcher
+        remote = self._remote
         try:
             while not predicate():
+                if remote is not None and remote.maybe_service():
+                    continue
                 loc, hint = self._next_locality()
                 if (
                     batcher is not None
@@ -413,6 +513,10 @@ class Runtime:
                 ):
                     continue
                 if loc is None or hint > deadline:
+                    # A non-blocking transport poll (timed waits must not
+                    # park on the pipe) may still unblock the predicate.
+                    if loc is None and remote is not None and remote.poll():
+                        continue
                     return predicate()
                 self._step_locality(loc, hint)
             return True
@@ -422,6 +526,8 @@ class Runtime:
             # have), while linger deadlines past it stay parked.
             if batcher is not None and batcher.pending:
                 batcher.flush_due(deadline)
+            if remote is not None:
+                remote.flush()
 
     def progress_all(self) -> float:
         """Drain every pool; returns the job makespan.
@@ -436,14 +542,32 @@ class Runtime:
         richer error with the rendered wait graph.
         """
 
+        injector = self.fault_injector
+
         def quiescent() -> bool:
             if self._batcher is not None and self._batcher.pending:
                 return False
-            return all(
-                not loc.pool.pending()
-                for loc in self.localities
-                if loc.locality_id not in self.decommissioned
-            )
+            for loc in self.localities:
+                if loc.locality_id in self.decommissioned:
+                    continue
+                if not loc.pool.pending():
+                    continue
+                if (
+                    injector is not None
+                    and injector.defer_until_up(
+                        loc.locality_id, loc.pool.next_start_hint()
+                    )
+                    == _INF
+                ):
+                    # A permanently-failed locality that was never
+                    # decommissioned (the crash landed after its useful
+                    # work): its queued tasks are deferred to infinity
+                    # and can never run.  The drain must treat it like a
+                    # decommissioned node, not wait for it -- the same
+                    # rule _next_locality already applies.
+                    continue
+                return False
+            return True
 
         if not quiescent():
             self.progress_until(quiescent)
@@ -494,6 +618,10 @@ class Runtime:
             raise RuntimeStateError("new_component needs a Component instance")
         gid = self.agas.register(component, home=locality_id)
         component.bind(gid, locality_id)
+        if self._remote is not None:
+            # Mirror the registration to every other process (the home
+            # process receives the pickled component itself).
+            self._remote.component_registered(component, gid, locality_id)
         return gid
 
     def invoke_async(self, gid: Gid, method: str, *args: Any, **kwargs: Any) -> Future:
@@ -679,6 +807,15 @@ class Runtime:
     def _route_parcel(self, parcel: Parcel, arrival_time: float) -> None:
         """Decode a parcel and spawn its handler on the destination pool."""
         destination = self._destination_of(parcel)
+        remote = self._remote
+        if remote is not None and destination != remote.my_id:
+            # Distributed mode: the destination locality lives in another
+            # OS process.  The payload is already real wire bytes
+            # (parcel.serialize is mandatory here); by_ref_body stays
+            # behind -- that is the zero-copy downgrade for cross-process
+            # sends.  Port-side stats counted this send already.
+            remote.forward_parcel(parcel, destination)
+            return
         if destination in self.decommissioned:
             self.parcelport.report_loss(
                 parcel,

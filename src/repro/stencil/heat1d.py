@@ -23,7 +23,7 @@ import numpy as np
 
 from typing import Any
 
-from ..errors import ValidationError
+from ..errors import ConfigError, ValidationError
 from ..runtime import context as ctx
 from ..runtime.agas.component import Component
 from ..runtime.algorithms import ExecutionPolicy, for_each, for_each_block, seq
@@ -226,6 +226,25 @@ class Heat1DPartition(Component):
         self._left_gid = left_gid
         self._right_gid = right_gid
 
+    def connect_ring(self, left_gid, right_gid) -> None:
+        """Remote-safe :meth:`connect`: runs as a component action on the
+        home locality and wires the *executing* runtime (in distributed
+        mode each process has its own), so the driver never has to ship a
+        Runtime reference."""
+        self.connect(ctx.current().runtime, left_gid, right_gid)
+
+    def chain_result(self, target: int) -> int:
+        """Build the chain to absolute step ``target`` and wait for it.
+
+        The remote-safe run protocol: the reply parcel of this one invoke
+        is the completion signal, so the driver never reads
+        ``final_future`` across a process boundary.  Blocking here is
+        cooperative -- the home pool keeps executing the chain (and
+        remote halos keep landing) underneath the wait.
+        """
+        self.ensure_chain(target)
+        return self.final_future.get()  # repro-lint: disable=PX301
+
     def _halo_promise(self, step: int, side: str) -> Promise:
         key = (step, side)
         if key not in self._halos:
@@ -420,6 +439,9 @@ class DistributedHeat1D:
         self.cost_per_step = cost_per_step
         self._gids: list = []
         self._parts: list[Heat1DPartition] = []
+        # Absolute step count driven so far (distributed mode cannot read
+        # ``part.steps_done`` across processes).
+        self._steps_run = 0
 
     def initialize(self, u0: np.ndarray) -> None:
         """Create and connect the partition components from ``u0``."""
@@ -436,6 +458,22 @@ class DistributedHeat1D:
             self._gids.append(gid)
             self._parts.append(part)
         n = self.n_partitions
+        if self.runtime.distributed:
+            # The live partition objects are the home processes' copies;
+            # wire them there (partitions homed at locality 0 resolve to
+            # the driver's own objects, so those connect locally too).
+            when_all(
+                [
+                    self.runtime.invoke_async(
+                        self._gids[p],
+                        "connect_ring",
+                        self._gids[(p - 1) % n],
+                        self._gids[(p + 1) % n],
+                    )
+                    for p in range(n)
+                ]
+            ).get()
+            return
         for p, part in enumerate(self._parts):
             part.connect(self.runtime, self._gids[(p - 1) % n], self._gids[(p + 1) % n])
 
@@ -446,12 +484,23 @@ class DistributedHeat1D:
         if steps < 0:
             raise ValidationError("steps must be non-negative")
         if steps > 0:
-            chains = [
-                self.runtime.invoke_async(gid, "start_chain", steps)
-                for gid in self._gids
-            ]
-            when_all(chains).get()  # chains are *built*; now wait for completion
-            when_all([part.final_future for part in self._parts]).get()
+            if self.runtime.distributed:
+                target = self._steps_run + steps
+                when_all(
+                    [
+                        self.runtime.invoke_async(gid, "chain_result", target)
+                        for gid in self._gids
+                    ]
+                ).get()
+                self._steps_run = target
+            else:
+                chains = [
+                    self.runtime.invoke_async(gid, "start_chain", steps)
+                    for gid in self._gids
+                ]
+                when_all(chains).get()  # chains are *built*; now wait for completion
+                when_all([part.final_future for part in self._parts]).get()
+                self._steps_run += steps
         return self.solution()
 
     def run_resilient(
@@ -471,6 +520,12 @@ class DistributedHeat1D:
         apart; default from the ``checkpoint.interval`` config knob).
         The result is bit-identical to a fault-free :meth:`run`.
         """
+        if self.runtime.distributed:
+            raise ConfigError(
+                "run_resilient requires the virtual-clock backend "
+                "(runtime.backend='virtual'): checkpoint recovery drives "
+                "partition objects directly and replays virtual time"
+            )
         if not self._parts:
             raise ValidationError("call initialize() before run()")
         if steps < 0:
@@ -496,4 +551,10 @@ class DistributedHeat1D:
 
     def solution(self) -> np.ndarray:
         """Gather the global field (driver-side, for verification)."""
+        if self.runtime.distributed:
+            futures = [
+                self.runtime.invoke_async(gid, "local_solution")
+                for gid in self._gids
+            ]
+            return np.concatenate([future.get() for future in futures])
         return np.concatenate([part.local_solution() for part in self._parts])

@@ -19,7 +19,7 @@ from typing import Any
 
 import numpy as np
 
-from ..errors import ValidationError
+from ..errors import ConfigError, ValidationError
 from ..runtime import context as ctx
 from ..runtime.agas.component import Component
 from ..runtime.futures import Future, Promise, make_ready_future, when_all
@@ -64,6 +64,25 @@ class Jacobi2DPartition(Component):
         self._runtime = runtime
         self._up_gid = up_gid
         self._down_gid = down_gid
+
+    def connect_neighbors(self, up_gid, down_gid) -> None:
+        """Remote-safe :meth:`connect`: runs as a component action on the
+        home locality and wires the *executing* runtime (in distributed
+        mode each process has its own), so the driver never has to ship a
+        Runtime reference."""
+        self.connect(ctx.current().runtime, up_gid, down_gid)
+
+    def chain_result(self, target: int) -> int:
+        """Build the chain to absolute step ``target`` and wait for it.
+
+        The remote-safe run protocol: the reply parcel of this one invoke
+        is the completion signal, so the driver never reads
+        ``final_future`` across a process boundary.  Blocking here is
+        cooperative -- the home pool keeps executing the chain (and
+        remote halos keep landing) underneath the wait.
+        """
+        self.ensure_chain(target)
+        return self.final_future.get()  # repro-lint: disable=PX301
 
     def _halo_promise(self, step: int, side: str) -> Promise:
         key = (step, side)
@@ -281,6 +300,9 @@ class DistributedJacobi2D:
         self.cost_per_step = cost_per_step
         self._parts: list[Jacobi2DPartition] = []
         self._gids: list = []
+        # Absolute step count driven so far (distributed mode cannot read
+        # ``part.steps_done`` across processes).
+        self._steps_run = 0
 
     def initialize(self, field: np.ndarray) -> None:
         field = np.asarray(field, dtype=np.float64)
@@ -301,6 +323,22 @@ class DistributedJacobi2D:
             gid = self.runtime.new_component(part, locality_id=locality)
             self._parts.append(part)
             self._gids.append(gid)
+        if self.runtime.distributed:
+            # The live partition objects are the home processes' copies;
+            # wire them there (partitions homed at locality 0 resolve to
+            # the driver's own objects, so those connect locally too).
+            when_all(
+                [
+                    self.runtime.invoke_async(
+                        self._gids[p],
+                        "connect_neighbors",
+                        self._gids[p - 1] if p > 0 else None,
+                        self._gids[p + 1] if p < self.n_partitions - 1 else None,
+                    )
+                    for p in range(self.n_partitions)
+                ]
+            ).get()
+            return
         for p, part in enumerate(self._parts):
             up = self._gids[p - 1] if p > 0 else None
             down = self._gids[p + 1] if p < self.n_partitions - 1 else None
@@ -312,12 +350,23 @@ class DistributedJacobi2D:
         if steps < 0:
             raise ValidationError("steps must be non-negative")
         if steps > 0:
-            chains = [
-                self.runtime.invoke_async(gid, "start_chain", steps)
-                for gid in self._gids
-            ]
-            when_all(chains).get()
-            when_all([part.final_future for part in self._parts]).get()
+            if self.runtime.distributed:
+                target = self._steps_run + steps
+                when_all(
+                    [
+                        self.runtime.invoke_async(gid, "chain_result", target)
+                        for gid in self._gids
+                    ]
+                ).get()
+                self._steps_run = target
+            else:
+                chains = [
+                    self.runtime.invoke_async(gid, "start_chain", steps)
+                    for gid in self._gids
+                ]
+                when_all(chains).get()
+                when_all([part.final_future for part in self._parts]).get()
+                self._steps_run += steps
         return self.solution()
 
     def run_resilient(
@@ -334,6 +383,12 @@ class DistributedJacobi2D:
         checkpoint-restart with AGAS re-homing.  The result is
         bit-identical to a fault-free :meth:`run`.
         """
+        if self.runtime.distributed:
+            raise ConfigError(
+                "run_resilient requires the virtual-clock backend "
+                "(runtime.backend='virtual'): checkpoint recovery drives "
+                "partition objects directly and replays virtual time"
+            )
         if not self._parts:
             raise ValidationError("call initialize() before run()")
         if steps < 0:
@@ -367,7 +422,13 @@ class DistributedJacobi2D:
         """Assemble the global field (incl. Dirichlet boundary rows)."""
         if not self._parts:
             raise ValidationError("call initialize() before solution()")
-        blocks = [part.interior() for part in self._parts]
+        if self.runtime.distributed:
+            futures = [
+                self.runtime.invoke_async(gid, "interior") for gid in self._gids
+            ]
+            blocks = [future.get() for future in futures]
+        else:
+            blocks = [part.interior() for part in self._parts]
         return np.vstack([self._field_top[None, :]] + blocks + [self._field_bottom[None, :]])
 
     def residual(self) -> float:

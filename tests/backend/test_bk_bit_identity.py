@@ -1,0 +1,77 @@
+"""Cross-backend bit-identity: the backend may only change *where* work
+runs, never *what* it computes.
+
+The same stencil problem, partitioned identically, must produce
+bit-identical fields on the virtual-clock backend and on real OS
+processes -- the multiprocess analogue of the determinism suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import Config
+from repro.runtime.runtime import Runtime
+from repro.stencil import DistributedHeat1D, Heat1DParams, analytic_heat_profile
+from repro.stencil.heat1d import heat1d_reference
+from repro.stencil.jacobi2d_dist import DistributedJacobi2D
+
+_MP = Config.from_mapping({"runtime.backend": "multiprocess"})
+
+
+def _heat1d(config, nx=64, steps=12):
+    params = Heat1DParams()
+    with Runtime(n_localities=2, workers_per_locality=1, config=config) as rt:
+        solver = DistributedHeat1D(rt, nx, params, partitions_per_locality=2)
+        solver.initialize(analytic_heat_profile(nx))
+        return solver.run(steps)
+
+
+def _jacobi2d(config, ny=18, nx=12, steps=10):
+    rng = np.random.default_rng(42)
+    field = rng.random((ny, nx))
+    with Runtime(n_localities=2, workers_per_locality=1, config=config) as rt:
+        solver = DistributedJacobi2D(rt, ny, nx, partitions_per_locality=2)
+        solver.initialize(field)
+        return solver.run(steps)
+
+
+def test_heat1d_bit_identical_across_backends():
+    virtual = _heat1d(None)
+    multiprocess = _heat1d(_MP)
+    assert np.array_equal(virtual, multiprocess)
+
+
+def test_heat1d_multiprocess_matches_reference():
+    params = Heat1DParams()
+    expected = heat1d_reference(analytic_heat_profile(64), 12, params)
+    assert np.array_equal(_heat1d(_MP), expected)
+
+
+def test_jacobi2d_bit_identical_across_backends():
+    virtual = _jacobi2d(None)
+    multiprocess = _jacobi2d(_MP)
+    assert np.array_equal(virtual, multiprocess)
+
+
+def test_heat1d_incremental_runs_bit_identical():
+    """run() twice (chain extension) matches one longer run, across
+    process boundaries (the absolute-target chain_result protocol)."""
+    params = Heat1DParams()
+    with Runtime(n_localities=2, workers_per_locality=1, config=_MP) as rt:
+        solver = DistributedHeat1D(rt, 32, params, partitions_per_locality=1)
+        solver.initialize(analytic_heat_profile(32))
+        solver.run(5)
+        split = solver.run(5)
+    expected = heat1d_reference(analytic_heat_profile(32), 10, params)
+    assert np.array_equal(split, expected)
+
+
+def test_single_process_multiprocess_backend_matches():
+    """P=1 is the degenerate distributed topology (driver only)."""
+    virtual = _heat1d(None)
+    with Runtime(n_localities=1, workers_per_locality=1, config=_MP) as rt:
+        solver = DistributedHeat1D(rt, 64, Heat1DParams(), partitions_per_locality=4)
+        solver.initialize(analytic_heat_profile(64))
+        single = solver.run(12)
+    assert np.array_equal(virtual, single)

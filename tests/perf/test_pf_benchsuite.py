@@ -27,6 +27,7 @@ def test_suite_registry_names():
         "parcel_storm_batched",
         "fig3_heat1d",
         "fig4_jacobi2d",
+        "scaling_cores",
     }
     assert expected == set(bench.SUITE)
     assert set(bench.RUNTIME_MICRO_PARTS) < set(bench.SUITE)
@@ -39,6 +40,8 @@ def test_run_suite_document_shape(quick_doc):
     # Every registered bench ran, plus the micro rollup.
     assert set(bench.SUITE) | {"bench_runtime_micro"} == set(results)
     for name, entry in results.items():
+        if "workloads" in entry:  # scaling_cores carries per-P walls instead
+            continue
         assert entry["wall_seconds"] > 0, name
         assert entry["samples"], name
     micro = results["bench_runtime_micro"]
@@ -46,6 +49,29 @@ def test_run_suite_document_shape(quick_doc):
         results[name]["wall_seconds"] for name in bench.RUNTIME_MICRO_PARTS
     )
     assert micro["wall_seconds"] == pytest.approx(expected_wall)
+
+
+def test_platform_metadata_recorded(quick_doc):
+    plat = quick_doc["platform"]
+    assert plat["cpu_count"] >= 1
+    assert plat["machine"]
+    assert plat["python"] == quick_doc["python"]
+    assert plat["backend"] == "virtual"
+    assert plat["processes"] == 0
+
+
+def test_scaling_cores_shape_and_bit_identity(quick_doc):
+    scaling = quick_doc["results"]["scaling_cores"]
+    assert scaling["processes"] == [1, 2, 4]
+    assert scaling["cpu_count"] >= 1
+    assert set(scaling["workloads"]) == {"heat1d", "jacobi2d", "parcel_storm"}
+    for workload in scaling["workloads"].values():
+        assert set(workload["wall_seconds"]) == {"1", "2", "4"}
+        assert all(wall > 0 for wall in workload["wall_seconds"].values())
+        # The backend contract: the answer is bit-identical at every P.
+        assert workload["checksum_identical"]
+    assert scaling["checksums_identical"]
+    assert scaling["best_speedup_4x"] > 0
 
 
 def test_run_suite_rejects_unknown_names():
